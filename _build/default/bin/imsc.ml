@@ -1,0 +1,437 @@
+(* imsc — the iterative-modulo-scheduling research driver.
+
+   Subcommands:
+     machine    dump a machine model (and the figure 1 reservation grids)
+     list       list the built-in loops
+     show       print a loop's operations and dependence graph
+     mii        ResMII / RecMII / MII with the per-resource profile
+     schedule   modulo schedule a loop and print the kernel
+     codegen    emit rotating-register or MVE code
+     simulate   run the pipelined loop on the cycle-accurate checker
+     suite      summary statistics over the 1327-loop suite
+
+   Loops are named: a Livermore kernel ("lfk07"), a synthetic seed
+   ("syn:1234"), or a file in the textual loop format ("path/to/loop"). *)
+
+open Cmdliner
+open Ims_machine
+open Ims_ir
+open Ims_workloads
+
+(* --- shared options ------------------------------------------------------- *)
+
+let machine_of = function
+  | "cydra5" -> Machine.cydra5 ()
+  | "figure1" -> Machine.figure1 ()
+  | "vliw" -> Machine.simple_vliw ()
+  | "ss4" -> Machine.superscalar4 ()
+  | m when Sys.file_exists m -> Machine_parse.parse_file m
+  | m ->
+      failwith
+        (Printf.sprintf
+           "unknown machine %S (cydra5|figure1|vliw|ss4, or a description file)"
+           m)
+
+let machine_arg =
+  let doc = "Machine model: cydra5, figure1, vliw, ss4, or a description file." in
+  Arg.(value & opt string "cydra5" & info [ "m"; "machine" ] ~docv:"MODEL" ~doc)
+
+let loop_arg =
+  let doc =
+    "The loop: a Livermore kernel name (lfk01..lfk24), syn:SEED for a \
+     synthetic loop, or a file in the textual loop format."
+  in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"LOOP" ~doc)
+
+let budget_arg =
+  let doc = "BudgetRatio: scheduling steps allowed per operation." in
+  Arg.(value & opt float 2.0 & info [ "b"; "budget-ratio" ] ~docv:"R" ~doc)
+
+let resolve_loop machine name =
+  if List.mem name Lfk.names then Lfk.build machine name
+  else if List.mem name Kernels.names then Kernels.build machine name
+  else if String.length name > 4 && String.sub name 0 4 = "syn:" then
+    let seed = int_of_string (String.sub name 4 (String.length name - 4)) in
+    Synthetic.generate machine (Random.State.make [| seed |])
+  else if Sys.file_exists name then Loop_parse.parse_file machine name
+  else
+    failwith
+      (Printf.sprintf
+         "unknown loop %S: not a kernel name, syn:SEED, or readable file" name)
+
+let wrap f =
+  try
+    f ();
+    0
+  with
+  | Failure msg | Invalid_argument msg ->
+      Printf.eprintf "imsc: %s\n" msg;
+      1
+  | Loop_parse.Parse_error (line, msg) ->
+      Printf.eprintf "imsc: parse error at line %d: %s\n" line msg;
+      1
+  | Machine.Unknown_opcode op ->
+      Printf.eprintf "imsc: opcode %S is not in this machine\n" op;
+      1
+  | Machine_parse.Parse_error (line, msg) ->
+      Printf.eprintf "imsc: machine description, line %d: %s\n" line msg;
+      1
+
+(* --- machine --------------------------------------------------------------- *)
+
+let cmd_machine =
+  let run model =
+    wrap (fun () ->
+        let machine = machine_of model in
+        Format.printf "%a@." Machine.pp machine;
+        if model = "figure1" then begin
+          let table name =
+            (List.hd (Machine.opcode machine name).Opcode.alternatives)
+              .Opcode.table
+          in
+          Reservation.pp_grid ~resources:machine.Machine.resources
+            Format.std_formatter
+            [ ("pipelined add", table "add"); ("pipelined multiply", table "mul") ]
+        end)
+  in
+  Cmd.v (Cmd.info "machine" ~doc:"Dump a machine model")
+    Term.(const run $ machine_arg)
+
+(* --- list ------------------------------------------------------------------- *)
+
+let cmd_list =
+  let run () =
+    List.iter print_endline Lfk.names;
+    List.iter print_endline Kernels.names;
+    print_endline "syn:SEED   (synthetic loop from a seed)";
+    0
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List built-in loops") Term.(const run $ const ())
+
+(* --- show ------------------------------------------------------------------- *)
+
+let cmd_show =
+  let run model name =
+    wrap (fun () ->
+        let machine = machine_of model in
+        Format.printf "%a@." Ddg.pp (resolve_loop machine name))
+  in
+  Cmd.v (Cmd.info "show" ~doc:"Print a loop and its dependence graph")
+    Term.(const run $ machine_arg $ loop_arg)
+
+(* --- export ----------------------------------------------------------------- *)
+
+let cmd_export =
+  let run model name =
+    wrap (fun () ->
+        let machine = machine_of model in
+        print_string (Loop_dump.dump (resolve_loop machine name)))
+  in
+  Cmd.v
+    (Cmd.info "export"
+       ~doc:"Emit a loop in the textual format (re-parseable by 'schedule')")
+    Term.(const run $ machine_arg $ loop_arg)
+
+(* --- report ----------------------------------------------------------------- *)
+
+let cmd_report =
+  let run model name =
+    wrap (fun () ->
+        let machine = machine_of model in
+        let ddg = resolve_loop machine name in
+        Format.printf "=== loop ===@.%a@." Ddg.pp ddg;
+        let m = Ims_mii.Mii.compute ddg in
+        Format.printf "=== bounds ===@.%a@." Ims_mii.Mii.pp m;
+        let r = Ims_mii.Rational.of_ddg ddg in
+        Format.printf
+          "rational: res %.2f rec %.2f mii %.2f (recommended unroll %d)@."
+          r.Ims_mii.Rational.res r.Ims_mii.Rational.rec_
+          r.Ims_mii.Rational.mii
+          (Ims_mii.Rational.recommended_unroll ddg);
+        Format.printf "loop kind: %s@."
+          (match Ims_pipeline.Exit_schema.classify ddg with
+          | Ims_pipeline.Exit_schema.Do_loop -> "DO"
+          | Ims_pipeline.Exit_schema.While_loop -> "WHILE"
+          | Ims_pipeline.Exit_schema.Early_exit -> "early exit");
+        let out = Ims_core.Ims.modulo_schedule ddg in
+        match out.Ims_core.Ims.schedule with
+        | None -> failwith "no schedule found"
+        | Some s ->
+            Format.printf "@.=== schedule (IMS) ===@.%a@." Ims_core.Schedule.pp s;
+            Format.printf "%a@." Ims_core.Schedule.pp_gantt s;
+            (match Ims_core.Schedule.verify s with
+            | Ok () -> Format.printf "verifier: legal@."
+            | Error es -> List.iter (Format.printf "VERIFY: %s@.") es);
+            (match Ims_pipeline.Interp.check s with
+            | Ok () -> Format.printf "interpreter: pipelined = sequential@."
+            | Error e -> Format.printf "INTERP: %s@." e);
+            Format.printf "@.=== registers ===@.";
+            List.iter
+              (fun (cls, (a : Ims_pipeline.Rotreg.t)) ->
+                Format.printf "%-10s %3d rotating registers@."
+                  (Ims_pipeline.Regclass.name cls)
+                  a.Ims_pipeline.Rotreg.file_size)
+              (Ims_pipeline.Rotreg.allocate_by_class s);
+            let mve = Ims_pipeline.Mve.expand s in
+            let ra = Ims_pipeline.Regalloc.allocate s in
+            Format.printf
+              "MVE schema: kernel unrolled x%d, %d kernel registers (density \
+               bound %d)@."
+              mve.Ims_pipeline.Mve.unroll
+              ra.Ims_pipeline.Regalloc.registers_used
+              ra.Ims_pipeline.Regalloc.density_lower_bound;
+            Format.printf
+              "code size: rotating %d ops, MVE %d ops@."
+              (Ims_pipeline.Codegen.code_size Ims_pipeline.Codegen.Rotating s)
+              (Ims_pipeline.Codegen.code_size Ims_pipeline.Codegen.Mve s);
+            let t = Ims_pipeline.Tradeoff.analyze s in
+            Format.printf "@.=== when to pipeline ===@.%a@."
+              Ims_pipeline.Tradeoff.pp t;
+            Format.printf "speedup at trip 1000: %.1fx@."
+              (Ims_pipeline.Tradeoff.speedup t ~trip:1000);
+            match Ims_pipeline.Simulator.run ~trip:50 s with
+            | Ok sim ->
+                Format.printf
+                  "simulated 50 iterations: %d cycles; peak %d in flight@."
+                  sim.Ims_pipeline.Simulator.completion
+                  sim.Ims_pipeline.Simulator.peak_in_flight
+            | Error es -> List.iter (Format.printf "SIM: %s@.") es)
+  in
+  Cmd.v
+    (Cmd.info "report" ~doc:"Everything about one loop: bounds, schedule, registers, code, timing")
+    Term.(const run $ machine_arg $ loop_arg)
+
+(* --- dot -------------------------------------------------------------------- *)
+
+let cmd_dot =
+  let run model name =
+    wrap (fun () ->
+        let machine = machine_of model in
+        Format.printf "%a" Ddg.pp_dot (resolve_loop machine name))
+  in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Emit the dependence graph in Graphviz format")
+    Term.(const run $ machine_arg $ loop_arg)
+
+(* --- mii -------------------------------------------------------------------- *)
+
+let cmd_mii =
+  let run model name =
+    wrap (fun () ->
+        let machine = machine_of model in
+        let ddg = resolve_loop machine name in
+        let m = Ims_mii.Mii.compute ddg in
+        Format.printf "%a@.@.Per-resource usage:@." Ims_mii.Mii.pp m;
+        List.iter
+          (fun (rname, uses, copies, bound) ->
+            if uses > 0 then
+              Format.printf "  %-10s %3d uses / %d copies -> %d@." rname uses
+                copies bound)
+          (Ims_mii.Resmii.usage_profile ddg);
+        Format.printf "@.RecMII by circuit enumeration: %d@."
+          (Ims_mii.Recmii.by_circuits ~limit:100000 ddg))
+  in
+  Cmd.v (Cmd.info "mii" ~doc:"Compute the minimum initiation interval")
+    Term.(const run $ machine_arg $ loop_arg)
+
+(* --- schedule ---------------------------------------------------------------- *)
+
+let scheduler_arg =
+  let doc = "Scheduler: ims (the paper), slack (Huff) or sms (swing)." in
+  Arg.(value & opt string "ims" & info [ "scheduler" ] ~docv:"ALGO" ~doc)
+
+let unroll_arg =
+  let doc =
+    "Unroll the body K times before scheduling; 0 picks the factor from      the rational MII (section 1, step 7)."
+  in
+  Arg.(value & opt int 1 & info [ "u"; "unroll" ] ~docv:"K" ~doc)
+
+let interleave_arg =
+  let doc = "Interleave re-associable reductions across F accumulators." in
+  Arg.(value & opt int 1 & info [ "interleave" ] ~docv:"F" ~doc)
+
+let compact_arg =
+  let doc = "Run lifetime compaction on the finished schedule." in
+  Arg.(value & flag & info [ "compact" ] ~doc)
+
+let gantt_arg =
+  let doc = "Also print the kernel as a resource/slot grid." in
+  Arg.(value & flag & info [ "gantt" ] ~doc)
+
+let speculate_arg =
+  let doc =
+    "Execute side-effect-free predicated operations speculatively \
+     (drop their control dependences, section 1 step 5)."
+  in
+  Arg.(value & flag & info [ "speculate" ] ~doc)
+
+let preprocess ddg ~unroll ~interleave ~speculate =
+  let ddg = if speculate then Ims_ir.Optimize.speculate ddg else ddg in
+  let ddg =
+    if interleave > 1 then Ims_ir.Optimize.interleave ddg ~factor:interleave
+    else ddg
+  in
+  let factor =
+    if unroll = 0 then Ims_mii.Rational.recommended_unroll ddg else unroll
+  in
+  if factor > 1 then begin
+    Printf.printf "unrolling x%d before scheduling
+" factor;
+    Ims_ir.Unroll.by ddg factor
+  end
+  else ddg
+
+let schedule_with ~scheduler ~budget_ratio ddg =
+  match scheduler with
+  | "ims" -> Ims_core.Ims.modulo_schedule ~budget_ratio ddg
+  | "slack" -> Ims_core.Slack.modulo_schedule ~budget_ratio ddg
+  | "sms" -> Ims_core.Sms.modulo_schedule ~max_delta_ii:64 ddg
+  | other ->
+      failwith (Printf.sprintf "unknown scheduler %S (ims|slack|sms)" other)
+
+let cmd_schedule =
+  let run model name budget scheduler unroll interleave speculate compact gantt =
+    wrap (fun () ->
+        let machine = machine_of model in
+        let ddg =
+          preprocess (resolve_loop machine name) ~unroll ~interleave ~speculate
+        in
+        let out = schedule_with ~scheduler ~budget_ratio:budget ddg in
+        let m = out.Ims_core.Ims.mii in
+        Format.printf "MII %d (res %d, rec %d); achieved II %d in %d attempt(s)@."
+          m.Ims_mii.Mii.mii m.Ims_mii.Mii.resmii m.Ims_mii.Mii.recmii
+          out.Ims_core.Ims.ii out.Ims_core.Ims.attempts;
+        match out.Ims_core.Ims.schedule with
+        | None -> failwith "no schedule found (raise --budget-ratio?)"
+        | Some s ->
+            let s =
+              if not compact then s
+              else begin
+                let r = Ims_pipeline.Compact.improve s in
+                Format.printf
+                  "compaction: %d moves, total lifetime %d -> %d@."
+                  r.Ims_pipeline.Compact.moves
+                  r.Ims_pipeline.Compact.lifetime_before
+                  r.Ims_pipeline.Compact.lifetime_after;
+                r.Ims_pipeline.Compact.schedule
+              end
+            in
+            Format.printf "%a@." Ims_core.Schedule.pp s;
+            if gantt then Format.printf "%a@." Ims_core.Schedule.pp_gantt s;
+            (match Ims_core.Schedule.verify s with
+            | Ok () -> Format.printf "verified: legal@."
+            | Error es -> List.iter (Format.printf "VERIFY: %s@.") es);
+            Format.printf
+              "scheduling steps: %d at the final II (%d total; %.2f per op)@."
+              out.Ims_core.Ims.steps_final out.Ims_core.Ims.steps_total
+              (float_of_int out.Ims_core.Ims.steps_final
+              /. float_of_int (Ddg.n_total ddg)))
+  in
+  Cmd.v (Cmd.info "schedule" ~doc:"Iteratively modulo schedule a loop")
+    Term.(
+      const run $ machine_arg $ loop_arg $ budget_arg $ scheduler_arg
+      $ unroll_arg $ interleave_arg $ speculate_arg $ compact_arg $ gantt_arg)
+
+(* --- codegen ------------------------------------------------------------------ *)
+
+let cmd_codegen =
+  let style_arg =
+    let doc = "Code schema: rotating or mve." in
+    Arg.(value & opt string "rotating" & info [ "s"; "style" ] ~docv:"STYLE" ~doc)
+  in
+  let run model name style =
+    wrap (fun () ->
+        let machine = machine_of model in
+        let ddg = resolve_loop machine name in
+        match (Ims_core.Ims.modulo_schedule ddg).Ims_core.Ims.schedule with
+        | None -> failwith "no schedule found"
+        | Some s ->
+            let style =
+              match style with
+              | "rotating" -> Ims_pipeline.Codegen.Rotating
+              | "mve" -> Ims_pipeline.Codegen.Mve
+              | other -> failwith (Printf.sprintf "unknown style %S" other)
+            in
+            print_string (Ims_pipeline.Codegen.emit style s);
+            Printf.printf "; code size: %d operations (loop body: %d)\n"
+              (Ims_pipeline.Codegen.code_size style s)
+              (Ddg.n_real ddg))
+  in
+  Cmd.v (Cmd.info "codegen" ~doc:"Emit pipelined code for a loop")
+    Term.(const run $ machine_arg $ loop_arg $ style_arg)
+
+(* --- simulate ------------------------------------------------------------------ *)
+
+let cmd_simulate =
+  let trip_arg =
+    let doc = "Number of iterations to simulate." in
+    Arg.(value & opt int 50 & info [ "t"; "trip" ] ~docv:"N" ~doc)
+  in
+  let run model name trip =
+    wrap (fun () ->
+        let machine = machine_of model in
+        let ddg = resolve_loop machine name in
+        match (Ims_core.Ims.modulo_schedule ddg).Ims_core.Ims.schedule with
+        | None -> failwith "no schedule found"
+        | Some s -> (
+            match Ims_pipeline.Simulator.run ~trip s with
+            | Error es ->
+                List.iter (Printf.printf "FAIL: %s\n") es;
+                failwith "simulation detected violations"
+            | Ok r ->
+                Printf.printf
+                  "%d iterations: %d cycles (formula SL+(n-1)*II = %d)\n" trip
+                  r.Ims_pipeline.Simulator.completion r.Ims_pipeline.Simulator.formula;
+                Printf.printf "issues: %d, peak iterations in flight: %d\n"
+                  r.Ims_pipeline.Simulator.issues r.Ims_pipeline.Simulator.peak_in_flight;
+                Printf.printf "steady-state utilization:\n";
+                List.iter
+                  (fun (rname, u) ->
+                    if u > 0.0 then Printf.printf "  %-10s %5.1f%%\n" rname (100.0 *. u))
+                  r.Ims_pipeline.Simulator.utilization))
+  in
+  Cmd.v (Cmd.info "simulate" ~doc:"Run a pipelined loop on the checker")
+    Term.(const run $ machine_arg $ loop_arg $ trip_arg)
+
+(* --- suite ---------------------------------------------------------------------- *)
+
+let cmd_suite =
+  let count_arg =
+    let doc = "Number of loops (default the paper's 1327)." in
+    Arg.(value & opt int Suite.default_count & info [ "n"; "count" ] ~docv:"N" ~doc)
+  in
+  let run model count budget scheduler =
+    wrap (fun () ->
+        let machine = machine_of model in
+        let cases = Suite.cases ~machine ~count () in
+        let optimal = ref 0 and scheduled = ref 0 in
+        List.iter
+          (fun c ->
+            let out = schedule_with ~scheduler ~budget_ratio:budget c.Suite.ddg in
+            match out.Ims_core.Ims.schedule with
+            | Some _ ->
+                incr scheduled;
+                if out.Ims_core.Ims.ii = out.Ims_core.Ims.mii.Ims_mii.Mii.mii then
+                  incr optimal
+            | None -> ())
+          cases;
+        Printf.printf "%d loops: %d scheduled, %d (%.1f%%) at II = MII\n"
+          (List.length cases) !scheduled !optimal
+          (100.0 *. float_of_int !optimal /. float_of_int (List.length cases)))
+  in
+  Cmd.v
+    (Cmd.info "suite" ~doc:"Schedule the whole suite and report optimality")
+    Term.(const run $ machine_arg $ count_arg $ budget_arg $ scheduler_arg)
+
+let () =
+  let info =
+    Cmd.info "imsc" ~version:"1.0"
+      ~doc:"Iterative modulo scheduling (Rau, MICRO-27 1994) research driver"
+  in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [
+            cmd_machine; cmd_list; cmd_show; cmd_export; cmd_report; cmd_dot;
+            cmd_mii; cmd_schedule; cmd_codegen; cmd_simulate; cmd_suite;
+          ]))

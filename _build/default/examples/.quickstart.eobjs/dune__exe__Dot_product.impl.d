@@ -1,0 +1,1 @@
+examples/dot_product.ml: Builder Format Ims Ims_core Ims_ir Ims_machine Ims_mii Ims_pipeline List Machine Mii Printf Schedule

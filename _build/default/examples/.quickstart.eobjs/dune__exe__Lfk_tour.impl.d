@@ -1,0 +1,1 @@
+examples/lfk_tour.ml: Ims Ims_core Ims_ir Ims_machine Ims_mii Ims_pipeline Ims_stats Ims_workloads Lfk List List_sched Machine Mii Printf Schedule

@@ -1,0 +1,1 @@
+examples/lfk_tour.mli:

@@ -1,0 +1,1 @@
+examples/machine_compare.ml: Ddg Ims Ims_core Ims_ir Ims_machine Ims_mii Ims_stats Ims_workloads Lfk List Machine Mii Printf Schedule

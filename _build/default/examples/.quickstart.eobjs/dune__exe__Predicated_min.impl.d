@@ -1,0 +1,1 @@
+examples/predicated_min.ml: Builder Format If_conversion Ims Ims_core Ims_ir Ims_machine Ims_mii Ims_workloads Machine Schedule

@@ -1,0 +1,1 @@
+examples/predicated_min.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Builder Ddg Format Ims_core Ims_ir Ims_machine Ims_mii Ims_pipeline List Machine

@@ -1,0 +1,1 @@
+examples/recurrence.ml: Format Ims Ims_core Ims_ir Ims_machine Ims_mii Ims_pipeline Ims_workloads Lfk List Machine Mii Schedule

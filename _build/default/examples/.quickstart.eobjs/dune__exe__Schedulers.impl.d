@@ -1,0 +1,1 @@
+examples/schedulers.ml: Format Ims Ims_core Ims_machine Ims_pipeline Ims_workloads Kernels Schedule Slack Sms

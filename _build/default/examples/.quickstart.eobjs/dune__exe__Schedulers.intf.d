@@ -1,0 +1,1 @@
+examples/schedulers.mli:

@@ -1,0 +1,1 @@
+examples/unrolling.ml: Format Ims Ims_core Ims_ir Ims_machine Ims_mii Ims_workloads Lfk List Machine Mii Optimize Rational Unroll

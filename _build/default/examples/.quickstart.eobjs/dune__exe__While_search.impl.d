@@ -1,0 +1,1 @@
+examples/while_search.ml: Builder Exit_schema Format Ims Ims_core Ims_ir Ims_machine Ims_pipeline Ims_workloads Kernel_dsl List Schedule

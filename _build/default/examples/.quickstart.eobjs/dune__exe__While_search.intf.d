@@ -1,0 +1,1 @@
+examples/while_search.mli:

@@ -1,0 +1,63 @@
+(* Three modulo schedulers, one loop.
+
+   The same dependence graph goes through:
+   - iterative modulo scheduling (the paper): earliest-fit with
+     displacement under a budget;
+   - Huff's lifetime-sensitive scheduling: bidirectional windows from
+     MinDist bounds, producers sink late;
+   - swing modulo scheduling (the GCC/LLVM lineage): one placement per
+     operation, ordering does all the work.
+
+   All three hit the same II here; they differ in where operations sit
+   inside the window and hence in register pressure.  The kernel grids
+   make the difference visible.
+
+   Run with: dune exec examples/schedulers.exe *)
+
+open Ims_core
+open Ims_workloads
+
+let () =
+  let machine = Ims_machine.Machine.cydra5 () in
+  let ddg = Kernels.build machine "cmac" in
+  Format.printf
+    "complex multiply-accumulate (19 ops) on the Cydra 5:@.@.";
+  let report name out =
+    match out.Ims.schedule with
+    | None -> Format.printf "%-22s failed to schedule@." name
+    | Some s ->
+        assert (Schedule.verify s = Ok ());
+        let rr = (Ims_pipeline.Rotreg.allocate s).Ims_pipeline.Rotreg.file_size in
+        let lt = Ims_pipeline.Compact.total_lifetime s in
+        Format.printf
+          "%-22s II %2d, SL %3d, %2d stages, %3d rotating regs, %4d lifetime cycles@."
+          name out.Ims.ii (Schedule.length s) (Schedule.stage_count s) rr lt;
+        (match Ims_pipeline.Interp.check s with
+        | Ok () -> ()
+        | Error e -> Format.printf "   SEMANTIC DIVERGENCE: %s@." e)
+  in
+  let ims = Ims.modulo_schedule ddg in
+  report "iterative (paper)" ims;
+  report "lifetime (Huff)" (Slack.modulo_schedule ddg);
+  report "swing (SMS)" (Sms.modulo_schedule ddg);
+  (match ims.Ims.schedule with
+  | Some s ->
+      let c = Ims_pipeline.Compact.improve s in
+      Format.printf
+        "%-22s II %2d, SL %3d, %2d stages, %3d rotating regs, %4d lifetime cycles@."
+        "iterative + compaction"
+        s.Schedule.ii
+        (Schedule.length c.Ims_pipeline.Compact.schedule)
+        (Schedule.stage_count c.Ims_pipeline.Compact.schedule)
+        (Ims_pipeline.Rotreg.allocate c.Ims_pipeline.Compact.schedule).Ims_pipeline.Rotreg.file_size
+        c.Ims_pipeline.Compact.lifetime_after
+  | None -> ());
+  Format.printf "@.IMS kernel:@.";
+  (match ims.Ims.schedule with
+  | Some s -> Format.printf "%a@." Schedule.pp_gantt s
+  | None -> ());
+  match (Sms.modulo_schedule ddg).Ims.schedule with
+  | Some s ->
+      Format.printf "SMS kernel (same II, different placements):@.";
+      Format.printf "%a@." Schedule.pp_gantt s
+  | None -> ()

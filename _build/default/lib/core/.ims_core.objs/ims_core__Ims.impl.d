@@ -1,0 +1,1 @@
+lib/core/ims.ml: Array Counters Ddg Dep Ims_ir Ims_machine Ims_mii List Machine Mii Mrt Op Opcode Priority Schedule

@@ -1,0 +1,1 @@
+lib/core/ims.mli: Counters Ddg Ims_ir Ims_mii Mii Schedule

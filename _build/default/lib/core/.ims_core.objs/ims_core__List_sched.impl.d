@@ -1,0 +1,1 @@
+lib/core/list_sched.ml: Array Ddg Dep Ims_ir Ims_machine List Machine Mrt Op Opcode Priority Reservation Schedule Set

@@ -1,0 +1,1 @@
+lib/core/list_sched.mli: Ddg Ims_ir Schedule

@@ -1,0 +1,1 @@
+lib/core/priority.ml: Array Ddg Dep Ims_graph Ims_ir Ims_mii List Topo

@@ -1,0 +1,1 @@
+lib/core/priority.mli: Ddg Ims_ir Ims_mii

@@ -1,0 +1,1 @@
+lib/core/schedule.ml: Array Ddg Dep Format Ims_ir Ims_machine List Machine Mrt Op Opcode Printf String

@@ -1,0 +1,1 @@
+lib/core/schedule.mli: Ddg Format Ims_ir Ims_machine

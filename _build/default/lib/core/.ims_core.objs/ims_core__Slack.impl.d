@@ -1,0 +1,1 @@
+lib/core/slack.ml: Array Counters Ddg Dep Ims Ims_ir Ims_machine Ims_mii List Machine Mii Mindist Mrt Op Opcode Option Schedule

@@ -1,0 +1,1 @@
+lib/core/slack.mli: Counters Ddg Ims Ims_ir Ims_mii

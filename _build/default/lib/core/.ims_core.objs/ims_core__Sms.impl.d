@@ -1,0 +1,1 @@
+lib/core/sms.ml: Array Counters Ddg Dep Hashtbl Ims Ims_graph Ims_ir Ims_machine Ims_mii List Machine Mii Mindist Mrt Op Opcode Printf Schedule Sys

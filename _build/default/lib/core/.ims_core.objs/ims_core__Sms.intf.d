@@ -1,0 +1,1 @@
+lib/core/sms.mli: Counters Ddg Ims Ims_ir Ims_mii

@@ -1,0 +1,249 @@
+open Ims_machine
+open Ims_ir
+open Ims_mii
+
+type outcome = {
+  schedule : Schedule.t option;
+  ii : int;
+  mii : Mii.t;
+  attempts : int;
+  steps_total : int;
+  steps_final : int;
+  counters : Counters.t;
+}
+
+let default_budget_ratio = 2.0
+
+type priority = Height_r | Acyclic_height | Source_order | Reverse_order
+
+(* State for one IterativeSchedule invocation. *)
+type state = {
+  ddg : Ddg.t;
+  ii : int;
+  height : int array;
+  mrt : Mrt.t;
+  time : int array;  (* -1 = unscheduled *)
+  prev_time : int array;
+  never_scheduled : bool array;
+  alt : int array;
+  alternatives : Opcode.alternative array array;  (* per op id *)
+  mutable unscheduled : int list;  (* kept unsorted; selection scans *)
+  counters : Counters.t option;
+}
+
+let bump_estart st k =
+  match st.counters with
+  | Some c -> c.Counters.estart_inner <- c.Counters.estart_inner + k
+  | None -> ()
+
+let bump_findslot st k =
+  match st.counters with
+  | Some c -> c.Counters.findslot_inner <- c.Counters.findslot_inner + k
+  | None -> ()
+
+let highest_priority_operation st =
+  match st.unscheduled with
+  | [] -> None
+  | first :: rest ->
+      let best =
+        List.fold_left
+          (fun best v ->
+            if
+              st.height.(v) > st.height.(best)
+              || (st.height.(v) = st.height.(best) && v < best)
+            then v
+            else best)
+          first rest
+      in
+      Some best
+
+(* Figure 5b: earliest start as constrained by currently scheduled
+   predecessors only. *)
+let calculate_early_start st op =
+  List.fold_left
+    (fun acc (d : Dep.t) ->
+      bump_estart st 1;
+      if st.time.(d.src) < 0 then acc
+      else max acc (st.time.(d.src) + d.delay - (st.ii * d.distance)))
+    0 st.ddg.Ddg.preds.(op)
+
+(* Figure 4: the first conflict-free slot in [min_time, max_time], with
+   the alternative that fits; dependence conflicts with successors are
+   deliberately ignored here. *)
+let find_time_slot st op ~min_time ~max_time =
+  let alternatives = st.alternatives.(op) in
+  let fits_at t =
+    let rec go k =
+      if k >= Array.length alternatives then None
+      else if Mrt.fits st.mrt alternatives.(k).Opcode.table ~time:t then Some k
+      else go (k + 1)
+    in
+    go 0
+  in
+  let rec search t =
+    if t > max_time then None
+    else begin
+      bump_findslot st 1;
+      match fits_at t with
+      | Some k -> Some (t, k)
+      | None -> search (t + 1)
+    end
+  in
+  match search min_time with
+  | Some (t, k) -> `Free (t, k)
+  | None ->
+      let slot =
+        if st.never_scheduled.(op) || min_time > st.prev_time.(op) then
+          min_time
+        else st.prev_time.(op) + 1
+      in
+      `Forced slot
+
+let unschedule st op =
+  if st.time.(op) >= 0 then begin
+    Mrt.release st.mrt ~op
+      st.alternatives.(op).(st.alt.(op)).Opcode.table
+      ~time:st.time.(op);
+    st.time.(op) <- -1;
+    st.unscheduled <- op :: st.unscheduled
+  end
+
+(* Schedule [op] at [t] with alternative [k] (already known to fit), then
+   displace every scheduled successor whose dependence is now violated. *)
+let commit st op ~t ~k =
+  Mrt.reserve st.mrt ~op st.alternatives.(op).(k).Opcode.table ~time:t;
+  st.time.(op) <- t;
+  st.prev_time.(op) <- t;
+  st.alt.(op) <- k;
+  st.never_scheduled.(op) <- false;
+  st.unscheduled <- List.filter (fun v -> v <> op) st.unscheduled;
+  List.iter
+    (fun (d : Dep.t) ->
+      if
+        d.dst <> op
+        && st.time.(d.dst) >= 0
+        && st.time.(d.dst) < t + d.delay - (st.ii * d.distance)
+      then unschedule st d.dst)
+    st.ddg.Ddg.succs.(op)
+
+(* Forced placement (section 3.4): displace every operation that
+   conflicts with any alternative at [t], then commit with the first
+   alternative that fits. *)
+let force_commit st op ~t =
+  let tables =
+    Array.to_list st.alternatives.(op)
+    |> List.map (fun (a : Opcode.alternative) -> a.Opcode.table)
+  in
+  List.iter (unschedule st) (Mrt.conflicting_ops st.mrt tables ~time:t);
+  let rec first_fit k =
+    if k >= Array.length st.alternatives.(op) then
+      invalid_arg "Ims.force_commit: no alternative fits after displacement"
+    else if Mrt.fits st.mrt st.alternatives.(op).(k).Opcode.table ~time:t then
+      k
+    else first_fit (k + 1)
+  in
+  commit st op ~t ~k:(first_fit 0)
+
+let iterative_schedule ?counters ?(priority = Height_r) ddg ~ii ~budget =
+  let n = Ddg.n_total ddg in
+  let machine = ddg.Ddg.machine in
+  let height =
+    match priority with
+    | Height_r -> Priority.heights ?counters ddg ~ii
+    | Acyclic_height -> Priority.acyclic_heights ddg
+    | Source_order -> Array.init n (fun i -> n - i)
+    | Reverse_order -> Array.init n (fun i -> i)
+  in
+  let st =
+    {
+      ddg;
+      ii;
+      height;
+      mrt = Mrt.create machine ~ii;
+      time = Array.make n (-1);
+      prev_time = Array.make n 0;
+      never_scheduled = Array.make n true;
+      alt = Array.make n 0;
+      alternatives =
+        Array.init n (fun i ->
+            let opcode = Machine.opcode machine (Ddg.op ddg i).Op.opcode in
+            Array.of_list opcode.Opcode.alternatives);
+      unscheduled = List.init (n - 1) (fun i -> i + 1);
+      counters;
+    }
+  in
+  let budget = ref budget in
+  let step () =
+    match counters with
+    | Some c -> c.Counters.sched_steps <- c.Counters.sched_steps + 1
+    | None -> ()
+  in
+  (* Schedule START at time 0. *)
+  st.time.(Ddg.start) <- 0;
+  st.never_scheduled.(Ddg.start) <- false;
+  decr budget;
+  step ();
+  let continue = ref true in
+  while !continue do
+    match highest_priority_operation st with
+    | None -> continue := false
+    | Some _ when !budget <= 0 -> continue := false
+    | Some op ->
+        let estart = calculate_early_start st op in
+        let min_time = estart in
+        let max_time = min_time + ii - 1 in
+        (match find_time_slot st op ~min_time ~max_time with
+        | `Free (t, k) -> commit st op ~t ~k
+        | `Forced t -> force_commit st op ~t);
+        decr budget;
+        step ()
+  done;
+  if st.unscheduled = [] then begin
+    let entries =
+      Array.init n (fun i -> { Schedule.time = st.time.(i); alt = st.alt.(i) })
+    in
+    Some (Schedule.make ddg ~ii ~entries)
+  end
+  else None
+
+let modulo_schedule ?(budget_ratio = default_budget_ratio)
+    ?(max_delta_ii = 1000) ?counters ?priority ddg =
+  let counters =
+    match counters with Some c -> c | None -> Counters.create ()
+  in
+  let mii = Mii.compute ~counters ddg in
+  let n = Ddg.n_total ddg in
+  let budget =
+    max 1 (int_of_float (budget_ratio *. float_of_int n))
+  in
+  let rec attempt ii tried =
+    if ii > mii.Mii.mii + max_delta_ii then
+      {
+        schedule = None;
+        ii;
+        mii;
+        attempts = tried;
+        steps_total = counters.Counters.sched_steps;
+        steps_final = 0;
+        counters;
+      }
+    else begin
+      let before = counters.Counters.sched_steps in
+      match iterative_schedule ~counters ?priority ddg ~ii ~budget with
+      | Some schedule ->
+          let steps_final = counters.Counters.sched_steps - before in
+          counters.Counters.sched_steps_final <-
+            counters.Counters.sched_steps_final + steps_final;
+          {
+            schedule = Some schedule;
+            ii;
+            mii;
+            attempts = tried + 1;
+            steps_total = counters.Counters.sched_steps;
+            steps_final;
+            counters;
+          }
+      | None -> attempt (ii + 1) (tried + 1)
+    end
+  in
+  attempt mii.Mii.mii 0

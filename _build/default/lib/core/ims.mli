@@ -1,0 +1,55 @@
+(** Iterative modulo scheduling (Rau 1994, section 3, figures 2-4).
+
+    [ModuloSchedule] tries successively larger candidate IIs starting at
+    the MII; for each, [IterativeSchedule] performs operation-driven list
+    scheduling in which already-scheduled operations may be displaced —
+    unscheduled and rescheduled later — either because a higher-priority
+    operation claimed their resources or because a predecessor moved
+    under them.  A budget of [BudgetRatio * NumberOfOperations]
+    scheduling steps bounds the effort per candidate II. *)
+
+open Ims_ir
+open Ims_mii
+
+type outcome = {
+  schedule : Schedule.t option;
+      (** [None] only if every candidate II up to [max_ii] failed. *)
+  ii : int;  (** Achieved II ([schedule] present) or last attempted. *)
+  mii : Mii.t;
+  attempts : int;  (** Candidate IIs tried. *)
+  steps_total : int;
+      (** Operation scheduling steps over all candidate IIs. *)
+  steps_final : int;  (** Steps spent at the successful II. *)
+  counters : Counters.t;
+}
+
+val default_budget_ratio : float
+(** 2.0 — the knee of the paper's figure 6, its recommended setting. *)
+
+(** The scheduling priority (section 3.2).  [Height_r] is the paper's
+    choice; the others exist for the ablation study: [Acyclic_height]
+    ignores the [II*distance] discount on inter-iteration edges,
+    [Source_order] schedules in program order, and [Reverse_order] is the
+    pathological anti-priority. *)
+type priority = Height_r | Acyclic_height | Source_order | Reverse_order
+
+val iterative_schedule :
+  ?counters:Counters.t ->
+  ?priority:priority ->
+  Ddg.t ->
+  ii:int ->
+  budget:int ->
+  Schedule.t option
+(** One candidate II (figure 3).  Returns [None] when the budget runs out
+    with operations still unscheduled. *)
+
+val modulo_schedule :
+  ?budget_ratio:float ->
+  ?max_delta_ii:int ->
+  ?counters:Counters.t ->
+  ?priority:priority ->
+  Ddg.t ->
+  outcome
+(** The driver (figure 2).  [max_delta_ii] (default 1000) bounds the
+    search above the MII as a safety net; reaching it indicates a machine
+    model the loop cannot execute on at all. *)

@@ -1,0 +1,19 @@
+(** Acyclic list scheduling of a single iteration.
+
+    The baseline the paper measures IMS against: inter-iteration edges
+    are ignored, each operation is scheduled exactly once, highest
+    height first, at the first conflict-free slot at or after its early
+    start time.  Its schedule length also feeds the paper's lower bound
+    on the modulo schedule length (section 4.2), and its cost — one
+    scheduling step per operation — is the yardstick for the scheduling
+    inefficiency ratio of table 3. *)
+
+open Ims_ir
+
+val schedule : Ddg.t -> Schedule.t
+(** The returned schedule has [ii] equal to the scheduling horizon, so it
+    is effectively linear; {!Schedule.verify} holds for it with all
+    inter-iteration constraints trivially satisfied at that horizon. *)
+
+val schedule_length : Ddg.t -> int
+(** [Schedule.length (schedule ddg)]. *)

@@ -1,0 +1,50 @@
+open Ims_ir
+open Ims_graph
+
+let relax ?counters ddg ~edge_weight =
+  let n = Ddg.n_total ddg in
+  let height = Array.make n 0 in
+  (* Seed in reverse topological order of the distance-0 skeleton so the
+     acyclic bulk converges in one sweep; recurrences then iterate. *)
+  let skeleton v =
+    List.filter_map
+      (fun (d : Dep.t) -> if d.distance = 0 then Some d.dst else None)
+      ddg.Ddg.succs.(v)
+  in
+  let order = List.rev (Topo.sort_ignoring_cycles ~n ~succs:skeleton) in
+  let steps = ref 0 in
+  let changed = ref true in
+  let rounds = ref 0 in
+  while !changed do
+    changed := false;
+    incr rounds;
+    if !rounds > n + 2 then
+      invalid_arg "Priority.heights: relaxation diverges (II below RecMII?)";
+    List.iter
+      (fun p ->
+        List.iter
+          (fun (d : Dep.t) ->
+            incr steps;
+            match edge_weight d with
+            | None -> ()
+            | Some w ->
+                let candidate = height.(d.dst) + w in
+                if candidate > height.(p) then begin
+                  height.(p) <- candidate;
+                  changed := true
+                end)
+          ddg.Ddg.succs.(p))
+      order
+  done;
+  (match counters with
+  | Some c -> c.Ims_mii.Counters.heightr_inner <- c.Ims_mii.Counters.heightr_inner + !steps
+  | None -> ());
+  height
+
+let heights ?counters ddg ~ii =
+  relax ?counters ddg ~edge_weight:(fun d ->
+      Some (d.Dep.delay - (ii * d.Dep.distance)))
+
+let acyclic_heights ddg =
+  relax ddg ~edge_weight:(fun d ->
+      if d.Dep.distance = 0 then Some d.Dep.delay else None)

@@ -1,0 +1,27 @@
+(** The HeightR scheduling priority (Rau 1994, section 3.2, figure 5a).
+
+    HeightR extends the height-based priority of acyclic list scheduling
+    across iterations: a successor [Q] at dependence distance [D] is
+    effectively [II*D] cycles closer to its STOP, so
+
+    {v HeightR(P) = 0                                    if P = STOP
+       HeightR(P) = max over edges (P,Q) of
+                    HeightR(Q) + Delay(P,Q) - II*Distance(P,Q)   otherwise v}
+
+    Operations are scheduled highest first, which yields topological
+    order on simple loops (scheduling them in one pass) and favours
+    slack-poor strongly connected components on tangled ones. *)
+
+open Ims_ir
+
+val heights : ?counters:Ims_mii.Counters.t -> Ddg.t -> ii:int -> int array
+(** Least solution of the implicit equations by worklist relaxation,
+    seeded in reverse topological order of the intra-iteration subgraph.
+    Requires [ii >= RecMII] (no positive-weight circuit); guarded by an
+    iteration cap.
+    @raise Invalid_argument if the relaxation fails to converge. *)
+
+val acyclic_heights : Ddg.t -> int array
+(** The classic list-scheduling height, i.e. {!heights} on the graph with
+    all inter-iteration edges removed (their weight is irrelevant when
+    the loop is not pipelined). *)

@@ -1,0 +1,55 @@
+(** Modulo schedules and their independent verification.
+
+    A schedule assigns every operation (including START and STOP) a time
+    and a functional-unit alternative.  The same iteration schedule is
+    initiated every II cycles; iteration [i]'s copy of an operation
+    scheduled at [t] issues at [t + i*II]. *)
+
+open Ims_ir
+
+type entry = {
+  time : int;
+  alt : int;  (** Index into the opcode's alternatives. *)
+}
+
+type t = private {
+  ddg : Ddg.t;
+  ii : int;
+  entries : entry array;  (** Indexed by operation id. *)
+}
+
+val make : Ddg.t -> ii:int -> entries:entry array -> t
+(** @raise Invalid_argument if the entry count does not match. *)
+
+val time : t -> int -> int
+val alt : t -> int -> int
+
+val length : t -> int
+(** Schedule length SL of one iteration: STOP's schedule time. *)
+
+val stage_count : t -> int
+(** Number of kernel stages: [floor(max issue time of a real op / II) + 1]
+    — how many iterations are simultaneously in flight. *)
+
+val reservation : t -> int -> Ims_machine.Reservation.t
+(** The reservation table of the alternative actually chosen for an
+    operation. *)
+
+val verify : t -> (unit, string list) result
+(** Re-checks, from scratch, that (a) every dependence edge satisfies
+    [time(dst) - time(src) >= delay - II * distance] and (b) replaying
+    every reservation into a fresh modulo reservation table exceeds no
+    resource capacity.  The scheduler never consults this; tests and the
+    harness do. *)
+
+val kernel_rows : t -> (int * int) list array
+(** [kernel_rows s] maps each kernel slot [0 .. II-1] to the [(op, stage)]
+    pairs issuing there. *)
+
+val pp : Format.formatter -> t -> unit
+(** Kernel listing: one row per slot with stage-annotated operations. *)
+
+val pp_gantt : Format.formatter -> t -> unit
+(** Resource-centric kernel view: one row per resource copy, one column
+    per kernel slot, cells marked with the id of the occupying
+    operation — the modulo reservation table made visible. *)

@@ -1,0 +1,274 @@
+open Ims_machine
+open Ims_ir
+open Ims_mii
+
+(* One candidate II of the lifetime-sensitive scheduler.  The MinDist
+   matrix gives transitive bounds: a scheduled operation [i] at time
+   [t_i] forces  E(op) >= t_i + MinDist[i][op]  and
+   L(op) <= t_i - MinDist[op][i].  With nothing but START placed these
+   reduce to Huff's static Estart/Lstart. *)
+
+type state = {
+  ddg : Ddg.t;
+  ii : int;
+  md : Mindist.t;
+  slack_priority : int array;  (* smaller = more urgent *)
+  sink_late : bool array;
+  mrt : Mrt.t;
+  time : int array;  (* -1 = unscheduled *)
+  prev_time : int array;
+  never_scheduled : bool array;
+  alt : int array;
+  alternatives : Opcode.alternative array array;
+  mutable unscheduled : int list;
+  mutable scheduled : int list;
+  counters : Counters.t option;
+}
+
+let neg_inf = Mindist.neg_inf
+
+let early_bound st op =
+  List.fold_left
+    (fun acc i ->
+      (match st.counters with
+      | Some c -> c.Counters.estart_inner <- c.Counters.estart_inner + 1
+      | None -> ());
+      let d = Mindist.get st.md i op in
+      if d = neg_inf then acc else max acc (st.time.(i) + d))
+    0 st.scheduled
+
+let late_bound st op ~default =
+  List.fold_left
+    (fun acc i ->
+      let d = Mindist.get st.md op i in
+      if d = neg_inf then acc else min acc (st.time.(i) - d))
+    default st.scheduled
+
+let unschedule st op =
+  if st.time.(op) >= 0 then begin
+    Mrt.release st.mrt ~op
+      st.alternatives.(op).(st.alt.(op)).Opcode.table
+      ~time:st.time.(op);
+    st.time.(op) <- -1;
+    st.unscheduled <- op :: st.unscheduled;
+    st.scheduled <- List.filter (fun v -> v <> op) st.scheduled
+  end
+
+let commit st op ~t ~k =
+  Mrt.reserve st.mrt ~op st.alternatives.(op).(k).Opcode.table ~time:t;
+  st.time.(op) <- t;
+  st.prev_time.(op) <- t;
+  st.alt.(op) <- k;
+  st.never_scheduled.(op) <- false;
+  st.unscheduled <- List.filter (fun v -> v <> op) st.unscheduled;
+  st.scheduled <- op :: st.scheduled;
+  List.iter
+    (fun (d : Dep.t) ->
+      if
+        d.dst <> op
+        && st.time.(d.dst) >= 0
+        && st.time.(d.dst) < t + d.delay - (st.ii * d.distance)
+      then unschedule st d.dst)
+    st.ddg.Ddg.succs.(op)
+
+let force_commit st op ~t =
+  let tables =
+    Array.to_list st.alternatives.(op)
+    |> List.map (fun (a : Opcode.alternative) -> a.Opcode.table)
+  in
+  List.iter (unschedule st) (Mrt.conflicting_ops st.mrt tables ~time:t);
+  let rec first_fit k =
+    if k >= Array.length st.alternatives.(op) then
+      invalid_arg "Slack.force_commit: no alternative fits"
+    else if Mrt.fits st.mrt st.alternatives.(op).(k).Opcode.table ~time:t then k
+    else first_fit (k + 1)
+  in
+  commit st op ~t ~k:(first_fit 0)
+
+(* Conflict-free slot nearest the preferred end of [lo, hi]. *)
+let find_slot st op ~lo ~hi ~late =
+  let alternatives = st.alternatives.(op) in
+  let fits_at t =
+    let rec go k =
+      if k >= Array.length alternatives then None
+      else if Mrt.fits st.mrt alternatives.(k).Opcode.table ~time:t then Some k
+      else go (k + 1)
+    in
+    go 0
+  in
+  let order =
+    if late then List.init (hi - lo + 1) (fun i -> hi - i)
+    else List.init (hi - lo + 1) (fun i -> lo + i)
+  in
+  List.fold_left
+    (fun acc t ->
+      match acc with
+      | Some _ -> acc
+      | None ->
+          (match st.counters with
+          | Some c -> c.Counters.findslot_inner <- c.Counters.findslot_inner + 1
+          | None -> ());
+          Option.map (fun k -> (t, k)) (fits_at t))
+    None order
+
+let iterative_schedule ?counters ddg ~ii ~budget =
+  let n = Ddg.n_total ddg in
+  let machine = ddg.Ddg.machine in
+  let md = Mindist.full ?counters ddg ~ii in
+  let stop = Ddg.stop ddg in
+  let critical_path = max 0 (Mindist.get md Ddg.start stop) in
+  let slack_priority =
+    Array.init n (fun op ->
+        let e = Mindist.get md Ddg.start op in
+        let l = Mindist.get md op stop in
+        if e = neg_inf || l = neg_inf then max_int / 2
+        else critical_path - e - l)
+  in
+  (* Producers sink late (their output lifetime starts later); consumers
+     rise early (their input lifetimes close sooner).  An operation with
+     more consumers than inputs is a net producer. *)
+  let sink_late =
+    Array.init n (fun op ->
+        let real l =
+          List.filter
+            (fun (d : Dep.t) ->
+              not (Ddg.is_pseudo ddg d.Dep.src || Ddg.is_pseudo ddg d.Dep.dst))
+            l
+        in
+        List.length (real ddg.Ddg.preds.(op))
+        < List.length (real ddg.Ddg.succs.(op)))
+  in
+  let st =
+    {
+      ddg;
+      ii;
+      md;
+      slack_priority;
+      sink_late;
+      mrt = Mrt.create machine ~ii;
+      time = Array.make n (-1);
+      prev_time = Array.make n 0;
+      never_scheduled = Array.make n true;
+      alt = Array.make n 0;
+      alternatives =
+        Array.init n (fun i ->
+            let opcode = Machine.opcode machine (Ddg.op ddg i).Op.opcode in
+            Array.of_list opcode.Opcode.alternatives);
+      unscheduled = List.init (n - 1) (fun i -> i + 1);
+      scheduled = [ Ddg.start ];
+      counters;
+    }
+  in
+  st.time.(Ddg.start) <- 0;
+  st.never_scheduled.(Ddg.start) <- false;
+  let budget = ref (budget - 1) in
+  let step () =
+    match counters with
+    | Some c -> c.Counters.sched_steps <- c.Counters.sched_steps + 1
+    | None -> ()
+  in
+  step ();
+  let pick () =
+    match st.unscheduled with
+    | [] -> None
+    | first :: rest ->
+        Some
+          (List.fold_left
+             (fun best v ->
+               if
+                 st.slack_priority.(v) < st.slack_priority.(best)
+                 || (st.slack_priority.(v) = st.slack_priority.(best) && v < best)
+               then v
+               else best)
+             first rest)
+  in
+  let continue = ref true in
+  while !continue do
+    match pick () with
+    | None -> continue := false
+    | Some _ when !budget <= 0 -> continue := false
+    | Some op ->
+        let e = early_bound st op in
+        let hi_window = e + ii - 1 in
+        let l = late_bound st op ~default:hi_window in
+        let hi = min hi_window (max e l) in
+        (* Direction is decided against what is already placed: with
+           consumers fixed and producers not, sliding late shortens the
+           op's output lifetimes; with producers fixed, sliding early
+           closes its input lifetimes.  Otherwise fall back to the
+           static producer/consumer bias. *)
+        let has_scheduled edges pick =
+          List.exists
+            (fun (d : Dep.t) ->
+              let v = pick d in
+              (not (Ddg.is_pseudo ddg v)) && st.time.(v) >= 0)
+            edges
+        in
+        let scheduled_preds = has_scheduled ddg.Ddg.preds.(op) (fun d -> d.Dep.src) in
+        let scheduled_succs = has_scheduled ddg.Ddg.succs.(op) (fun d -> d.Dep.dst) in
+        let late =
+          match (scheduled_preds, scheduled_succs) with
+          | false, true -> true
+          | true, false -> false
+          | _ -> st.sink_late.(op)
+        in
+        (match find_slot st op ~lo:e ~hi ~late with
+        | Some (t, k) -> commit st op ~t ~k
+        | None -> (
+            (* Nothing free inside [E, min(L, E+II-1)]: widen to the full
+               modulo window, then force as IMS does. *)
+            match find_slot st op ~lo:e ~hi:hi_window ~late:false with
+            | Some (t, k) -> commit st op ~t ~k
+            | None ->
+                let t =
+                  if st.never_scheduled.(op) || e > st.prev_time.(op) then e
+                  else st.prev_time.(op) + 1
+                in
+                force_commit st op ~t));
+        decr budget;
+        step ()
+  done;
+  if st.unscheduled = [] then
+    Some
+      (Schedule.make ddg ~ii
+         ~entries:
+           (Array.init n (fun i -> { Schedule.time = st.time.(i); alt = st.alt.(i) })))
+  else None
+
+let modulo_schedule ?(budget_ratio = Ims.default_budget_ratio)
+    ?(max_delta_ii = 1000) ?counters ddg =
+  let counters = match counters with Some c -> c | None -> Counters.create () in
+  let mii = Mii.compute ~counters ddg in
+  let n = Ddg.n_total ddg in
+  let budget = max 1 (int_of_float (budget_ratio *. float_of_int n)) in
+  let rec attempt ii tried =
+    if ii > mii.Mii.mii + max_delta_ii then
+      {
+        Ims.schedule = None;
+        ii;
+        mii;
+        attempts = tried;
+        steps_total = counters.Counters.sched_steps;
+        steps_final = 0;
+        counters;
+      }
+    else begin
+      let before = counters.Counters.sched_steps in
+      match iterative_schedule ~counters ddg ~ii ~budget with
+      | Some schedule ->
+          let steps_final = counters.Counters.sched_steps - before in
+          counters.Counters.sched_steps_final <-
+            counters.Counters.sched_steps_final + steps_final;
+          {
+            Ims.schedule = Some schedule;
+            ii;
+            mii;
+            attempts = tried + 1;
+            steps_total = counters.Counters.sched_steps;
+            steps_final;
+            counters;
+          }
+      | None -> attempt (ii + 1) (tried + 1)
+    end
+  in
+  attempt mii.Mii.mii 0

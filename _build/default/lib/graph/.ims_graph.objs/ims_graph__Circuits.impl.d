@@ -1,0 +1,1 @@
+lib/graph/circuits.ml: Array List Scc

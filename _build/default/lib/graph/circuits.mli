@@ -1,0 +1,22 @@
+(** Enumeration of elementary circuits (Johnson 1975; cf. Tiernan 1970).
+
+    An elementary circuit is a path that starts and ends at the same
+    vertex and visits no vertex twice.  The Cydra 5 compiler computed
+    RecMII by enumerating all elementary circuits of the dependence graph
+    (Rau 1994, section 2.2); we implement that method as a baseline and as
+    a cross-check of the MinDist-based RecMII.
+
+    The number of circuits can be exponential in the graph size, so
+    enumeration takes an optional [limit]. *)
+
+exception Limit_exceeded
+
+val enumerate : ?limit:int -> n:int -> (int -> int list) -> int list list
+(** [enumerate ~n succs] returns every elementary circuit as a vertex
+    list [v0; v1; ...; vk] denoting edges [v0->v1 -> ... -> vk -> v0].
+    Self-loops yield singleton lists.  Circuits are confined to SCCs, so
+    the search is run per strongly connected component.
+    @raise Limit_exceeded if more than [limit] circuits exist. *)
+
+val count : ?limit:int -> n:int -> (int -> int list) -> int
+(** Number of elementary circuits, subject to the same [limit]. *)

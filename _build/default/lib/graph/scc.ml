@@ -1,0 +1,84 @@
+type result = { component : int array; count : int; steps : int }
+
+(* Iterative Tarjan: an explicit work stack keeps deep dependence chains
+   (long straight-line loop bodies) from overflowing the OCaml stack. *)
+let compute ~n ~succs =
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let component = Array.make n (-1) in
+  let stack = ref [] in
+  let next_index = ref 0 in
+  let count = ref 0 in
+  let steps = ref 0 in
+  (* Work items: (vertex, remaining successors). *)
+  let visit v =
+    index.(v) <- !next_index;
+    lowlink.(v) <- !next_index;
+    incr next_index;
+    stack := v :: !stack;
+    on_stack.(v) <- true;
+    let work = ref [ (v, succs v) ] in
+    while !work <> [] do
+      incr steps;
+      match !work with
+      | [] -> ()
+      | (u, []) :: rest ->
+          work := rest;
+          (match rest with
+          | (parent, _) :: _ ->
+              if lowlink.(u) < lowlink.(parent) then
+                lowlink.(parent) <- lowlink.(u)
+          | [] -> ());
+          if lowlink.(u) = index.(u) then begin
+            let rec pop () =
+              match !stack with
+              | [] -> assert false
+              | w :: rest ->
+                  stack := rest;
+                  on_stack.(w) <- false;
+                  component.(w) <- !count;
+                  if w <> u then pop ()
+            in
+            pop ();
+            incr count
+          end
+      | (u, w :: ws) :: rest ->
+          work := (u, ws) :: rest;
+          if index.(w) = -1 then begin
+            index.(w) <- !next_index;
+            lowlink.(w) <- !next_index;
+            incr next_index;
+            stack := w :: !stack;
+            on_stack.(w) <- true;
+            work := (w, succs w) :: !work
+          end
+          else if on_stack.(w) && index.(w) < lowlink.(u) then
+            lowlink.(u) <- index.(w)
+    done
+  in
+  for v = 0 to n - 1 do
+    if index.(v) = -1 then visit v
+  done;
+  { component; count = !count; steps = !steps }
+
+let members r =
+  let out = Array.make r.count [] in
+  let n = Array.length r.component in
+  for v = n - 1 downto 0 do
+    let c = r.component.(v) in
+    out.(c) <- v :: out.(c)
+  done;
+  out
+
+let non_trivial ~succs r =
+  let all = members r in
+  Array.map
+    (fun vs ->
+      match vs with
+      | [ v ] -> if List.mem v (succs v) then vs else []
+      | _ -> vs)
+    all
+  |> Array.to_seq
+  |> Seq.filter (fun vs -> vs <> [])
+  |> Array.of_seq

@@ -1,0 +1,26 @@
+(** Strongly connected components by Tarjan's algorithm.
+
+    Used to decompose the dependence graph so that RecMII can be computed
+    one SCC at a time (Rau 1994, section 2.2), and to identify which
+    operations lie on recurrence circuits. *)
+
+type result = {
+  component : int array;
+      (** [component.(v)] is the SCC index of vertex [v].  Components are
+          numbered in reverse topological order of the condensation: if
+          there is an edge from [u] to [v] in different components then
+          [component.(u) > component.(v)]. *)
+  count : int;  (** Number of components. *)
+  steps : int;  (** Vertices + edges touched, for complexity accounting. *)
+}
+
+val compute : n:int -> succs:(int -> int list) -> result
+(** [compute ~n ~succs] runs Tarjan on the graph with vertices
+    [0 .. n-1]. *)
+
+val members : result -> int list array
+(** [members r] lists the vertices of each component, ascending. *)
+
+val non_trivial : succs:(int -> int list) -> result -> int list array
+(** Components that are genuine recurrences: more than one vertex, or a
+    single vertex with a self-edge. *)

@@ -1,0 +1,72 @@
+let in_degrees ~n ~succs =
+  let deg = Array.make n 0 in
+  for v = 0 to n - 1 do
+    List.iter (fun w -> deg.(w) <- deg.(w) + 1) (succs v)
+  done;
+  deg
+
+(* Kahn with a sorted ready set; [force] releases the smallest blocked
+   vertex when the ready set empties with vertices remaining. *)
+let kahn ~n ~succs ~force =
+  let deg = in_degrees ~n ~succs in
+  let emitted = Array.make n false in
+  let module S = Set.Make (Int) in
+  let ready = ref S.empty in
+  for v = 0 to n - 1 do
+    if deg.(v) = 0 then ready := S.add v !ready
+  done;
+  let order = ref [] in
+  let remaining = ref n in
+  let emit v =
+    emitted.(v) <- true;
+    order := v :: !order;
+    decr remaining;
+    List.iter
+      (fun w ->
+        deg.(w) <- deg.(w) - 1;
+        if deg.(w) = 0 && not emitted.(w) then ready := S.add w !ready)
+      (succs v)
+  in
+  let exception Cyclic in
+  try
+    while !remaining > 0 do
+      match S.min_elt_opt !ready with
+      | Some v ->
+          ready := S.remove v !ready;
+          if not emitted.(v) then emit v
+      | None ->
+          if not force then raise Cyclic;
+          (* Break the cycle at the smallest blocked vertex. *)
+          let v = ref (-1) in
+          for u = n - 1 downto 0 do
+            if (not emitted.(u)) && deg.(u) > 0 then v := u
+          done;
+          emit !v
+    done;
+    Some (List.rev !order)
+  with Cyclic -> None
+
+let sort ~n ~succs = kahn ~n ~succs ~force:false
+
+let sort_ignoring_cycles ~n ~succs =
+  match kahn ~n ~succs ~force:true with
+  | Some order -> order
+  | None -> assert false
+
+let longest_path ~n ~succs ~source =
+  let order =
+    match sort ~n ~succs:(fun v -> List.map fst (succs v)) with
+    | Some o -> o
+    | None -> invalid_arg "Topo.longest_path: graph is cyclic"
+  in
+  let dist = Array.make n min_int in
+  dist.(source) <- 0;
+  List.iter
+    (fun v ->
+      if dist.(v) > min_int then
+        List.iter
+          (fun (w, weight) ->
+            if dist.(v) + weight > dist.(w) then dist.(w) <- dist.(v) + weight)
+          (succs v))
+    order;
+  dist

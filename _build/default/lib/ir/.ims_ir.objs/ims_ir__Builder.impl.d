@@ -1,0 +1,1 @@
+lib/ir/builder.ml: Array Ddg Dep Hashtbl Ims_machine List Machine Op Option Printf

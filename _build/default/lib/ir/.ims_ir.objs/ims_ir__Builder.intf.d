@@ -1,0 +1,1 @@
+lib/ir/builder.mli: Ddg Dep Ims_machine Machine

@@ -1,0 +1,1 @@
+lib/ir/cfg.ml: Hashtbl If_conversion List Option Printf Set String

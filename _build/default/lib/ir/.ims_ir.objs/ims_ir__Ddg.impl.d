@@ -1,0 +1,1 @@
+lib/ir/ddg.ml: Array Dep Format Ims_machine List Machine Op Printf String

@@ -1,0 +1,1 @@
+lib/ir/ddg.mli: Dep Format Ims_machine Machine Op

@@ -1,0 +1,1 @@
+lib/ir/evr.ml: Array Ddg Dep List

@@ -1,0 +1,1 @@
+lib/ir/evr.mli: Ddg

@@ -1,0 +1,1 @@
+lib/ir/if_conversion.mli: Builder

@@ -1,0 +1,1 @@
+lib/ir/optimize.ml: Array Ddg Dep Hashtbl List Op Option

@@ -1,0 +1,1 @@
+lib/ir/unroll.ml: Array Ddg Dep Fun Hashtbl List Op Option Printf

@@ -1,0 +1,179 @@
+type terminator =
+  | Goto of string
+  | Branch of {
+      cond : string * int;
+      taken : string;
+      fallthrough : string;
+      taken_count : int;
+      fallthrough_count : int;
+    }
+  | Exit
+
+type block = {
+  label : string;
+  stmts : If_conversion.stmt list;
+  terminator : terminator;
+}
+
+type t = { entry : string; blocks : block list }
+
+let find t label = List.find_opt (fun b -> b.label = label) t.blocks
+
+let successors b =
+  match b.terminator with
+  | Goto l -> [ l ]
+  | Branch { taken; fallthrough; _ } -> [ taken; fallthrough ]
+  | Exit -> []
+
+let validate t =
+  let labels = List.map (fun b -> b.label) t.blocks in
+  let dup =
+    List.exists
+      (fun l -> List.length (List.filter (( = ) l) labels) > 1)
+      labels
+  in
+  if dup then Error "duplicate block label"
+  else if find t t.entry = None then Error "missing entry block"
+  else begin
+    let missing =
+      List.concat_map successors t.blocks
+      |> List.find_opt (fun l -> find t l = None)
+    in
+    match missing with
+    | Some l -> Error (Printf.sprintf "branch to missing block %S" l)
+    | None ->
+        let exits =
+          List.length
+            (List.filter (fun b -> b.terminator = Exit) t.blocks)
+        in
+        if exits <> 1 then
+          Error (Printf.sprintf "%d exit blocks (need exactly 1)" exits)
+        else begin
+          (* Acyclicity by depth-first search. *)
+          let visiting = Hashtbl.create 16 and done_ = Hashtbl.create 16 in
+          let rec dfs label =
+            if Hashtbl.mem done_ label then Ok ()
+            else if Hashtbl.mem visiting label then
+              Error (Printf.sprintf "cycle through %S" label)
+            else begin
+              Hashtbl.replace visiting label ();
+              let result =
+                List.fold_left
+                  (fun acc l -> match acc with Error _ -> acc | Ok () -> dfs l)
+                  (Ok ())
+                  (successors (Option.get (find t label)))
+              in
+              Hashtbl.remove visiting label;
+              Hashtbl.replace done_ label ();
+              result
+            end
+          in
+          dfs t.entry
+        end
+  end
+
+let reject_reason ?(max_blocks = 30) t =
+  match validate t with
+  | Error e -> Some e
+  | Ok () ->
+      if List.length t.blocks > max_blocks then
+        Some
+          (Printf.sprintf "more than %d basic blocks before IF-conversion"
+             max_blocks)
+      else None
+
+let cold_fraction t =
+  let fractions =
+    List.filter_map
+      (fun b ->
+        match b.terminator with
+        | Branch { taken_count; fallthrough_count; _ } ->
+            let total = taken_count + fallthrough_count in
+            if total = 0 then None
+            else
+              Some
+                (float_of_int (min taken_count fallthrough_count)
+                /. float_of_int total)
+        | Goto _ | Exit -> None)
+      t.blocks
+  in
+  if fractions = [] then 0.0
+  else List.fold_left ( +. ) 0.0 fractions /. float_of_int (List.length fractions)
+
+(* Post-dominator sets over the (small, acyclic, single-exit) graph:
+   pdom(b) = {b} U intersection of pdom over successors, computed to a
+   fixed point. *)
+let post_dominators t =
+  let module S = Set.Make (String) in
+  let all = List.fold_left (fun s b -> S.add b.label s) S.empty t.blocks in
+  let pdom = Hashtbl.create 16 in
+  List.iter
+    (fun b ->
+      Hashtbl.replace pdom b.label
+        (if b.terminator = Exit then S.singleton b.label else all))
+    t.blocks;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun b ->
+        match successors b with
+        | [] -> ()
+        | succs ->
+            let inter =
+              List.fold_left
+                (fun acc l -> S.inter acc (Hashtbl.find pdom l))
+                all succs
+            in
+            let updated = S.add b.label inter in
+            if not (S.equal updated (Hashtbl.find pdom b.label)) then begin
+              Hashtbl.replace pdom b.label updated;
+              changed := true
+            end)
+      t.blocks
+  done;
+  fun label -> Hashtbl.find pdom label
+
+let to_region t =
+  (match validate t with
+  | Error e -> invalid_arg ("Cfg.to_region: " ^ e)
+  | Ok () -> ());
+  let pdom = post_dominators t in
+  let module S = Set.Make (String) in
+  (* The common post-dominators of two arms are totally ordered (nested
+     pdom sets); the nearest one — the join — has the largest set. *)
+  let nearest_common_pdom a b =
+    let common = S.inter (pdom a) (pdom b) in
+    match
+      S.elements common
+      |> List.map (fun l -> (S.cardinal (pdom l), l))
+      |> List.sort compare |> List.rev
+    with
+    | (_, l) :: _ -> l
+    | [] -> invalid_arg "Cfg.to_region: branch arms never join"
+  in
+  (* Region from [label] up to but excluding [stop]. *)
+  let rec walk label ~stop =
+    if Some label = stop then []
+    else begin
+      let b = Option.get (find t label) in
+      let head = If_conversion.Block b.stmts in
+      match b.terminator with
+      | Exit -> [ head ]
+      | Goto next -> head :: walk next ~stop
+      | Branch { cond; taken; fallthrough; _ } ->
+          let join = nearest_common_pdom taken fallthrough in
+          let branch =
+            If_conversion.If
+              {
+                cond;
+                then_ = If_conversion.Seq (walk taken ~stop:(Some join));
+                else_ = If_conversion.Seq (walk fallthrough ~stop:(Some join));
+              }
+          in
+          head :: branch :: walk join ~stop
+    end
+  in
+  If_conversion.Seq (walk t.entry ~stop:None)
+
+let convert t builder = If_conversion.convert builder (to_region t)

@@ -1,0 +1,124 @@
+open Ims_machine
+
+type t = {
+  machine : Machine.t;
+  ops : Op.t array;
+  succs : Dep.t list array;
+  preds : Dep.t list array;
+  model : Dep.latency_model;
+}
+
+let start = 0
+let stop t = Array.length t.ops - 1
+let n_total t = Array.length t.ops
+let n_real t = Array.length t.ops - 2
+let real_ids t = List.init (n_real t) (fun i -> i + 1)
+let op t i = t.ops.(i)
+let latency t i = Machine.latency t.machine t.ops.(i).Op.opcode
+let is_pseudo t i = i = start || i = stop t
+
+let pseudo_op id opcode =
+  { Op.id; opcode; dsts = []; srcs = []; pred = None; imm = None; tag = "" }
+
+let make machine ?(model = Dep.Vliw) ops deps =
+  let ops = List.sort (fun (a : Op.t) b -> compare a.id b.id) ops in
+  List.iteri
+    (fun i (o : Op.t) ->
+      if o.id <> i + 1 then
+        invalid_arg "Ddg.make: operation ids must be dense, starting at 1")
+    ops;
+  let n_real = List.length ops in
+  let n = n_real + 2 in
+  let stop_id = n - 1 in
+  let all =
+    Array.of_list ((pseudo_op 0 "START" :: ops) @ [ pseudo_op stop_id "STOP" ])
+  in
+  let succs = Array.make n [] in
+  let preds = Array.make n [] in
+  let add (d : Dep.t) =
+    if d.src < 0 || d.src >= n || d.dst < 0 || d.dst >= n then
+      invalid_arg "Ddg.make: edge endpoint out of range";
+    succs.(d.src) <- d :: succs.(d.src);
+    preds.(d.dst) <- d :: preds.(d.dst)
+  in
+  List.iter add deps;
+  (* Pseudo edges: START precedes everything at delay 0; everything
+     precedes STOP with its own latency as delay so that STOP's schedule
+     time is the length of one iteration's schedule. *)
+  for i = 1 to n_real do
+    let lat = Machine.latency machine all.(i).Op.opcode in
+    add
+      (Dep.make model Control ~src:0 ~dst:i ~distance:0 ~pred_latency:0
+         ~succ_latency:lat);
+    add
+      (Dep.make model Flow ~src:i ~dst:stop_id ~distance:0 ~pred_latency:lat
+         ~succ_latency:0)
+  done;
+  let rev a = Array.map List.rev a in
+  { machine; ops = all; succs = rev succs; preds = rev preds; model }
+
+let succ_ids t i = List.map (fun (d : Dep.t) -> d.dst) t.succs.(i)
+
+let real_succ_ids t i =
+  if is_pseudo t i then []
+  else
+    List.filter_map
+      (fun (d : Dep.t) -> if is_pseudo t d.dst then None else Some d.dst)
+      t.succs.(i)
+
+let real_edges t =
+  Array.to_list t.succs |> List.concat
+  |> List.filter (fun (d : Dep.t) ->
+         not (is_pseudo t d.src || is_pseudo t d.dst))
+
+let edge_count t = List.length (real_edges t)
+
+let real_ops t = Array.to_list t.ops |> List.filter (fun o -> not (Op.is_pseudo o))
+
+let filter_edges t keep =
+  make t.machine ~model:t.model (real_ops t) (List.filter keep (real_edges t))
+
+let map_machine t machine =
+  let redo (d : Dep.t) =
+    let pred_latency = Machine.latency machine t.ops.(d.src).Op.opcode in
+    let succ_latency = Machine.latency machine t.ops.(d.dst).Op.opcode in
+    Dep.make t.model d.kind ~src:d.src ~dst:d.dst ~distance:d.distance
+      ~pred_latency ~succ_latency
+  in
+  make machine ~model:t.model (real_ops t) (List.map redo (real_edges t))
+
+let pp ppf t =
+  Format.fprintf ppf "Loop with %d operations on %s@." (n_real t)
+    t.machine.Machine.name;
+  Array.iter
+    (fun o ->
+      if not (Op.is_pseudo o) then Format.fprintf ppf "  %a@." Op.pp o)
+    t.ops;
+  Format.fprintf ppf "Dependences:@.";
+  List.iter (fun d -> Format.fprintf ppf "  %a@." Dep.pp d) (real_edges t)
+
+let pp_dot ppf t =
+  Format.fprintf ppf "digraph ddg {@.  rankdir=TB;@.  node [shape=box, fontname=\"monospace\"];@.";
+  Array.iter
+    (fun (o : Op.t) ->
+      if not (Op.is_pseudo o) then
+        Format.fprintf ppf "  n%d [label=\"%d: %s%s\"];@." o.Op.id o.Op.id
+          o.Op.opcode
+          (if o.Op.tag = "" then "" else "\\n" ^ String.map (fun c -> if c = '"' then '\'' else c) o.Op.tag))
+    t.ops;
+  List.iter
+    (fun (d : Dep.t) ->
+      let style =
+        match d.kind with
+        | Dep.Flow | Dep.Control -> "solid"
+        | Dep.Anti | Dep.Output -> "dashed"
+      in
+      let label =
+        if d.distance = 0 then Printf.sprintf "%d" d.delay
+        else Printf.sprintf "%d/%d" d.delay d.distance
+      in
+      Format.fprintf ppf "  n%d -> n%d [style=%s, label=\"%s\"%s];@." d.src
+        d.dst style label
+        (if d.distance > 0 then ", constraint=false, color=gray40" else ""))
+    (real_edges t);
+  Format.fprintf ppf "}@."

@@ -1,0 +1,26 @@
+type kind = Flow | Anti | Output | Control
+type latency_model = Vliw | Conservative
+
+let delay model kind ~pred_latency ~succ_latency =
+  match (model, kind) with
+  | _, (Flow | Control) -> pred_latency
+  | Vliw, Anti -> 1 - succ_latency
+  | Conservative, Anti -> 0
+  | Vliw, Output -> 1 + pred_latency - succ_latency
+  | Conservative, Output -> pred_latency
+
+type t = { src : int; dst : int; kind : kind; distance : int; delay : int }
+
+let make model kind ~src ~dst ~distance ~pred_latency ~succ_latency =
+  if distance < 0 then invalid_arg "Dep.make: negative distance";
+  { src; dst; kind; distance; delay = delay model kind ~pred_latency ~succ_latency }
+
+let kind_to_string = function
+  | Flow -> "flow"
+  | Anti -> "anti"
+  | Output -> "output"
+  | Control -> "control"
+
+let pp ppf t =
+  Format.fprintf ppf "%d -%s(d=%d,w=%d)-> %d" t.src (kind_to_string t.kind)
+    t.distance t.delay t.dst

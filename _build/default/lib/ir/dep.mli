@@ -1,0 +1,57 @@
+(** Dependence edges and the delay formulae of the paper's table 1.
+
+    An edge from operation [src] to operation [dst] with distance [d]
+    constrains any legal schedule by
+
+    {v SchedTime(dst) - SchedTime(src) >= delay - II * d v}
+
+    where [delay] depends on the dependence kind and the architectural
+    latencies of the two operations. *)
+
+type kind =
+  | Flow  (** True data dependence: [dst] reads what [src] wrote. *)
+  | Anti  (** [dst] overwrites what [src] read. *)
+  | Output  (** [dst] overwrites what [src] wrote. *)
+  | Control
+      (** Predicate availability or other control ordering; also used for
+          the START/STOP pseudo edges. *)
+
+(** How delays are derived from latencies (table 1).  [Vliw] exploits
+    non-unit architectural latencies: an anti-dependence delay can be
+    negative because the successor only needs to {e finish} no earlier
+    than the predecessor starts.  [Conservative] assumes only that the
+    successor's latency is at least 1, which is what a superscalar
+    processor with interlocks guarantees. *)
+type latency_model = Vliw | Conservative
+
+val delay :
+  latency_model -> kind -> pred_latency:int -> succ_latency:int -> int
+(** The table 1 entry:
+    - [Flow]: [pred_latency] under both models;
+    - [Anti]: [1 - succ_latency], conservatively [0];
+    - [Output]: [1 + pred_latency - succ_latency], conservatively
+      [pred_latency];
+    - [Control]: treated like [Flow] (the predicate value must be
+      available), i.e. [pred_latency] under both models. *)
+
+type t = {
+  src : int;
+  dst : int;
+  kind : kind;
+  distance : int;  (** Iteration distance; 0 for intra-iteration. *)
+  delay : int;
+}
+
+val make :
+  latency_model ->
+  kind ->
+  src:int ->
+  dst:int ->
+  distance:int ->
+  pred_latency:int ->
+  succ_latency:int ->
+  t
+(** @raise Invalid_argument if [distance < 0]. *)
+
+val kind_to_string : kind -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,19 @@
+let is_false (d : Dep.t) =
+  match d.kind with Dep.Anti | Dep.Output -> true | Dep.Flow | Dep.Control -> false
+
+let eliminate_false_deps ddg = Ddg.filter_edges ddg (fun d -> not (is_false d))
+
+let false_dep_count ddg =
+  let count = ref 0 in
+  Array.iter
+    (fun edges ->
+      List.iter
+        (fun (d : Dep.t) ->
+          if
+            is_false d
+            && (not (Ddg.is_pseudo ddg d.src))
+            && not (Ddg.is_pseudo ddg d.dst)
+          then incr count)
+        edges)
+    ddg.Ddg.succs;
+  !count

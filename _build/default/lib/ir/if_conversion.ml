@@ -1,0 +1,45 @@
+type stmt = {
+  s_opcode : string;
+  s_dsts : string list;
+  s_srcs : (string * int) list;
+  s_tag : string;
+}
+
+let stmt ?(tag = "") s_opcode ~dsts ~srcs =
+  { s_opcode; s_dsts = dsts; s_srcs = srcs; s_tag = tag }
+
+type region =
+  | Block of stmt list
+  | Seq of region list
+  | If of { cond : string * int; then_ : region; else_ : region }
+
+let convert b region =
+  let fresh =
+    let n = ref 0 in
+    fun prefix ->
+      incr n;
+      Printf.sprintf "%s%d" prefix !n
+  in
+  let emit_stmt pred s =
+    let dsts = List.map (Builder.vreg b) s.s_dsts in
+    let srcs = List.map (fun (name, d) -> (Builder.vreg b name, d)) s.s_srcs in
+    ignore
+      (Builder.add b ~tag:s.s_tag ?pred ~opcode:s.s_opcode ~dsts ~srcs ())
+  in
+  let rec go pred = function
+    | Block stmts -> List.iter (emit_stmt pred) stmts
+    | Seq regions -> List.iter (go pred) regions
+    | If { cond = cond_name, cond_dist; then_; else_ } ->
+        let cond = Builder.vreg b cond_name in
+        let pt = Builder.vreg b (fresh "p_then") in
+        let pf = Builder.vreg b (fresh "p_else") in
+        ignore
+          (Builder.add b ~tag:"if-convert: true arm predicate" ?pred
+             ~opcode:"pred_set" ~dsts:[ pt ] ~srcs:[ (cond, cond_dist) ] ());
+        ignore
+          (Builder.add b ~tag:"if-convert: false arm predicate" ?pred
+             ~opcode:"pred_reset" ~dsts:[ pf ] ~srcs:[ (cond, cond_dist) ] ());
+        go (Some (pt, 0)) then_;
+        go (Some (pf, 0)) else_
+  in
+  go None region

@@ -1,0 +1,38 @@
+(** IF-conversion of structured control flow into predicated code
+    (Allen et al. 1983; Park & Schlansker 1991).
+
+    The paper's pipeline selects the frequent paths of the loop body as a
+    hyperblock and IF-converts it, so that the region reaching the modulo
+    scheduler "looks like a single basic block" with predicate operands.
+    This module performs that conversion for structured regions
+    (sequences and if-then-else diamonds), which is what hyperblock
+    formation produces for the loops in the benchmark suites.
+
+    Each branch condition [c] spawns two predicate-defining operations,
+    [pred_set pt <- c] and [pred_reset pf <- c] (Cydra 5 style, executed
+    on a memory port per table 2); the operations of the taken and fallen
+    arms are guarded by [pt] and [pf] respectively.  Nested conditionals
+    nest predicates: the predicate definitions of an inner branch are
+    themselves guarded by the outer predicate. *)
+
+type stmt = {
+  s_opcode : string;
+  s_dsts : string list;
+  s_srcs : (string * int) list;  (** (register name, distance) *)
+  s_tag : string;
+}
+
+val stmt :
+  ?tag:string -> string -> dsts:string list -> srcs:(string * int) list -> stmt
+
+type region =
+  | Block of stmt list
+  | Seq of region list
+  | If of { cond : string * int; then_ : region; else_ : region }
+      (** [cond] names the (already computed) condition register. *)
+
+val convert : Builder.t -> region -> unit
+(** Emits the IF-converted region into the builder: every statement of a
+    conditional arm is predicated, and predicate definitions carry the
+    enclosing predicate.  Statements see registers by name via
+    {!Builder.vreg}. *)

@@ -1,0 +1,117 @@
+let associative = [ "fadd"; "fsub"; "add"; "sub"; "fmul"; "mul"; "aadd"; "asub" ]
+
+let self_reference (o : Op.t) =
+  o.Op.pred = None
+  && List.exists
+       (fun (s : Op.operand) ->
+         s.distance >= 1 && List.mem s.reg o.Op.dsts)
+       o.Op.srcs
+
+(* Re-association changes which partial result each accumulator instance
+   holds, so it is only sound when nothing but the recurrence itself
+   reads the accumulator: a prefix sum that stores every partial (LFK 11)
+   must not be interleaved, a plain reduction (LFK 3) may. *)
+let only_self_reader ddg i =
+  let dsts = (Ddg.op ddg i).Op.dsts in
+  List.for_all
+    (fun j ->
+      j = i
+      ||
+      let o = Ddg.op ddg j in
+      let reads (s : Op.operand) = List.mem s.reg dsts in
+      (not (List.exists reads o.Op.srcs))
+      && not (Option.fold ~none:false ~some:reads o.Op.pred))
+    (Ddg.real_ids ddg)
+
+let interleavable ddg =
+  List.filter
+    (fun i ->
+      let o = Ddg.op ddg i in
+      List.mem o.Op.opcode associative && self_reference o
+      && only_self_reader ddg i)
+    (Ddg.real_ids ddg)
+
+let interleave ddg ~factor =
+  if factor < 1 then invalid_arg "Optimize.interleave: factor must be >= 1";
+  let targets = interleavable ddg in
+  let rewrite_op (o : Op.t) =
+    if not (List.mem o.Op.id targets) then o
+    else
+      let srcs =
+        List.map
+          (fun (s : Op.operand) ->
+            if s.distance >= 1 && List.mem s.reg o.Op.dsts then
+              { s with Op.distance = s.distance * factor }
+            else s)
+          o.Op.srcs
+      in
+      { o with Op.srcs }
+  in
+  let stop = Ddg.stop ddg in
+  let rewrite_dep (d : Dep.t) =
+    if d.src = d.dst && List.mem d.src targets && d.distance >= 1 then
+      { d with Dep.distance = d.distance * factor }
+    else d
+  in
+  let ops =
+    List.map (fun i -> rewrite_op (Ddg.op ddg i)) (Ddg.real_ids ddg)
+  in
+  let deps =
+    Array.to_list ddg.Ddg.succs
+    |> List.concat
+    |> List.filter_map (fun (d : Dep.t) ->
+           if d.src = Ddg.start || d.dst = stop || d.src = stop then None
+           else Some (rewrite_dep d))
+  in
+  Ddg.make ddg.Ddg.machine ~model:ddg.Ddg.model ops deps
+
+let side_effect_free opcode =
+  match opcode with
+  | "store" | "pred_set" | "pred_reset" | "branch" -> false
+  | _ -> true
+
+(* A predicated write to a register with several definitions implements a
+   select: removing its guard would clobber the other arm's value. *)
+let multiply_defined ddg =
+  let counts = Hashtbl.create 32 in
+  List.iter
+    (fun i ->
+      List.iter
+        (fun r ->
+          Hashtbl.replace counts r
+            (1 + Option.value ~default:0 (Hashtbl.find_opt counts r)))
+        (Ddg.op ddg i).Op.dsts)
+    (Ddg.real_ids ddg);
+  fun r -> Option.value ~default:0 (Hashtbl.find_opt counts r) > 1
+
+let speculable ddg =
+  let multi = multiply_defined ddg in
+  List.filter
+    (fun i ->
+      let o = Ddg.op ddg i in
+      o.Op.pred <> None
+      && side_effect_free o.Op.opcode
+      && not (List.exists multi o.Op.dsts))
+    (Ddg.real_ids ddg)
+
+let speculate ddg =
+  let targets = speculable ddg in
+  let ops =
+    List.map
+      (fun i ->
+        let o = Ddg.op ddg i in
+        if List.mem i targets then
+          { o with Op.pred = None; tag = (if o.Op.tag = "" then "speculative" else o.Op.tag ^ " (speculative)") }
+        else o)
+      (Ddg.real_ids ddg)
+  in
+  let stop = Ddg.stop ddg in
+  let deps =
+    Array.to_list ddg.Ddg.succs
+    |> List.concat
+    |> List.filter (fun (d : Dep.t) ->
+           not
+             (d.src = Ddg.start || d.dst = stop || d.src = stop
+             || (d.kind = Dep.Control && List.mem d.dst targets)))
+  in
+  Ddg.make ddg.Ddg.machine ~model:ddg.Ddg.model ops deps

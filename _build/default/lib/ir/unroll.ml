@@ -1,0 +1,74 @@
+(* Index arithmetic: original iteration t = I*k + c (copy c of new
+   iteration I).  A reference at original distance d from copy c reaches
+   original iteration I*k + c - d; writing c - d = q*k + c' with
+   0 <= c' < k (floored division), that is copy c' of new iteration
+   I + q, i.e. new distance -q. *)
+let split ~k delta =
+  let q = if delta >= 0 then delta / k else -((-delta + k - 1) / k) in
+  let c' = delta - (q * k) in
+  assert (0 <= c' && c' < k);
+  (-q, c')
+
+let by ddg k =
+  if k < 1 then invalid_arg "Unroll.by: factor must be >= 1";
+  let n = Ddg.n_real ddg in
+  let machine = ddg.Ddg.machine in
+  (* Registers defined inside the loop get per-copy instances; live-ins
+     stay shared.  Instance numbering: reg r, copy c -> r*k + c, and
+     live-in r -> r*k (stable and collision-free). *)
+  let defined = Hashtbl.create 32 in
+  List.iter
+    (fun i ->
+      List.iter (fun r -> Hashtbl.replace defined r ()) (Ddg.op ddg i).Op.dsts)
+    (Ddg.real_ids ddg);
+  let rename_def r ~copy = (r * k) + copy in
+  let rename_use (operand : Op.operand) ~copy =
+    if not (Hashtbl.mem defined operand.reg) then
+      { Op.reg = operand.reg * k; distance = 0 }
+    else begin
+      let new_distance, source_copy = split ~k (copy - operand.distance) in
+      { Op.reg = rename_def operand.reg ~copy:source_copy; distance = new_distance }
+    end
+  in
+  let new_id ~copy o = (copy * n) + o in
+  let ops =
+    List.concat_map
+      (fun copy ->
+        List.map
+          (fun i ->
+            let o = Ddg.op ddg i in
+            {
+              Op.id = new_id ~copy i;
+              opcode = o.Op.opcode;
+              dsts = List.map (fun r -> rename_def r ~copy) o.Op.dsts;
+              srcs = List.map (fun s -> rename_use s ~copy) o.Op.srcs;
+              pred = Option.map (fun p -> rename_use p ~copy) o.Op.pred;
+              imm = o.Op.imm;
+              tag =
+                (if k = 1 || o.Op.tag = "" then o.Op.tag
+                 else Printf.sprintf "%s (copy %d)" o.Op.tag copy);
+            })
+          (Ddg.real_ids ddg))
+      (List.init k Fun.id)
+  in
+  let stop = Ddg.stop ddg in
+  let deps =
+    List.concat_map
+      (fun copy ->
+        Array.to_list ddg.Ddg.succs
+        |> List.concat
+        |> List.filter_map (fun (d : Dep.t) ->
+               if d.src = Ddg.start || d.dst = stop || d.src = stop then None
+               else begin
+                 let new_distance, source_copy = split ~k (copy - d.distance) in
+                 Some
+                   {
+                     d with
+                     Dep.src = new_id ~copy:source_copy d.src;
+                     dst = new_id ~copy d.dst;
+                     distance = new_distance;
+                   }
+               end))
+      (List.init k Fun.id)
+  in
+  Ddg.make machine ~model:ddg.Ddg.model ops deps

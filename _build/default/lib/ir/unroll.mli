@@ -1,0 +1,23 @@
+(** Pre-scheduling loop unrolling (Rau 1994, section 1, step 7).
+
+    The MII is intrinsically rational — e.g. three loads on two memory
+    ports need only 1.5 cycles per iteration — but a modulo schedule's II
+    is an integer, so the candidate II starts at the ceiling.  When the
+    percentage degradation of rounding up is unacceptable, the loop body
+    is unrolled [k] times before scheduling: the unrolled loop's integer
+    II then corresponds to [II/k] cycles per original iteration.
+    ([Ims_mii.Rational] computes the rational bounds and recommends the
+    factor.)
+
+    Unrolling by [k] maps original iteration [t] to copy [t mod k] of new
+    iteration [t / k].  A dependence of distance [d] seen from copy [c]
+    lands on copy [(c - d) mod k] at new distance [-floor((c - d) / k)];
+    registers defined in the loop get one instance per copy, and
+    loop-carried operand references are renamed accordingly.  Live-in
+    registers stay shared. *)
+
+val by : Ddg.t -> int -> Ddg.t
+(** [by ddg k] unrolls [k] times ([by ddg 1] rebuilds an equivalent
+    graph).  Real operation [o] of copy [c] has id [c * n + o] where [n]
+    is the original real-operation count.
+    @raise Invalid_argument if [k < 1]. *)

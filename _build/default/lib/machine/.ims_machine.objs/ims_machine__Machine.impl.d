@@ -1,0 +1,1 @@
+lib/machine/machine.ml: Array Format Hashtbl List Opcode Reservation Resource String

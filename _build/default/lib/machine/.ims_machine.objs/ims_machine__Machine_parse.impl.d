@@ -1,0 +1,1 @@
+lib/machine/machine_parse.ml: Array Buffer Format Hashtbl List Machine Opcode Printf Reservation Resource String

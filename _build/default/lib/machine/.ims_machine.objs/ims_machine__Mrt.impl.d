@@ -1,0 +1,1 @@
+lib/machine/mrt.ml: Array Format Fun Hashtbl List Machine Option Printf Reservation Resource String

@@ -1,0 +1,1 @@
+lib/machine/mrt.mli: Format Machine Reservation

@@ -1,0 +1,1 @@
+lib/machine/opcode.ml: Format List Reservation

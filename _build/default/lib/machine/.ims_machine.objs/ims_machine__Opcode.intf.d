@@ -1,0 +1,1 @@
+lib/machine/opcode.mli: Format Reservation

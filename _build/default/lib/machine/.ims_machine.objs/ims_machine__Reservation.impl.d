@@ -1,0 +1,1 @@
+lib/machine/reservation.ml: Array Format List Printf Resource String

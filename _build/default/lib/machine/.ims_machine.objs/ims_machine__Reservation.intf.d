@@ -1,0 +1,1 @@
+lib/machine/reservation.mli: Format Resource

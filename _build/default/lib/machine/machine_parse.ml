@@ -1,0 +1,114 @@
+exception Parse_error of int * string
+
+let fail line fmt = Format.kasprintf (fun s -> raise (Parse_error (line, s))) fmt
+
+let strip_comment line =
+  match String.index_opt line '#' with
+  | Some i -> String.sub line 0 i
+  | None -> line
+
+let tokens line =
+  String.split_on_char ' ' line
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun t -> t <> "")
+
+(* "RES" or "RES@3" *)
+let parse_usage lineno resolve token =
+  match String.index_opt token '@' with
+  | None -> (resolve lineno token, 0)
+  | Some i ->
+      let name = String.sub token 0 i in
+      let at = String.sub token (i + 1) (String.length token - i - 1) in
+      (match int_of_string_opt at with
+      | Some at when at >= 0 -> (resolve lineno name, at)
+      | _ -> fail lineno "bad cycle in %S" token)
+
+let split_on_token sep toks =
+  let rec go current acc = function
+    | [] -> List.rev (List.rev current :: acc)
+    | t :: rest when t = sep -> go [] (List.rev current :: acc) rest
+    | t :: rest -> go (t :: current) acc rest
+  in
+  go [] [] toks
+
+let parse text =
+  let name = ref "custom" in
+  let resources = ref [] in  (* (name, count), reversed *)
+  let opcodes = ref [] in  (* (lineno, name, latency, alt token groups) *)
+  String.split_on_char '\n' text
+  |> List.iteri (fun i line ->
+         let lineno = i + 1 in
+         match tokens (strip_comment line) with
+         | [] -> ()
+         | [ "machine"; n ] -> name := n
+         | "machine" :: rest -> name := String.concat " " rest
+         | [ "resource"; rname; count ] -> (
+             match int_of_string_opt count with
+             | Some c when c >= 1 -> resources := (rname, c) :: !resources
+             | _ -> fail lineno "bad resource count %S" count)
+         | "resource" :: _ -> fail lineno "resource NAME COUNT"
+         | "opcode" :: oname :: latency :: rest -> (
+             match int_of_string_opt latency with
+             | Some l when l >= 0 ->
+                 if rest = [] then fail lineno "opcode needs an alternative";
+                 opcodes := (lineno, oname, l, split_on_token ";" rest) :: !opcodes
+             | _ -> fail lineno "bad latency %S" latency)
+         | t :: _ -> fail lineno "unknown declaration %S" t);
+  let b = Machine.builder !name in
+  let ids = Hashtbl.create 16 in
+  List.iter
+    (fun (rname, count) ->
+      if Hashtbl.mem ids rname then
+        raise (Parse_error (0, "duplicate resource " ^ rname));
+      Hashtbl.replace ids rname (Machine.add_resource b rname ~count))
+    (List.rev !resources);
+  let resolve lineno rname =
+    match Hashtbl.find_opt ids rname with
+    | Some id -> id
+    | None -> fail lineno "unknown resource %S" rname
+  in
+  List.iter
+    (fun (lineno, oname, latency, alt_groups) ->
+      let alternatives =
+        List.map
+          (fun group ->
+            match group with
+            | unit_name :: "=" :: usages when usages <> [] ->
+                (unit_name, List.map (parse_usage lineno resolve) usages)
+            | _ -> fail lineno "alternative is: UNIT = RES[@T] ...")
+          alt_groups
+      in
+      try Machine.add_opcode b ~name:oname ~latency ~alternatives
+      with Invalid_argument msg -> fail lineno "%s" msg)
+    (List.rev !opcodes);
+  Machine.finish b
+
+let parse_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  parse text
+
+let dump (m : Machine.t) =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Printf.sprintf "machine %s\n" m.Machine.name);
+  Array.iter
+    (fun (r : Resource.t) ->
+      Buffer.add_string buf (Printf.sprintf "resource %s %d\n" r.name r.count))
+    m.Machine.resources;
+  List.iter
+    (fun name ->
+      let op = Machine.opcode m name in
+      let alt (a : Opcode.alternative) =
+        let usage (u : Reservation.usage) =
+          Printf.sprintf "%s@%d" m.Machine.resources.(u.resource).Resource.name u.at
+        in
+        Printf.sprintf "%s = %s" a.unit_name
+          (String.concat " " (List.map usage a.table.Reservation.usages))
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "opcode %s %d %s\n" name op.Opcode.latency
+           (String.concat " ; " (List.map alt op.Opcode.alternatives))))
+    (Machine.opcode_names m);
+  Buffer.contents buf

@@ -1,0 +1,45 @@
+(** Modulo reservation table (Rau 1994, section 3.1; Lam 1988).
+
+    A schedule reservation table of [ii] rows: reserving resource [r] at
+    absolute time [t] occupies cell [(t mod ii, r)].  A conflict at time
+    [t] therefore implies conflicts at all [t + k*ii].  Cells record the
+    ids of the occupying operations so that the scheduler can displace
+    them; a cell may hold up to the resource's multiplicity.
+
+    The same structure doubles as the linear schedule reservation table of
+    acyclic list scheduling: build it with {!linear} and a horizon larger
+    than any schedule time, and the modulo wrap never triggers. *)
+
+type t
+
+val create : Machine.t -> ii:int -> t
+(** @raise Invalid_argument if [ii < 1]. *)
+
+val linear : Machine.t -> horizon:int -> t
+(** A non-wrapping table for acyclic scheduling of length [horizon]. *)
+
+val ii : t -> int
+
+val fits : t -> Reservation.t -> time:int -> bool
+(** [fits t table ~time] is true iff reserving [table] translated to
+    [time] exceeds no cell capacity. *)
+
+val conflicting_ops : t -> Reservation.t list -> time:int -> int list
+(** [conflicting_ops t tables ~time] is the set (sorted, deduplicated) of
+    operation ids that occupy any cell needed by any of [tables] at [time]
+    where the cell cannot also accommodate the new demand.  Unscheduling
+    exactly these operations makes at least one alternative fit (section
+    3.4: "all operations are unscheduled which conflict with the use of
+    any of the alternatives"). *)
+
+val reserve : t -> op:int -> Reservation.t -> time:int -> unit
+(** @raise Invalid_argument if the reservation does not fit. *)
+
+val release : t -> op:int -> Reservation.t -> time:int -> unit
+(** Undo a {!reserve} with identical arguments.
+    @raise Invalid_argument if [op] does not hold those cells. *)
+
+val occupants : t -> slot:int -> resource:int -> int list
+(** Current occupants of one cell; [slot] is taken modulo [ii]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,8 @@
+type t = { id : int; name : string; count : int }
+
+let make ~id ~name ~count =
+  if count < 1 then invalid_arg "Resource.make: count must be >= 1";
+  if id < 0 then invalid_arg "Resource.make: id must be >= 0";
+  { id; name; count }
+
+let pp ppf r = Format.fprintf ppf "%s(x%d)" r.name r.count

@@ -1,0 +1,20 @@
+(** Machine resources.
+
+    A resource is anything that an operation can hold exclusively for one
+    cycle: a pipeline stage of a functional unit, a bus, or a field in the
+    instruction format (Rau 1994, section 2.1).  A resource may exist in
+    several identical copies (e.g. the two memory ports of the Cydra 5);
+    [count] is that multiplicity. *)
+
+type t = {
+  id : int;  (** Dense index into the machine's resource array. *)
+  name : string;  (** Human-readable name, unique within a machine. *)
+  count : int;  (** Number of identical copies; at least 1. *)
+}
+
+val make : id:int -> name:string -> count:int -> t
+(** [make ~id ~name ~count] builds a resource descriptor.
+    @raise Invalid_argument if [count < 1] or [id < 0]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [name(xcount)] e.g. [MemPort(x2)]. *)

@@ -1,0 +1,1 @@
+lib/mii/counters.ml: Format

@@ -1,0 +1,1 @@
+lib/mii/mii.ml: Ddg Format Ims_ir Mindist Recmii Resmii

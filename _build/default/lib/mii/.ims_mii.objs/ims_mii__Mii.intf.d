@@ -1,0 +1,1 @@
+lib/mii/mii.mli: Counters Ddg Format Ims_ir

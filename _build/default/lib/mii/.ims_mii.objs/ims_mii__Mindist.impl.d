@@ -1,0 +1,1 @@
+lib/mii/mindist.ml: Array Counters Ddg Dep Format Fun Ims_ir List

@@ -1,0 +1,1 @@
+lib/mii/mindist.mli: Counters Ddg Format Ims_ir

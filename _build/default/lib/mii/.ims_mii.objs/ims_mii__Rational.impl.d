@@ -1,0 +1,1 @@
+lib/mii/rational.ml: Ddg Float Ims_graph Ims_ir List Recmii Resmii

@@ -1,0 +1,1 @@
+lib/mii/rational.mli: Ddg Ims_ir

@@ -1,0 +1,1 @@
+lib/mii/recmii.ml: Array Circuits Counters Ddg Dep Ims_graph Ims_ir List Mindist Scc

@@ -1,0 +1,1 @@
+lib/mii/recmii.mli: Counters Ddg Ims_ir

@@ -1,0 +1,1 @@
+lib/mii/resmii.ml: Array Counters Ddg Ims_ir Ims_machine List Machine Op Opcode Reservation Resource

@@ -1,0 +1,1 @@
+lib/mii/resmii.mli: Counters Ddg Ims_ir

@@ -1,0 +1,42 @@
+type t = {
+  mutable scc_steps : int;
+  mutable resmii_steps : int;
+  mutable mindist_inner : int;
+  mutable mindist_calls : int;
+  mutable heightr_inner : int;
+  mutable estart_inner : int;
+  mutable findslot_inner : int;
+  mutable sched_steps : int;
+  mutable sched_steps_final : int;
+}
+
+let create () =
+  {
+    scc_steps = 0;
+    resmii_steps = 0;
+    mindist_inner = 0;
+    mindist_calls = 0;
+    heightr_inner = 0;
+    estart_inner = 0;
+    findslot_inner = 0;
+    sched_steps = 0;
+    sched_steps_final = 0;
+  }
+
+let add acc c =
+  acc.scc_steps <- acc.scc_steps + c.scc_steps;
+  acc.resmii_steps <- acc.resmii_steps + c.resmii_steps;
+  acc.mindist_inner <- acc.mindist_inner + c.mindist_inner;
+  acc.mindist_calls <- acc.mindist_calls + c.mindist_calls;
+  acc.heightr_inner <- acc.heightr_inner + c.heightr_inner;
+  acc.estart_inner <- acc.estart_inner + c.estart_inner;
+  acc.findslot_inner <- acc.findslot_inner + c.findslot_inner;
+  acc.sched_steps <- acc.sched_steps + c.sched_steps;
+  acc.sched_steps_final <- acc.sched_steps_final + c.sched_steps_final
+
+let pp ppf t =
+  Format.fprintf ppf
+    "scc=%d resmii=%d mindist=%d(x%d) heightr=%d estart=%d findslot=%d \
+     sched=%d(final %d)"
+    t.scc_steps t.resmii_steps t.mindist_inner t.mindist_calls t.heightr_inner
+    t.estart_inner t.findslot_inner t.sched_steps t.sched_steps_final

@@ -1,0 +1,27 @@
+(** Instrumentation counters for the complexity study (paper table 4).
+
+    Each counter records how many times the innermost loop of one
+    sub-activity executed; the benchmark harness regresses them against
+    the number of operations N to reproduce the paper's empirical
+    complexity fits. *)
+
+type t = {
+  mutable scc_steps : int;  (** SCC identification: vertices+edges touched. *)
+  mutable resmii_steps : int;  (** Alternatives inspected by ResMII. *)
+  mutable mindist_inner : int;
+      (** Innermost (k,i,j) iterations of ComputeMinDist. *)
+  mutable mindist_calls : int;
+  mutable heightr_inner : int;  (** Relaxation steps of HeightR. *)
+  mutable estart_inner : int;  (** Predecessors examined by Estart. *)
+  mutable findslot_inner : int;  (** Time slots examined by FindTimeSlot. *)
+  mutable sched_steps : int;
+      (** Operation scheduling steps, over all candidate IIs. *)
+  mutable sched_steps_final : int;
+      (** Operation scheduling steps at the successful II only. *)
+}
+
+val create : unit -> t
+val add : t -> t -> unit
+(** [add acc c] accumulates [c] into [acc]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,19 @@
+open Ims_ir
+
+type t = { resmii : int; recmii : int; mii : int }
+
+let compute ?counters ddg =
+  let resmii = Resmii.compute ?counters ddg in
+  let recmii = Recmii.by_mindist ?counters ddg in
+  { resmii; recmii; mii = max resmii recmii }
+
+let compute_fast ?counters ddg =
+  let resmii = Resmii.compute ?counters ddg in
+  Recmii.mii_from ?counters ddg ~resmii
+
+let schedule_length_lower_bound ddg ~ii ~acyclic_length =
+  let md = Mindist.full ddg ~ii in
+  max (Mindist.get md Ddg.start (Ddg.stop ddg)) acyclic_length
+
+let pp ppf t =
+  Format.fprintf ppf "ResMII=%d RecMII=%d MII=%d" t.resmii t.recmii t.mii

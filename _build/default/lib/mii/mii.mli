@@ -1,0 +1,28 @@
+(** The minimum initiation interval: MII = max(ResMII, RecMII)
+    (Rau 1994, section 2).
+
+    The MII is a lower bound on any legal II; it is not necessarily
+    achievable in the presence of complex reservation tables or tangled
+    recurrences, which is why the scheduler searches upward from it. *)
+
+open Ims_ir
+
+type t = {
+  resmii : int;
+  recmii : int;  (** Exact, per-SCC MinDist computation. *)
+  mii : int;  (** [max resmii recmii]. *)
+}
+
+val compute : ?counters:Counters.t -> Ddg.t -> t
+
+val compute_fast : ?counters:Counters.t -> Ddg.t -> int
+(** The production scheme: computes only the MII, seeding the recurrence
+    search at ResMII so that vectorizable loops never pay for a second
+    MinDist pass.  Equals [(compute ddg).mii]. *)
+
+val schedule_length_lower_bound : Ddg.t -> ii:int -> acyclic_length:int -> int
+(** The paper's lower bound on the schedule length of one iteration for a
+    given II: the larger of MinDist[START, STOP] and the schedule length
+    achieved by acyclic list scheduling (section 4.2). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,75 @@
+open Ims_ir
+
+let neg_inf = min_int / 4
+
+type t = {
+  ii : int;
+  nodes : int array;
+  index : int array;
+  dist : int array array;
+}
+
+let compute ?counters ddg ~nodes ~ii =
+  let m = Array.length nodes in
+  let index = Array.make (Ddg.n_total ddg) (-1) in
+  Array.iteri (fun row id -> index.(id) <- row) nodes;
+  let dist = Array.make_matrix m m neg_inf in
+  Array.iteri
+    (fun row id ->
+      List.iter
+        (fun (d : Dep.t) ->
+          let col = index.(d.dst) in
+          if col >= 0 then begin
+            let w = d.delay - (ii * d.distance) in
+            if w > dist.(row).(col) then dist.(row).(col) <- w
+          end)
+        ddg.Ddg.succs.(id))
+    nodes;
+  let inner = ref 0 in
+  for k = 0 to m - 1 do
+    for i = 0 to m - 1 do
+      let dik = dist.(i).(k) in
+      if dik > neg_inf then
+        for j = 0 to m - 1 do
+          incr inner;
+          let dkj = dist.(k).(j) in
+          if dkj > neg_inf && dik + dkj > dist.(i).(j) then
+            dist.(i).(j) <- dik + dkj
+        done
+    done
+  done;
+  (match counters with
+  | Some c ->
+      c.Counters.mindist_inner <- c.Counters.mindist_inner + !inner;
+      c.Counters.mindist_calls <- c.Counters.mindist_calls + 1
+  | None -> ());
+  { ii; nodes; index; dist }
+
+let full ?counters ddg ~ii =
+  compute ?counters ddg ~nodes:(Array.init (Ddg.n_total ddg) Fun.id) ~ii
+
+let get t i j =
+  let ri = t.index.(i) and rj = t.index.(j) in
+  if ri < 0 || rj < 0 then invalid_arg "Mindist.get: id not covered";
+  t.dist.(ri).(rj)
+
+let max_diagonal t =
+  let best = ref neg_inf in
+  Array.iteri (fun i _ -> if t.dist.(i).(i) > !best then best := t.dist.(i).(i)) t.nodes;
+  !best
+
+let feasible t = max_diagonal t <= 0
+
+let pp ppf t =
+  Format.fprintf ppf "MinDist(ii=%d) over %d nodes@." t.ii
+    (Array.length t.nodes);
+  Array.iteri
+    (fun i id ->
+      Format.fprintf ppf "  %3d |" id;
+      Array.iteri
+        (fun j _ ->
+          if t.dist.(i).(j) = neg_inf then Format.fprintf ppf "    ."
+          else Format.fprintf ppf " %4d" t.dist.(i).(j))
+        t.nodes;
+      Format.fprintf ppf "@.")
+    t.nodes

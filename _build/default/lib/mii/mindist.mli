@@ -1,0 +1,42 @@
+(** The MinDist matrix (Rau 1994, section 2.2; Huff 1993).
+
+    For a candidate initiation interval II, [MinDist[i, j]] is the minimum
+    permissible interval between the schedule time of operation [i] and
+    that of operation [j] in the same iteration: the maximum over all
+    dependence paths from [i] to [j] of the sum of [delay - II * distance]
+    along the path, or {!neg_inf} if no path exists.
+
+    A positive diagonal entry means some operation must be scheduled
+    after itself — the II is infeasible.  A zero diagonal entry is a
+    critical (slack-free) recurrence circuit. *)
+
+open Ims_ir
+
+val neg_inf : int
+(** The "no path" sentinel; safely far from overflow under addition. *)
+
+type t = private {
+  ii : int;
+  nodes : int array;  (** Vertex ids covered, ascending. *)
+  index : int array;  (** Inverse map: op id to row, or -1. *)
+  dist : int array array;
+}
+
+val compute : ?counters:Counters.t -> Ddg.t -> nodes:int array -> ii:int -> t
+(** All-pairs MinDist over the sub-graph induced by [nodes] (edges with
+    both endpoints inside), by max-plus Floyd-Warshall: O(|nodes|³). *)
+
+val full : ?counters:Counters.t -> Ddg.t -> ii:int -> t
+(** MinDist over the whole graph including START and STOP. *)
+
+val get : t -> int -> int -> int
+(** [get t i j] by operation ids; {!neg_inf} when unconnected.
+    @raise Invalid_argument if an id is not covered. *)
+
+val max_diagonal : t -> int
+(** The largest diagonal entry ({!neg_inf} for an acyclic sub-graph). *)
+
+val feasible : t -> bool
+(** No positive diagonal entry (section 2.2's legality test). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,52 @@
+open Ims_ir
+
+type t = { res : float; rec_ : float; mii : float }
+
+(* Rational ResMII: the same greedy alternative selection as the integer
+   computation, but the final bound is usage/copies without the ceiling. *)
+let rational_res ddg =
+  let profile = Resmii.usage_profile ddg in
+  List.fold_left
+    (fun acc (_, uses, copies, _) ->
+      if uses = 0 then acc else max acc (float_of_int uses /. float_of_int copies))
+    0.0 profile
+
+(* Rational RecMII: max delay/distance over elementary circuits, using
+   the same parallel-edge expansion as the integer circuit method. *)
+let rational_rec ~circuit_limit ddg =
+  let n = Ddg.n_total ddg in
+  let succs v = List.sort_uniq compare (Ddg.real_succ_ids ddg v) in
+  let circuits = Ims_graph.Circuits.enumerate ~limit:circuit_limit ~n succs in
+  List.fold_left
+    (fun acc circuit ->
+      List.fold_left
+        (fun acc (delay, distance) ->
+          if distance = 0 then
+            invalid_arg "Rational: zero-distance circuit"
+          else max acc (float_of_int delay /. float_of_int distance))
+        acc
+        (Recmii.circuit_constraints ddg circuit))
+    0.0 circuits
+
+let of_ddg ?(circuit_limit = 100_000) ddg =
+  let res = rational_res ddg in
+  let rec_ = rational_rec ~circuit_limit ddg in
+  { res; rec_; mii = max 1.0 (max res rec_) }
+
+let degradation r ~factor =
+  let k = float_of_int factor in
+  let exact = k *. r.mii in
+  (Float.of_int (int_of_float (Float.ceil exact)) /. exact) -. 1.0
+
+let recommended_unroll ?(max_factor = 8) ?(tolerance = 0.05) ddg =
+  let r = of_ddg ddg in
+  let rec search best best_loss k =
+    if k > max_factor then best
+    else begin
+      let loss = degradation r ~factor:k in
+      if loss <= tolerance then k
+      else if loss < best_loss then search k loss (k + 1)
+      else search best best_loss (k + 1)
+    end
+  in
+  search 1 (degradation r ~factor:1) 1

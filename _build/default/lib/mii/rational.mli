@@ -1,0 +1,33 @@
+(** Rational lower bounds on the II, and the pre-scheduling unroll
+    decision they drive (Rau 1994, section 1, step 7).
+
+    The integer MII is [ceil] of an intrinsically rational quantity:
+    resource usage divided by resource multiplicity, and circuit delay
+    divided by circuit distance.  When the ceiling costs too much — e.g.
+    a rational MII of 1.5 rounded up to 2 wastes 33% of the machine —
+    the loop body is unrolled so that the integer II of the unrolled
+    loop, divided by the unroll factor, approaches the rational bound. *)
+
+open Ims_ir
+
+type t = {
+  res : float;  (** max over resources of uses / copies. *)
+  rec_ : float;  (** max over elementary circuits of delay / distance. *)
+  mii : float;  (** max of the two; at least 1.0. *)
+}
+
+val of_ddg : ?circuit_limit:int -> Ddg.t -> t
+(** Exact rational bounds; the recurrence part enumerates elementary
+    circuits ([circuit_limit] defaults to 100000).
+    @raise Ims_graph.Circuits.Limit_exceeded over the limit. *)
+
+val degradation : t -> factor:int -> float
+(** [degradation r ~factor] is the fractional loss of scheduling the
+    [factor]-times-unrolled loop at its integer MII:
+    [ceil(factor * mii) / (factor * mii) - 1].  [factor = 1] gives the
+    loss the paper's step 7 weighs. *)
+
+val recommended_unroll : ?max_factor:int -> ?tolerance:float -> Ddg.t -> int
+(** The smallest factor (up to [max_factor], default 8) whose
+    {!degradation} is within [tolerance] (default 0.05), or the best
+    factor found if none reaches the tolerance. *)

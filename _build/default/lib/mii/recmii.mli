@@ -1,0 +1,39 @@
+(** The recurrence-constrained lower bound on the II (Rau 1994, §2.2).
+
+    Every elementary circuit [c] of the dependence graph imposes
+    [Delay(c) - II * Distance(c) <= 0]; RecMII is the smallest II meeting
+    every such constraint.  Two methods are provided:
+
+    - {!by_circuits} enumerates all elementary circuits (the Cydra 5
+      compiler's approach) and maximises [ceil(Delay/Distance)];
+    - {!by_mindist} works one strongly connected component at a time,
+      testing candidate IIs with {!Mindist} and searching by doubling
+      followed by binary search (Huff's minimal cost-to-time ratio
+      formulation — the method used in the paper's study).
+
+    The two agree; the benchmark harness compares their cost. *)
+
+open Ims_ir
+
+val by_mindist : ?counters:Counters.t -> Ddg.t -> int
+(** The exact RecMII (at least 1), independent of ResMII. *)
+
+val mii_from : ?counters:Counters.t -> Ddg.t -> resmii:int -> int
+(** The production scheme of section 2.2: start the candidate at
+    [resmii]; for each SCC in turn, raise the candidate just enough
+    (doubling then binary search) to make that SCC feasible, feeding each
+    SCC the previous result.  Returns the MII; cheaper than computing the
+    exact RecMII when RecMII <= ResMII (84% of the paper's loops). *)
+
+val by_circuits : ?counters:Counters.t -> ?limit:int -> Ddg.t -> int
+(** The exact RecMII via circuit enumeration.
+    @raise Ims_graph.Circuits.Limit_exceeded beyond [limit] circuits.
+    @raise Invalid_argument on a zero-distance dependence circuit. *)
+
+val feasible : ?counters:Counters.t -> Ddg.t -> ii:int -> bool
+(** Whether [ii] satisfies every recurrence (per-SCC MinDist test). *)
+
+val circuit_constraints : Ddg.t -> int list -> (int * int) list
+(** [(delay, distance)] combinations of one elementary circuit (given as
+    a vertex list); parallel edges between consecutive vertices multiply
+    out, dominated combinations pruned.  Shared with {!Rational}. *)

@@ -1,0 +1,64 @@
+open Ims_machine
+open Ims_ir
+
+let cdiv a b = (a + b - 1) / b
+
+(* Greedy usage accumulation; returns the final per-resource usage. *)
+let accumulate ?counters ddg =
+  let machine = ddg.Ddg.machine in
+  let nres = Machine.num_resources machine in
+  let caps =
+    Array.map (fun (r : Resource.t) -> r.count) machine.Machine.resources
+  in
+  let usage = Array.make nres 0 in
+  let ops =
+    Ddg.real_ids ddg
+    |> List.map (fun id -> Machine.opcode machine (Ddg.op ddg id).Op.opcode)
+    |> List.sort (fun a b ->
+           compare (Opcode.num_alternatives a) (Opcode.num_alternatives b))
+  in
+  let partial_with (alt : Opcode.alternative) =
+    let extra = Array.make nres 0 in
+    Reservation.usage_count alt.table extra;
+    let worst = ref 0 in
+    for r = 0 to nres - 1 do
+      let total = usage.(r) + extra.(r) in
+      if total > 0 then worst := max !worst (cdiv total caps.(r))
+    done;
+    (!worst, extra)
+  in
+  List.iter
+    (fun (op : Opcode.t) ->
+      let best = ref None in
+      List.iter
+        (fun alt ->
+          (match counters with
+          | Some c -> c.Counters.resmii_steps <- c.Counters.resmii_steps + 1
+          | None -> ());
+          let score, extra = partial_with alt in
+          match !best with
+          | Some (s, _) when s <= score -> ()
+          | _ -> best := Some (score, extra))
+        op.Opcode.alternatives;
+      match !best with
+      | Some (_, extra) ->
+          Array.iteri (fun r e -> usage.(r) <- usage.(r) + e) extra
+      | None -> ())
+    ops;
+  (usage, caps)
+
+let compute ?counters ddg =
+  let usage, caps = accumulate ?counters ddg in
+  let res = ref 1 in
+  Array.iteri
+    (fun r u -> if u > 0 then res := max !res (cdiv u caps.(r)))
+    usage;
+  !res
+
+let usage_profile ddg =
+  let usage, caps = accumulate ddg in
+  let machine = ddg.Ddg.machine in
+  Array.to_list machine.Machine.resources
+  |> List.map (fun (r : Resource.t) ->
+         (r.name, usage.(r.id), caps.(r.id),
+          if usage.(r.id) = 0 then 0 else cdiv usage.(r.id) caps.(r.id)))

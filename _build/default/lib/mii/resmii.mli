@@ -1,0 +1,19 @@
+(** The resource-constrained lower bound on the II (Rau 1994, section 2.1).
+
+    Exact computation is a bin-packing problem, so the paper's
+    approximation is used: operations are taken in increasing order of
+    their number of alternatives (degrees of freedom); for each, the
+    alternative yielding the lowest partial ResMII is selected and its
+    resource usage added to the running totals.  The ResMII is the final
+    usage of the most heavily used resource, normalised by the resource's
+    multiplicity. *)
+
+open Ims_ir
+
+val compute : ?counters:Counters.t -> Ddg.t -> int
+(** At least 1, even for an empty loop. *)
+
+val usage_profile : Ddg.t -> (string * int * int * int) list
+(** Per-resource [(name, uses, copies, ceil(uses/copies))] under the same
+    greedy alternative selection — the per-resource breakdown behind
+    {!compute}, used by reports. *)

@@ -1,0 +1,1 @@
+lib/pipeline/codegen.ml: Array Buffer Ddg Ims_core Ims_ir List Mve Op Printf Rotreg Schedule String

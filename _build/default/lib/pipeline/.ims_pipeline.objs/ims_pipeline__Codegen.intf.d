@@ -1,0 +1,1 @@
+lib/pipeline/codegen.mli: Ims_core Schedule

@@ -1,0 +1,1 @@
+lib/pipeline/compact.ml: Array Ddg Dep Ims_core Ims_ir Ims_machine Lifetime List Machine Mrt Op Opcode Schedule

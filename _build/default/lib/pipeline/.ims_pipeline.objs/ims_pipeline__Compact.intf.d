@@ -1,0 +1,1 @@
+lib/pipeline/compact.mli: Ims_core Schedule

@@ -1,0 +1,1 @@
+lib/pipeline/exit_schema.ml: Array Buffer Ddg Dep Fun Ims_core Ims_ir Ims_machine List Machine Op Printf Schedule

@@ -1,0 +1,1 @@
+lib/pipeline/exit_schema.mli: Ddg Ims_core Ims_ir Schedule

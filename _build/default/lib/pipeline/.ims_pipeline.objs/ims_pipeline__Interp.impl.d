@@ -1,0 +1,1 @@
+lib/pipeline/interp.ml: Array Ddg Float Fun Hashtbl Ims_core Ims_ir Ims_machine List Mve Op Option Printf Rotreg Schedule

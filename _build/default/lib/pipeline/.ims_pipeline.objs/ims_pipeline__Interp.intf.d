@@ -1,0 +1,1 @@
+lib/pipeline/interp.mli: Ddg Ims_core Ims_ir Schedule

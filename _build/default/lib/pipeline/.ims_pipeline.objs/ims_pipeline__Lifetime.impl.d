@@ -1,0 +1,1 @@
+lib/pipeline/lifetime.ml: Ddg Format Hashtbl Ims_core Ims_ir List Op Option Schedule

@@ -1,0 +1,1 @@
+lib/pipeline/lifetime.mli: Format Ims_core Schedule

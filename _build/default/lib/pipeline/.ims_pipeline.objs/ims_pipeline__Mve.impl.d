@@ -1,0 +1,1 @@
+lib/pipeline/mve.ml: Ddg Ims_core Ims_ir Lifetime List Printf Schedule

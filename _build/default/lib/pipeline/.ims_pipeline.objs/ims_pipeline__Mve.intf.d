@@ -1,0 +1,1 @@
+lib/pipeline/mve.mli: Ims_core Lifetime Schedule

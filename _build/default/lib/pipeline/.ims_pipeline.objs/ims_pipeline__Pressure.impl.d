@@ -1,0 +1,1 @@
+lib/pipeline/pressure.ml: Compact Ddg Ims Ims_core Ims_ir Ims_mii List Option Printf Recmii Rotreg Schedule

@@ -1,0 +1,1 @@
+lib/pipeline/pressure.mli: Ddg Ims Ims_core Ims_ir Result Rotreg Schedule

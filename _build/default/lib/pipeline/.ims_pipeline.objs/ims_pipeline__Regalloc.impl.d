@@ -1,0 +1,1 @@
+lib/pipeline/regalloc.ml: Format Ims_core Lifetime List Mve Schedule

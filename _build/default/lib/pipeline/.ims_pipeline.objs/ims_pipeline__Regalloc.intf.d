@@ -1,0 +1,1 @@
+lib/pipeline/regalloc.mli: Format Ims_core Schedule

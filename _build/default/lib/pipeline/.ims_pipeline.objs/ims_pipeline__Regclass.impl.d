@@ -1,0 +1,1 @@
+lib/pipeline/regclass.ml: Ddg Ims_ir List Op Option

@@ -1,0 +1,1 @@
+lib/pipeline/regclass.mli: Ddg Ims_ir

@@ -1,0 +1,1 @@
+lib/pipeline/rotreg.ml: Format Ims_core Lifetime List Option Printf Regclass Schedule

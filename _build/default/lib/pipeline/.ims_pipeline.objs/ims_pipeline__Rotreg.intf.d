@@ -1,0 +1,1 @@
+lib/pipeline/rotreg.mli: Format Ims_core Regclass Schedule

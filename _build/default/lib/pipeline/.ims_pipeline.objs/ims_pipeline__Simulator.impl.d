@@ -1,0 +1,1 @@
+lib/pipeline/simulator.ml: Array Ddg Format Hashtbl Ims_core Ims_ir Ims_machine List Machine Op Option Reservation Resource Schedule

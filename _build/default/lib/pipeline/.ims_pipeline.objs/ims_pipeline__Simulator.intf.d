@@ -1,0 +1,1 @@
+lib/pipeline/simulator.mli: Ims_core Schedule

@@ -1,0 +1,1 @@
+lib/pipeline/tradeoff.ml: Format Ims_core List_sched Schedule

@@ -1,0 +1,1 @@
+lib/pipeline/tradeoff.mli: Format Ims_core Schedule

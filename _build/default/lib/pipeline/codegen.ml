@@ -1,0 +1,164 @@
+open Ims_ir
+open Ims_core
+
+type style = Rotating | Mve
+
+let render_op ddg i ~dst ~src =
+  let o = Ddg.op ddg i in
+  let dsts = String.concat "," (List.map dst o.Op.dsts) in
+  let srcs =
+    String.concat ","
+      (List.map (fun (s : Op.operand) -> src s.reg s.distance) o.Op.srcs)
+  in
+  let guard =
+    match o.Op.pred with
+    | Some p -> Printf.sprintf " when %s" (src p.reg p.distance)
+    | None -> ""
+  in
+  match (dsts, srcs) with
+  | "", "" -> o.Op.opcode ^ guard
+  | "", s -> Printf.sprintf "%s %s%s" o.Op.opcode s guard
+  | d, "" -> Printf.sprintf "%s %s%s" o.Op.opcode d guard
+  | d, s -> Printf.sprintf "%s %s <- %s%s" o.Op.opcode d s guard
+
+let emit_rotating sched =
+  let buf = Buffer.create 1024 in
+  let ddg = sched.Schedule.ddg in
+  let ii = sched.Schedule.ii in
+  let stages = Schedule.stage_count sched in
+  let alloc = Rotreg.allocate sched in
+  let dst v =
+    match Rotreg.base_of alloc v with
+    | Some base -> Printf.sprintf "RR[%d]" base
+    | None -> Printf.sprintf "v%d" v
+  in
+  let src v d = Rotreg.reference alloc ~reg:v ~distance:d in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "; rotating-register schema: II=%d SL=%d stages=%d rotating-regs=%d\n"
+       ii (Schedule.length sched) stages alloc.Rotreg.file_size);
+  Buffer.add_string buf
+    "; prologue/epilogue are implicit: stage predicates p[0..stages-1]\n";
+  Buffer.add_string buf "kernel:\n";
+  Array.iteri
+    (fun slot ops ->
+      Buffer.add_string buf (Printf.sprintf "  c%-3d:" slot);
+      List.iter
+        (fun (i, stage) ->
+          Buffer.add_string buf
+            (Printf.sprintf "  [%s | p[%d]]" (render_op ddg i ~dst ~src) stage))
+        ops;
+      Buffer.add_char buf '\n')
+    (Schedule.kernel_rows sched);
+  Buffer.add_string buf "  brtop kernel  ; rotate register file\n";
+  Buffer.contents buf
+
+let emit_mve sched =
+  let buf = Buffer.create 1024 in
+  let ddg = sched.Schedule.ddg in
+  let ii = sched.Schedule.ii in
+  let stages = Schedule.stage_count sched in
+  let mve = Mve.expand sched in
+  let unroll = mve.Mve.unroll in
+  let naming ~iteration =
+    let copy = ((iteration mod unroll) + unroll) mod unroll in
+    let dst v = Mve.rename mve ~reg:v ~copy ~distance:0 in
+    let src v d = Mve.rename mve ~reg:v ~copy ~distance:d in
+    (dst, src)
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "; MVE schema: II=%d SL=%d stages=%d kernel-unroll=%d\n" ii
+       (Schedule.length sched) stages unroll);
+  (* Prologue: cycles before the first iteration of the steady state.
+     Iteration i's copy of an operation scheduled at t issues at t+i*II;
+     the kernel starts at cycle (stages-1)*II. *)
+  let prologue_cycles = (stages - 1) * ii in
+  if prologue_cycles > 0 then begin
+    Buffer.add_string buf "prologue:\n";
+    for c = 0 to prologue_cycles - 1 do
+      let line = Buffer.create 64 in
+      List.iter
+        (fun i ->
+          let t = Schedule.time sched i in
+          let iter = (c - t) / ii in
+          if (c - t) mod ii = 0 && c >= t && iter <= stages - 2 then begin
+            let dst, src = naming ~iteration:iter in
+            Buffer.add_string line
+              (Printf.sprintf "  [%s | i%d]" (render_op ddg i ~dst ~src) iter)
+          end)
+        (Ddg.real_ids ddg);
+      if Buffer.length line > 0 then
+        Buffer.add_string buf (Printf.sprintf "  c%-3d:%s\n" c (Buffer.contents line))
+    done
+  end;
+  Buffer.add_string buf
+    (Printf.sprintf "kernel:  ; unrolled x%d, %d cycles per copy\n" unroll ii);
+  for copy = 0 to unroll - 1 do
+    Array.iteri
+      (fun slot ops ->
+        Buffer.add_string buf (Printf.sprintf "  k%d.c%-3d:" copy slot);
+        List.iter
+          (fun (i, stage) ->
+            let dst, src = naming ~iteration:copy in
+            ignore stage;
+            Buffer.add_string buf
+              (Printf.sprintf "  [%s]" (render_op ddg i ~dst ~src)))
+          ops;
+        Buffer.add_char buf '\n')
+      (Schedule.kernel_rows sched)
+  done;
+  Buffer.add_string buf "  branch kernel\n";
+  (* Epilogue: drain of the last stages-1 iterations. *)
+  if prologue_cycles > 0 then begin
+    Buffer.add_string buf "epilogue:\n";
+    let sl = Schedule.length sched in
+    for c = ii to sl - 1 do
+      let line = Buffer.create 64 in
+      List.iter
+        (fun i ->
+          let t = Schedule.time sched i in
+          (* Iterations that issued before kernel exit but still have
+             this operation pending. *)
+          if t >= c && (t - c) mod ii = 0 && (t - c) / ii <= stages - 1 && t > c - 1
+          then begin
+            let iter = -((t - c) / ii) in
+            let dst, src = naming ~iteration:iter in
+            Buffer.add_string line
+              (Printf.sprintf "  [%s | i%d]" (render_op ddg i ~dst ~src) iter)
+          end)
+        (Ddg.real_ids ddg);
+      if Buffer.length line > 0 then
+        Buffer.add_string buf
+          (Printf.sprintf "  c%-3d:%s\n" (c - ii) (Buffer.contents line))
+    done
+  end;
+  Buffer.contents buf
+
+let emit style sched =
+  match style with Rotating -> emit_rotating sched | Mve -> emit_mve sched
+
+let code_size style sched =
+  let ddg = sched.Schedule.ddg in
+  let n = Ddg.n_real ddg in
+  match style with
+  | Rotating -> n
+  | Mve ->
+      let stages = Schedule.stage_count sched in
+      let unroll = (Mve.expand sched).Mve.unroll in
+      (* Each operation appears once per kernel copy, once per prologue
+         stage below its own, and symmetrically in the epilogue. *)
+      let prologue_ops =
+        List.fold_left
+          (fun acc i ->
+            let stage = Schedule.time sched i / sched.Schedule.ii in
+            acc + max 0 (stages - 1 - stage))
+          0 (Ddg.real_ids ddg)
+      in
+      let epilogue_ops =
+        List.fold_left
+          (fun acc i ->
+            let stage = Schedule.time sched i / sched.Schedule.ii in
+            acc + stage)
+          0 (Ddg.real_ids ddg)
+      in
+      (unroll * n) + prologue_ops + epilogue_ops

@@ -1,0 +1,28 @@
+(** Code emission for modulo-scheduled loops (Rau et al. 1992, "Code
+    generation schemas for modulo scheduled loops").
+
+    Two schemas are supported:
+
+    - [Rotating]: hardware with rotating registers and predicated
+      execution runs the kernel alone — prologue and epilogue are
+      realised by the stage predicates ramping up and down, and there is
+      no code expansion.  EVR references become rotating-register
+      references via {!Rotreg}.
+    - [Mve]: without rotating registers the kernel is unrolled by the
+      modulo-variable-expansion factor with renamed instances
+      ({!Mve.rename}), and explicit prologue and epilogue code is
+      emitted. *)
+
+open Ims_core
+
+type style = Rotating | Mve
+
+val emit : style -> Schedule.t -> string
+(** A complete textual listing: header (II, SL, stages, register usage),
+    prologue (if any), kernel rows cycle by cycle, epilogue (if any). *)
+
+val code_size : style -> Schedule.t -> int
+(** Operations emitted: [n] for [Rotating]; prologue + unrolled kernel +
+    epilogue for [Mve] — the code-expansion comparison of the paper's
+    section 4.3 (118% of the loop body is the break-even point quoted in
+    the conclusion). *)

@@ -1,0 +1,28 @@
+(** Lifetime compaction of a finished modulo schedule.
+
+    A post-pass in the spirit of Huff's lifetime sensitivity that can
+    only improve: keeping the II fixed, each operation is tentatively
+    re-placed anywhere inside the window its scheduled neighbours allow
+    ([E, L] from direct dependences), and the move is kept only when it
+    reduces the total register lifetime (the sum over live ranges that
+    drives both rotating-register demand and the MVE unroll factor).
+    Iterates to a fixed point.
+
+    The schedule stays legal by construction — moves go through the MRT
+    and respect every dependence — and the result is re-checkable with
+    {!Ims_core.Schedule.verify}. *)
+
+open Ims_core
+
+type report = {
+  schedule : Schedule.t;
+  moves : int;  (** Re-placements that were kept. *)
+  lifetime_before : int;  (** Sum of live-range lengths, in cycles. *)
+  lifetime_after : int;
+}
+
+val total_lifetime : Schedule.t -> int
+(** The objective: sum of {!Lifetime.range} lengths. *)
+
+val improve : ?max_rounds:int -> Schedule.t -> report
+(** [max_rounds] bounds the fixed-point iteration (default 8). *)

@@ -1,0 +1,146 @@
+open Ims_machine
+open Ims_ir
+open Ims_core
+
+type kind = Do_loop | While_loop | Early_exit
+
+let branches ddg =
+  List.filter
+    (fun i -> (Ddg.op ddg i).Op.opcode = "branch")
+    (Ddg.real_ids ddg)
+
+(* Does any transitive producer of [root] touch data (memory or FP),
+   rather than just the integer counter chain? *)
+let data_dependent ddg root =
+  let seen = Array.make (Ddg.n_total ddg) false in
+  let rec walk i =
+    if not seen.(i) then begin
+      seen.(i) <- true;
+      List.iter
+        (fun (d : Dep.t) ->
+          if not (Ddg.is_pseudo ddg d.src) then walk d.src)
+        ddg.Ddg.preds.(i)
+    end
+  in
+  walk root;
+  List.exists
+    (fun i ->
+      seen.(i) && i <> root
+      &&
+      match (Ddg.op ddg i).Op.opcode with
+      | "load" | "fadd" | "fsub" | "fmul" | "fdiv" | "fcmp" | "sqrt" -> true
+      | _ -> false)
+    (Ddg.real_ids ddg)
+
+let classify ddg =
+  match branches ddg with
+  | [] | [ _ ] ->
+      let data =
+        match branches ddg with [ b ] -> data_dependent ddg b | _ -> false
+      in
+      if data then While_loop else Do_loop
+  | _ -> Early_exit
+
+let guard_stores ddg ~exit_op =
+  let stop = Ddg.stop ddg in
+  let lat = Ddg.latency ddg exit_op in
+  let extra =
+    List.filter_map
+      (fun i ->
+        if (Ddg.op ddg i).Op.opcode = "store" then
+          Some
+            (Dep.make ddg.Ddg.model Dep.Control ~src:exit_op ~dst:i ~distance:1
+               ~pred_latency:lat ~succ_latency:1)
+        else None)
+      (Ddg.real_ids ddg)
+  in
+  let existing =
+    Array.to_list ddg.Ddg.succs
+    |> List.concat
+    |> List.filter (fun (d : Dep.t) ->
+           not (d.src = Ddg.start || d.dst = stop || d.src = stop))
+  in
+  let ops = List.map (Ddg.op ddg) (Ddg.real_ids ddg) in
+  Ddg.make ddg.Ddg.machine ~model:ddg.Ddg.model ops (existing @ extra)
+
+let speculation_hazards sched ~exit_op =
+  let ddg = sched.Schedule.ddg in
+  let ii = sched.Schedule.ii in
+  let resolve =
+    Schedule.time sched exit_op
+    + Machine.latency ddg.Ddg.machine (Ddg.op ddg exit_op).Op.opcode
+  in
+  List.filter
+    (fun i ->
+      (Ddg.op ddg i).Op.opcode = "store"
+      && Schedule.time sched i < resolve - ii)
+    (Ddg.real_ids ddg)
+
+type plan = {
+  exit_op : int;
+  exit_stage : int;
+  resolve_time : int;
+  epilogue : (int * int) list;
+  code_ops : int;
+}
+
+let plan sched ~exit_op =
+  let ddg = sched.Schedule.ddg in
+  let ii = sched.Schedule.ii in
+  let stages = Schedule.stage_count sched in
+  let t_exit = Schedule.time sched exit_op in
+  let resolve_time =
+    t_exit + Machine.latency ddg.Ddg.machine (Ddg.op ddg exit_op).Op.opcode
+  in
+  (* When the exit of iteration i fires, iteration i-age (age >= 0) has
+     already issued everything up to cycle t_exit + age*II of its own
+     schedule; the rest is the epilogue.  Younger iterations (age < 0)
+     are squashed. *)
+  let epilogue =
+    List.concat_map
+      (fun age ->
+        List.filter_map
+          (fun op ->
+            (* The exiting iteration (age 0) only owes operations that
+               precede the exit in program order but were scheduled after
+               it; older iterations owe everything still outstanding. *)
+            if age = 0 && op >= exit_op then None
+            else begin
+              let t = Schedule.time sched op in
+              if t > t_exit + (age * ii) then Some (t - (age * ii), op, age)
+              else None
+            end)
+          (Ddg.real_ids ddg))
+      (List.init stages Fun.id)
+    |> List.sort compare
+    |> List.map (fun (_, op, age) -> (op, age))
+  in
+  {
+    exit_op;
+    exit_stage = t_exit / ii;
+    resolve_time;
+    epilogue;
+    code_ops = List.length epilogue;
+  }
+
+let emit sched ~exit_op =
+  let ddg = sched.Schedule.ddg in
+  let ii = sched.Schedule.ii in
+  let p = plan sched ~exit_op in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "; exit epilogue for op %d (stage %d, resolves at cycle %d)\n; %d \
+        operations drain the older in-flight iterations\n"
+       p.exit_op p.exit_stage p.resolve_time p.code_ops);
+  List.iter
+    (fun (op, age) ->
+      let o = Ddg.op ddg op in
+      Buffer.add_string buf
+        (Printf.sprintf "  c%-4d [%s%s | i-%d]\n"
+           (Schedule.time sched op - (age * ii))
+           o.Op.opcode
+           (if o.Op.tag = "" then "" else " ; " ^ o.Op.tag)
+           age))
+    p.epilogue;
+  Buffer.contents buf

@@ -1,0 +1,68 @@
+open Ims_ir
+open Ims_core
+
+type range = {
+  reg : int;
+  def_op : int;
+  def_time : int;
+  last_use_time : int;
+  length : int;
+  copies : int;
+}
+
+let cdiv a b = (a + b - 1) / b
+
+let analyze sched =
+  let ddg = sched.Schedule.ddg in
+  let ii = sched.Schedule.ii in
+  let defs = Hashtbl.create 31 in  (* reg -> (op, time) list *)
+  let uses = Hashtbl.create 31 in  (* reg -> issue-relative read time list *)
+  List.iter
+    (fun i ->
+      let o = Ddg.op ddg i in
+      let t = Schedule.time sched i in
+      List.iter
+        (fun v ->
+          let old = Option.value ~default:[] (Hashtbl.find_opt defs v) in
+          Hashtbl.replace defs v ((i, t) :: old))
+        o.Op.dsts;
+      let record (operand : Op.operand) =
+        let read_time = t + (ii * operand.distance) in
+        let old =
+          Option.value ~default:[] (Hashtbl.find_opt uses operand.reg)
+        in
+        Hashtbl.replace uses operand.reg (read_time :: old)
+      in
+      List.iter record o.Op.srcs;
+      Option.iter record o.Op.pred)
+    (Ddg.real_ids ddg);
+  Hashtbl.fold
+    (fun reg def_list acc ->
+      let def_op, def_time =
+        List.fold_left
+          (fun (bo, bt) (o, t) -> if t < bt then (o, t) else (bo, bt))
+          (List.hd def_list) (List.tl def_list)
+      in
+      let last_use_time =
+        List.fold_left max def_time
+          (Option.value ~default:[] (Hashtbl.find_opt uses reg))
+      in
+      let length = last_use_time - def_time in
+      {
+        reg;
+        def_op;
+        def_time;
+        last_use_time;
+        length;
+        copies = max 1 (cdiv length ii);
+      }
+      :: acc)
+    defs []
+  |> List.sort (fun a b -> compare a.reg b.reg)
+
+let max_copies sched =
+  List.fold_left (fun acc r -> max acc r.copies) 1 (analyze sched)
+
+let pp ppf r =
+  Format.fprintf ppf "v%d: def@%d (op %d) last-use@%d len=%d copies=%d" r.reg
+    r.def_time r.def_op r.last_use_time r.length r.copies

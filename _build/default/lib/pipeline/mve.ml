@@ -1,0 +1,28 @@
+open Ims_ir
+open Ims_core
+
+type t = {
+  schedule : Schedule.t;
+  unroll : int;
+  ranges : Lifetime.range list;
+}
+
+let expand schedule =
+  let ranges = Lifetime.analyze schedule in
+  let unroll =
+    List.fold_left (fun acc (r : Lifetime.range) -> max acc r.copies) 1 ranges
+  in
+  { schedule; unroll; ranges }
+
+let needs_expansion t reg =
+  List.exists
+    (fun (r : Lifetime.range) -> r.reg = reg && (r.copies > 1 || t.unroll > 1))
+    t.ranges
+
+let rename t ~reg ~copy ~distance =
+  if needs_expansion t reg then
+    let instance = ((copy - distance) mod t.unroll + t.unroll) mod t.unroll in
+    Printf.sprintf "v%d.%d" reg instance
+  else Printf.sprintf "v%d" reg
+
+let code_growth t = t.unroll * Ddg.n_real t.schedule.Schedule.ddg

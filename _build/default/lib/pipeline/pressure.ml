@@ -1,0 +1,63 @@
+open Ims_ir
+open Ims_mii
+open Ims_core
+
+type result = {
+  outcome : Ims.outcome;
+  schedule : Schedule.t;
+  allocation : Rotreg.t;
+  ii_paid : int;
+  retries : int;
+}
+
+(* One scheduling attempt at a fixed II (reusing the iterative engine
+   directly so the candidate II is ours to choose), followed by
+   compaction and allocation. *)
+let attempt ~budget_ratio ddg ~ii =
+  let n = Ddg.n_total ddg in
+  let budget = max 1 (int_of_float (budget_ratio *. float_of_int n)) in
+  match Ims.iterative_schedule ddg ~ii ~budget with
+  | None -> None
+  | Some s ->
+      let compacted = (Compact.improve s).Compact.schedule in
+      Some (compacted, Rotreg.allocate compacted)
+
+let schedule ?(budget_ratio = Ims.default_budget_ratio) ?(max_retries = 64)
+    ddg ~max_rotating =
+  let unconstrained = Ims.modulo_schedule ~budget_ratio ddg in
+  match unconstrained.Ims.schedule with
+  | None -> Error "pressure: the loop does not schedule at all"
+  | Some _ ->
+      let base_ii = unconstrained.Ims.ii in
+      let rec search ii retries =
+        if retries > max_retries then
+          Error
+            (Printf.sprintf
+               "pressure: %d rotating registers do not suffice within II %d"
+               max_rotating ii)
+        else
+          match attempt ~budget_ratio ddg ~ii with
+          | None -> search (ii + 1) (retries + 1)
+          | Some (sched, alloc) ->
+              if alloc.Rotreg.file_size <= max_rotating then
+                Ok
+                  {
+                    outcome = unconstrained;
+                    schedule = sched;
+                    allocation = alloc;
+                    ii_paid = ii - base_ii;
+                    retries;
+                  }
+              else search (ii + 1) (retries + 1)
+      in
+      search base_ii 0
+
+let demand_profile ddg ~ii_range:(lo, hi) =
+  List.filter_map
+    (fun ii ->
+      if Recmii.feasible ddg ~ii then
+        Option.map
+          (fun (_, alloc) -> (ii, alloc.Rotreg.file_size))
+          (attempt ~budget_ratio:Ims.default_budget_ratio ddg ~ii)
+      else None)
+    (List.init (max 0 (hi - lo + 1)) (fun i -> lo + i))

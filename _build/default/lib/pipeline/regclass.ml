@@ -1,0 +1,44 @@
+open Ims_ir
+
+type t = Data | Address | Predicate
+
+let all = [ Data; Address; Predicate ]
+
+let name = function
+  | Data -> "data"
+  | Address -> "address"
+  | Predicate -> "predicate"
+
+let of_defining_opcode = function
+  | "aadd" | "asub" -> Some Address
+  | "pred_set" | "pred_reset" -> Some Predicate
+  | _ -> Some Data
+
+let of_reg ddg reg =
+  let defining =
+    List.find_map
+      (fun i ->
+        let o = Ddg.op ddg i in
+        if List.mem reg o.Op.dsts then of_defining_opcode o.Op.opcode else None)
+      (Ddg.real_ids ddg)
+  in
+  match defining with
+  | Some cls -> cls
+  | None ->
+      (* Live-in: classify by first use. *)
+      let use =
+        List.find_map
+          (fun i ->
+            let o = Ddg.op ddg i in
+            if Option.fold ~none:false ~some:(fun (p : Op.operand) -> p.reg = reg) o.Op.pred
+            then Some Predicate
+            else
+              match (o.Op.opcode, o.Op.srcs) with
+              | ("load" | "store"), first :: _ when first.Op.reg = reg ->
+                  Some Address
+              | _, srcs when List.exists (fun (s : Op.operand) -> s.reg = reg) srcs ->
+                  Some Data
+              | _ -> None)
+          (Ddg.real_ids ddg)
+      in
+      Option.value ~default:Data use

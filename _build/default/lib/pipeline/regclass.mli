@@ -1,0 +1,21 @@
+(** Register classes.
+
+    The Cydra 5 did not have one monolithic register file: data values
+    lived in the (rotating) context registers, addresses in the address
+    unit's registers, and predicates in the iteration control registers
+    (ICRs) — three independently-sized rotating files (Rau et al. 1989).
+    Allocation and pressure accounting therefore split by class. *)
+
+open Ims_ir
+
+type t = Data | Address | Predicate
+
+val of_reg : Ddg.t -> int -> t
+(** Classified by the defining opcode: address add/subtract results are
+    [Address], predicate set/reset results are [Predicate], everything
+    else [Data].  Registers never defined in the loop (live-ins) are
+    classified by their first use: address of a memory operation →
+    [Address], guard position → [Predicate], else [Data]. *)
+
+val name : t -> string
+val all : t list

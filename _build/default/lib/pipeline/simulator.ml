@@ -1,0 +1,138 @@
+open Ims_machine
+open Ims_ir
+open Ims_core
+
+type report = {
+  trip : int;
+  completion : int;
+  formula : int;
+  issues : int;
+  peak_in_flight : int;
+  utilization : (string * float) list;
+}
+
+let run ?trip sched =
+  let ddg = sched.Schedule.ddg in
+  let machine = ddg.Ddg.machine in
+  let ii = sched.Schedule.ii in
+  let stages = Schedule.stage_count sched in
+  let trip = Option.value ~default:((2 * stages) + 3) trip in
+  let errors = ref [] in
+  let report_err fmt =
+    Format.kasprintf (fun s -> errors := s :: !errors) fmt
+  in
+  (* Write-back times of every (register, iteration) instance. *)
+  let ready : (int * int, int) Hashtbl.t = Hashtbl.create 256 in
+  let defined_in_loop = Hashtbl.create 32 in
+  List.iter
+    (fun i ->
+      List.iter
+        (fun v -> Hashtbl.replace defined_in_loop v ())
+        (Ddg.op ddg i).Op.dsts)
+    (Ddg.real_ids ddg);
+  for iter = 0 to trip - 1 do
+    List.iter
+      (fun i ->
+        let o = Ddg.op ddg i in
+        let t = Schedule.time sched i + (iter * ii) in
+        let latency = Machine.latency machine o.Op.opcode in
+        List.iter
+          (fun v -> Hashtbl.replace ready (v, iter) (t + latency))
+          o.Op.dsts)
+      (Ddg.real_ids ddg)
+  done;
+  (* Value-timing check. *)
+  for iter = 0 to trip - 1 do
+    List.iter
+      (fun i ->
+        let o = Ddg.op ddg i in
+        let t = Schedule.time sched i + (iter * ii) in
+        let check (operand : Op.operand) =
+          let src_iter = iter - operand.distance in
+          if src_iter >= 0 && Hashtbl.mem defined_in_loop operand.reg then
+            match Hashtbl.find_opt ready (operand.reg, src_iter) with
+            | Some avail when avail > t ->
+                report_err
+                  "op %d iter %d reads v%d[%d] at cycle %d but it is ready \
+                   only at %d"
+                  i iter operand.reg operand.distance t avail
+            | Some _ -> ()
+            | None ->
+                report_err "op %d iter %d reads undefined v%d instance" i iter
+                  operand.reg
+        in
+        List.iter check o.Op.srcs;
+        Option.iter check o.Op.pred)
+      (Ddg.real_ids ddg)
+  done;
+  (* Resource occupancy, re-derived from the chosen reservation tables. *)
+  let occupancy : (int * int, int) Hashtbl.t = Hashtbl.create 1024 in
+  let issues = ref 0 in
+  for iter = 0 to trip - 1 do
+    List.iter
+      (fun i ->
+        incr issues;
+        let t = Schedule.time sched i + (iter * ii) in
+        let table = Schedule.reservation sched i in
+        List.iter
+          (fun (u : Reservation.usage) ->
+            let key = (t + u.at, u.resource) in
+            let n = 1 + Option.value ~default:0 (Hashtbl.find_opt occupancy key) in
+            Hashtbl.replace occupancy key n;
+            let cap = machine.Machine.resources.(u.resource).Resource.count in
+            if n = cap + 1 then
+              report_err "resource %s oversubscribed at cycle %d"
+                machine.Machine.resources.(u.resource).Resource.name (t + u.at))
+          table.Reservation.usages)
+      (Ddg.real_ids ddg)
+  done;
+  (* Completion time. *)
+  let completion = ref 0 in
+  Hashtbl.iter (fun _ t -> if t > !completion then completion := t) ready;
+  let formula = Schedule.length sched + ((trip - 1) * ii) in
+  if !completion > formula then
+    report_err "completion %d exceeds SL + (n-1)*II = %d" !completion formula;
+  (* Peak overlapped iterations: an iteration is in flight from its first
+     issue to its last write-back. *)
+  let first_issue =
+    List.fold_left (fun acc i -> min acc (Schedule.time sched i)) max_int
+      (Ddg.real_ids ddg)
+  in
+  let last_wb =
+    List.fold_left
+      (fun acc i ->
+        let o = Ddg.op ddg i in
+        max acc (Schedule.time sched i + Machine.latency machine o.Op.opcode))
+      0 (Ddg.real_ids ddg)
+  in
+  let span = last_wb - first_issue in
+  let peak_in_flight = min trip ((span / ii) + 1) in
+  (* Steady-state utilization over one kernel window in the middle. *)
+  let utilization =
+    if trip < 2 * stages then []
+    else begin
+      let window_start = (stages + 1) * ii in
+      Array.to_list machine.Machine.resources
+      |> List.map (fun (r : Resource.t) ->
+             let busy = ref 0 in
+             for c = window_start to window_start + ii - 1 do
+               busy :=
+                 !busy
+                 + Option.value ~default:0
+                     (Hashtbl.find_opt occupancy (c, r.id))
+             done;
+             (r.name, float_of_int !busy /. float_of_int (ii * r.count)))
+    end
+  in
+  match !errors with
+  | [] ->
+      Ok
+        {
+          trip;
+          completion = !completion;
+          formula;
+          issues = !issues;
+          peak_in_flight;
+          utilization;
+        }
+  | es -> Error (List.rev es)

@@ -1,0 +1,26 @@
+open Ims_core
+
+type t = { ii : int; sl : int; acyclic_sl : int; break_even : int }
+
+let pipelined_cycles t ~trip = t.sl + ((trip - 1) * t.ii)
+let unpipelined_cycles t ~trip = t.acyclic_sl * trip
+
+let analyze sched =
+  let ii = sched.Schedule.ii in
+  let sl = Schedule.length sched in
+  let acyclic_sl = List_sched.schedule_length sched.Schedule.ddg in
+  (* sl + (n-1)*ii <= acyclic_sl * n  <=>  n >= (sl - ii) / (acyclic_sl - ii) *)
+  let break_even =
+    if acyclic_sl <= ii then max_int
+    else max 1 (((sl - ii) + (acyclic_sl - ii) - 1) / (acyclic_sl - ii))
+  in
+  { ii; sl; acyclic_sl; break_even }
+
+let speedup t ~trip =
+  float_of_int (unpipelined_cycles t ~trip)
+  /. float_of_int (pipelined_cycles t ~trip)
+
+let pp ppf t =
+  Format.fprintf ppf "II=%d SL=%d acyclic=%d break-even trip=%s" t.ii t.sl
+    t.acyclic_sl
+    (if t.break_even = max_int then "never" else string_of_int t.break_even)

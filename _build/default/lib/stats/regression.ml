@@ -1,0 +1,112 @@
+type fit = { coeffs : float array; residual_stddev : float; r_squared : float }
+
+(* Gaussian elimination with partial pivoting; [a] is square, modified in
+   place.  Small systems only (<= 3 unknowns here). *)
+let solve a b =
+  let n = Array.length b in
+  for col = 0 to n - 1 do
+    let pivot = ref col in
+    for row = col + 1 to n - 1 do
+      if abs_float a.(row).(col) > abs_float a.(!pivot).(col) then pivot := row
+    done;
+    if abs_float a.(!pivot).(col) < 1e-12 then
+      invalid_arg "Regression.solve: singular system";
+    if !pivot <> col then begin
+      let tmp = a.(col) in
+      a.(col) <- a.(!pivot);
+      a.(!pivot) <- tmp;
+      let tb = b.(col) in
+      b.(col) <- b.(!pivot);
+      b.(!pivot) <- tb
+    end;
+    for row = col + 1 to n - 1 do
+      let f = a.(row).(col) /. a.(col).(col) in
+      for k = col to n - 1 do
+        a.(row).(k) <- a.(row).(k) -. (f *. a.(col).(k))
+      done;
+      b.(row) <- b.(row) -. (f *. b.(col))
+    done
+  done;
+  let x = Array.make n 0.0 in
+  for row = n - 1 downto 0 do
+    let s = ref b.(row) in
+    for k = row + 1 to n - 1 do
+      s := !s -. (a.(row).(k) *. x.(k))
+    done;
+    x.(row) <- !s /. a.(row).(row)
+  done;
+  x
+
+(* Least squares over the given monomial degrees. *)
+let fit_degrees degrees points =
+  if points = [] then invalid_arg "Regression: no data points";
+  let k = Array.length degrees in
+  let xtx = Array.make_matrix k k 0.0 in
+  let xty = Array.make k 0.0 in
+  List.iter
+    (fun (x, y) ->
+      let basis = Array.map (fun d -> x ** float_of_int d) degrees in
+      for i = 0 to k - 1 do
+        xty.(i) <- xty.(i) +. (basis.(i) *. y);
+        for j = 0 to k - 1 do
+          xtx.(i).(j) <- xtx.(i).(j) +. (basis.(i) *. basis.(j))
+        done
+      done)
+    points;
+  let beta = solve xtx xty in
+  let max_degree = Array.fold_left max 0 degrees in
+  let coeffs = Array.make (max_degree + 1) 0.0 in
+  Array.iteri (fun i d -> coeffs.(d) <- beta.(i)) degrees;
+  let predict x =
+    Array.to_list coeffs
+    |> List.mapi (fun d c -> c *. (x ** float_of_int d))
+    |> List.fold_left ( +. ) 0.0
+  in
+  let n = float_of_int (List.length points) in
+  let mean_y =
+    List.fold_left (fun acc (_, y) -> acc +. y) 0.0 points /. n
+  in
+  let ss_res =
+    List.fold_left
+      (fun acc (x, y) ->
+        let e = y -. predict x in
+        acc +. (e *. e))
+      0.0 points
+  in
+  let ss_tot =
+    List.fold_left
+      (fun acc (_, y) ->
+        let e = y -. mean_y in
+        acc +. (e *. e))
+      0.0 points
+  in
+  {
+    coeffs;
+    residual_stddev = sqrt (ss_res /. n);
+    r_squared = (if ss_tot = 0.0 then 1.0 else 1.0 -. (ss_res /. ss_tot));
+  }
+
+let fit_through_origin points = fit_degrees [| 1 |] points
+let fit_affine points = fit_degrees [| 0; 1 |] points
+let fit_quadratic points = fit_degrees [| 0; 1; 2 |] points
+
+let predict fit x =
+  Array.to_list fit.coeffs
+  |> List.mapi (fun d c -> c *. (x ** float_of_int d))
+  |> List.fold_left ( +. ) 0.0
+
+let describe fit =
+  let terms =
+    Array.to_list fit.coeffs
+    |> List.mapi (fun d c -> (d, c))
+    |> List.filter (fun (_, c) -> abs_float c > 1e-12)
+    |> List.rev
+    |> List.map (fun (d, c) ->
+           match d with
+           | 0 -> Printf.sprintf "%.4f" c
+           | 1 -> Printf.sprintf "%.4fN" c
+           | d -> Printf.sprintf "%.4fN^%d" c d)
+  in
+  let poly = if terms = [] then "0" else String.concat " + " terms in
+  Printf.sprintf "%s (sd %.1f, R^2 %.3f)" poly fit.residual_stddev
+    fit.r_squared

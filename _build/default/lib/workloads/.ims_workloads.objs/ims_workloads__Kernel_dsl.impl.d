@@ -1,0 +1,1 @@
+lib/workloads/kernel_dsl.ml: Builder Ims_ir Printf

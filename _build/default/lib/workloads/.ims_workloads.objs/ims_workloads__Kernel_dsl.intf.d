@@ -1,0 +1,1 @@
+lib/workloads/kernel_dsl.mli: Builder Ddg Dep Ims_ir Ims_machine Machine

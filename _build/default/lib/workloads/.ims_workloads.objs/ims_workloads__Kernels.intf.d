@@ -1,0 +1,1 @@
+lib/workloads/kernels.mli: Ddg Dep Ims_ir Ims_machine Machine

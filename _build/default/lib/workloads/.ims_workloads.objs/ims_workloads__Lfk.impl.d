@@ -1,0 +1,1 @@
+lib/workloads/lfk.ml: Builder Dep If_conversion Ims_ir Kernel_dsl List Printf

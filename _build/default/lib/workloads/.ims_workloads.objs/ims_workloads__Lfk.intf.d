@@ -1,0 +1,1 @@
+lib/workloads/lfk.mli: Ddg Dep Ims_ir Ims_machine Machine

@@ -1,0 +1,1 @@
+lib/workloads/loop_dump.ml: Array Buffer Ddg Dep Ims_ir List Op Option Printf String

@@ -1,0 +1,1 @@
+lib/workloads/loop_dump.mli: Ddg Dep Ims_ir

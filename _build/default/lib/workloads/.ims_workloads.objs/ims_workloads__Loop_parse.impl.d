@@ -1,0 +1,1 @@
+lib/workloads/loop_parse.ml: Array Builder Dep Format Ims_ir List Option Printf String

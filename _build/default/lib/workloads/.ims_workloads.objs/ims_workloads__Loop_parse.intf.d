@@ -1,0 +1,1 @@
+lib/workloads/loop_parse.mli: Ddg Ims_ir Ims_machine Machine

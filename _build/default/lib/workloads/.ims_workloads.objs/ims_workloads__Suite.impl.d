@@ -1,0 +1,1 @@
+lib/workloads/suite.ml: Ddg Ims_ir Ims_machine Lfk List Machine Random Synthetic

@@ -1,0 +1,1 @@
+lib/workloads/suite.mli: Ddg Ims_ir Ims_machine Machine

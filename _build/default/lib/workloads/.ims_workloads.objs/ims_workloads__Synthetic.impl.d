@@ -1,0 +1,1 @@
+lib/workloads/synthetic.ml: Builder Dep Float Ims_ir Kernel_dsl List Printf Random

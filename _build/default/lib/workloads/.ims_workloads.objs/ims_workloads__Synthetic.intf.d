@@ -1,0 +1,1 @@
+lib/workloads/synthetic.mli: Ddg Ims_ir Ims_machine Machine Random

@@ -1,0 +1,66 @@
+open Ims_ir
+
+type t = { b : Builder.t; mutable tmp : int }
+
+let create ?model machine = { b = Builder.create ?model machine; tmp = 0 }
+let builder t = t.b
+
+let fresh t prefix =
+  t.tmp <- t.tmp + 1;
+  Builder.vreg t.b (Printf.sprintf "%s$%d" prefix t.tmp)
+
+let reg t name = Builder.vreg t.b name
+
+let addr ?(backsub = true) t name =
+  let a = Builder.vreg t.b name in
+  let distance = if backsub then 3 else 1 in
+  ignore
+    (Builder.add t.b ~tag:(name ^ " += stride") ~opcode:"aadd" ~dsts:[ a ]
+       ~srcs:[ (a, distance) ]
+       ~imm:(8.0 *. float_of_int distance)
+       ());
+  a
+
+let load ?pred t a tag =
+  let v = fresh t "ld" in
+  let op =
+    Builder.add t.b ~tag ?pred ~opcode:"load" ~dsts:[ v ] ~srcs:[ (a, 0) ] ()
+  in
+  (v, op)
+
+let store ?pred t a (v, d) tag =
+  Builder.add t.b ~tag ?pred ~opcode:"store" ~dsts:[]
+    ~srcs:[ (a, 0); (v, d) ]
+    ()
+
+let unop ?pred t opcode x tag =
+  let d = fresh t opcode in
+  ignore (Builder.add t.b ~tag ?pred ~opcode ~dsts:[ d ] ~srcs:[ x ] ());
+  d
+
+let binop ?pred t opcode x y tag =
+  let d = fresh t opcode in
+  ignore (Builder.add t.b ~tag ?pred ~opcode ~dsts:[ d ] ~srcs:[ x; y ] ());
+  d
+
+let into ?pred t opcode ~dst srcs tag =
+  Builder.add t.b ~tag ?pred ~opcode ~dsts:[ dst ] ~srcs ()
+
+let loop_control ?(backsub = true) t =
+  let i = Builder.vreg t.b "loop$i" in
+  let limit = Builder.vreg t.b "loop$limit" in  (* live-in *)
+  let cond = fresh t "loop$cond" in
+  let distance = if backsub then 3 else 1 in
+  ignore
+    (Builder.add t.b ~tag:"i += 1" ~opcode:"aadd" ~dsts:[ i ]
+       ~srcs:[ (i, distance) ]
+       ~imm:(float_of_int distance)
+       ());
+  ignore
+    (Builder.add t.b ~tag:"i < n" ~opcode:"cmp" ~dsts:[ cond ]
+       ~srcs:[ (i, 0); (limit, 0) ] ());
+  ignore
+    (Builder.add t.b ~tag:"brtop" ~opcode:"branch" ~dsts:[]
+       ~srcs:[ (cond, 0) ] ())
+
+let finish ?keep_false_deps t = Builder.finish ?keep_false_deps t.b

@@ -1,0 +1,66 @@
+(** Helpers shared by the hand-translated Livermore kernels and the
+    synthetic generator: array streams, temporaries and the loop-control
+    operations every candidate DO-loop carries.
+
+    Address streams model the code the Cydra 5 compiler emitted after
+    strength reduction: one address add per array stream, self-recurrent
+    at distance [k].  [k = 3] (the address-ALU latency) reflects
+    back-substituted increments, which keep the recurrence off the
+    critical ratio (RecMII contribution 1); [k = 1] is the plain
+    increment with RecMII contribution equal to the full latency. *)
+
+open Ims_machine
+open Ims_ir
+
+type t
+
+val create : ?model:Dep.latency_model -> Machine.t -> t
+val builder : t -> Builder.t
+
+val fresh : t -> string -> Builder.vreg
+(** A fresh, uniquely named temporary register. *)
+
+val reg : t -> string -> Builder.vreg
+
+val addr : ?backsub:bool -> t -> string -> Builder.vreg
+(** An address stream: emits [aadd a <- a[k]] and returns [a].
+    [backsub] defaults to true. *)
+
+val load : ?pred:Builder.vreg * int -> t -> Builder.vreg -> string -> Builder.vreg * Builder.opref
+(** [load t a tag] emits a load from stream [a]; returns the loaded value
+    register and the op (for memory dependences). *)
+
+val store :
+  ?pred:Builder.vreg * int ->
+  t ->
+  Builder.vreg ->
+  (Builder.vreg * int) ->
+  string ->
+  Builder.opref
+(** [store t a (v, d) tag] stores [v] (at distance [d]) through stream
+    [a]. *)
+
+val unop :
+  ?pred:Builder.vreg * int ->
+  t -> string -> Builder.vreg * int -> string -> Builder.vreg
+(** [unop t opcode x tag]: fresh destination. *)
+
+val binop :
+  ?pred:Builder.vreg * int ->
+  t -> string -> Builder.vreg * int -> Builder.vreg * int -> string ->
+  Builder.vreg
+(** [binop t opcode x y tag]: fresh destination. *)
+
+val into :
+  ?pred:Builder.vreg * int ->
+  t -> string -> dst:Builder.vreg ->
+  (Builder.vreg * int) list -> string -> Builder.opref
+(** Like {!binop} but writing a named register — used for reductions and
+    recurrences. *)
+
+val loop_control : ?backsub:bool -> t -> unit
+(** The counter increment, trip-count compare and loop-closing branch
+    every candidate loop carries (the paper's minimum loop size of 4
+    operations includes them). *)
+
+val finish : ?keep_false_deps:bool -> t -> Ddg.t

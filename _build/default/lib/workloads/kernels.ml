@@ -1,0 +1,226 @@
+module K = Kernel_dsl
+
+let cur v = (v, 0)
+let prev v = (v, 1)
+
+(* daxpy: y[i] = y[i] + a*x[i] *)
+let daxpy k =
+  let a = K.reg k "a" in
+  let ax = K.addr k "ax" and ay = K.addr k "ay" in
+  let x, _ = K.load k ax "x[i]" in
+  let y, _ = K.load k ay "y[i]" in
+  let p = K.binop k "fmul" (cur a) (cur x) "a*x" in
+  let s = K.binop k "fadd" (cur y) (cur p) "y + a*x" in
+  ignore (K.store k ay (cur s) "y[i] =");
+  K.loop_control k
+
+(* sdot: the BLAS-1 reduction. *)
+let sdot k =
+  let acc = K.reg k "acc" in
+  let ax = K.addr k "ax" and ay = K.addr k "ay" in
+  let x, _ = K.load k ax "x[i]" in
+  let y, _ = K.load k ay "y[i]" in
+  let p = K.binop k "fmul" (cur x) (cur y) "x*y" in
+  ignore (K.into k "fadd" ~dst:acc [ prev acc; cur p ] "acc +=");
+  K.loop_control k
+
+(* sscal: x[i] = a*x[i] *)
+let sscal k =
+  let a = K.reg k "a" in
+  let ax = K.addr k "ax" in
+  let x, _ = K.load k ax "x[i]" in
+  let p = K.binop k "fmul" (cur a) (cur x) "a*x" in
+  ignore (K.store k ax (cur p) "x[i] =");
+  K.loop_control k
+
+(* snrm2-style sum of squares. *)
+let sum_squares k =
+  let acc = K.reg k "ss" in
+  let ax = K.addr k "ax" in
+  let x, _ = K.load k ax "x[i]" in
+  let sq = K.binop k "fmul" (cur x) (cur x) "x*x" in
+  ignore (K.into k "fadd" ~dst:acc [ prev acc; cur sq ] "ss +=");
+  K.loop_control k
+
+(* A radius-r 1-D stencil: out[i] = sum of c_j * in[i+j]. *)
+let stencil radius k =
+  let taps = (2 * radius) + 1 in
+  let coeffs = List.init taps (fun j -> K.reg k (Printf.sprintf "c%d" j)) in
+  let inputs =
+    List.init taps (fun j ->
+        let a = K.addr k (Printf.sprintf "ain%d" j) in
+        fst (K.load k a (Printf.sprintf "in[i%+d]" (j - radius))))
+  in
+  let terms =
+    List.map2 (fun c x -> K.binop k "fmul" (cur c) (cur x) "c*in") coeffs inputs
+  in
+  let sum =
+    match terms with
+    | first :: rest ->
+        List.fold_left (fun acc p -> K.binop k "fadd" (cur acc) (cur p) "+") first rest
+    | [] -> assert false
+  in
+  let aout = K.addr k "aout" in
+  ignore (K.store k aout (cur sum) "out[i] =");
+  K.loop_control k
+
+(* FIR filter over a register delay line: taps shifted through EVRs. *)
+let fir taps k =
+  let ax = K.addr k "ax" and aout = K.addr k "aout" in
+  let x, _ = K.load k ax "x[i]" in
+  let coeffs = List.init taps (fun j -> K.reg k (Printf.sprintf "h%d" j)) in
+  let terms =
+    List.mapi
+      (fun j c -> K.binop k "fmul" (cur c) (x, j) (Printf.sprintf "h%d*x[i-%d]" j j))
+      coeffs
+  in
+  let sum =
+    match terms with
+    | first :: rest ->
+        List.fold_left (fun acc p -> K.binop k "fadd" (cur acc) (cur p) "+") first rest
+    | [] -> assert false
+  in
+  ignore (K.store k aout (cur sum) "y[i] =");
+  K.loop_control k
+
+(* IIR biquad: the serial recurrence y[i] = b*x[i] + a1*y[i-1] + a2*y[i-2]. *)
+let iir k =
+  let b0 = K.reg k "b0" and a1 = K.reg k "a1" and a2 = K.reg k "a2" in
+  let ax = K.addr k "ax" and aout = K.addr k "aout" in
+  let x, _ = K.load k ax "x[i]" in
+  let y = K.reg k "y" in
+  let t0 = K.binop k "fmul" (cur b0) (cur x) "b0*x" in
+  let t1 = K.binop k "fmul" (cur a1) (prev y) "a1*y'" in
+  let t2 = K.binop k "fmul" (cur a2) (y, 2) "a2*y''" in
+  let s1 = K.binop k "fadd" (cur t0) (cur t1) "" in
+  ignore (K.into k "fadd" ~dst:y [ cur s1; cur t2 ] "y =");
+  ignore (K.store k aout (cur y) "y[i] =");
+  K.loop_control k
+
+(* Complex multiply-accumulate (an FFT butterfly's workhorse). *)
+let cmac k =
+  let ar = K.addr k "ar" and ai = K.addr k "ai" in
+  let br = K.addr k "br" and bi = K.addr k "bi" in
+  let xr, _ = K.load k ar "a.re" in
+  let xi, _ = K.load k ai "a.im" in
+  let yr, _ = K.load k br "b.re" in
+  let yi, _ = K.load k bi "b.im" in
+  let rr = K.binop k "fmul" (cur xr) (cur yr) "re*re" in
+  let ii = K.binop k "fmul" (cur xi) (cur yi) "im*im" in
+  let ri = K.binop k "fmul" (cur xr) (cur yi) "re*im" in
+  let ir = K.binop k "fmul" (cur xi) (cur yr) "im*re" in
+  let re = K.binop k "fsub" (cur rr) (cur ii) "re" in
+  let im = K.binop k "fadd" (cur ri) (cur ir) "im" in
+  let sr = K.reg k "sum_re" and si = K.reg k "sum_im" in
+  ignore (K.into k "fadd" ~dst:sr [ prev sr; cur re ] "sum.re +=");
+  ignore (K.into k "fadd" ~dst:si [ prev si; cur im ] "sum.im +=");
+  K.loop_control k
+
+(* Horner polynomial evaluation: p = p*x + c[i] (serial fmul+fadd). *)
+let horner k =
+  let x = K.reg k "x" and p = K.reg k "p" in
+  let ac = K.addr k "ac" in
+  let c, _ = K.load k ac "c[i]" in
+  let t = K.binop k "fmul" (prev p) (cur x) "p*x" in
+  ignore (K.into k "fadd" ~dst:p [ cur t; cur c ] "p = p*x + c");
+  K.loop_control k
+
+(* Gather: out[i] = table[idx[i]] (indexed load, two memory levels). *)
+let gather k =
+  let aidx = K.addr k "aidx" and aout = K.addr k "aout" in
+  let idx, _ = K.load k aidx "idx[i]" in
+  let taddr = K.binop k "aadd" (cur idx) (K.reg k "table", 0) "table+idx" in
+  let v, _ = K.load k taddr "table[idx]" in
+  ignore (K.store k aout (cur v) "out[i] =");
+  K.loop_control k
+
+(* Integer checksum with rotate-ish mixing. *)
+let checksum k =
+  let ax = K.addr k "ax" in
+  let x, _ = K.load k ax "x[i]" in
+  let h = K.reg k "h" in
+  let m = K.binop k "mul" (prev h) (K.reg k "prime", 0) "h*p" in
+  ignore (K.into k "add" ~dst:h [ cur m; cur x ] "h = h*p + x");
+  K.loop_control k
+
+(* Saturating difference with predication: out = max(a-b, 0). *)
+let saturate k =
+  let aa = K.addr k "aa" and ab = K.addr k "ab" and aout = K.addr k "aout" in
+  let a, _ = K.load k aa "a[i]" in
+  let b, _ = K.load k ab "b[i]" in
+  let d = K.binop k "fsub" (cur a) (cur b) "a-b" in
+  let zero = K.reg k "zero" in
+  let c = K.binop k "fcmp" (cur d) (cur zero) "d < 0" in
+  let pt = K.unop k "pred_set" (cur c) "p_neg" in
+  let pf = K.unop k "pred_reset" (cur c) "p_pos" in
+  let out = K.reg k "out" in
+  ignore (K.into ~pred:(pt, 0) k "copy" ~dst:out [ cur zero ] "out = 0");
+  ignore (K.into ~pred:(pf, 0) k "copy" ~dst:out [ cur d ] "out = d");
+  ignore (K.store k aout (cur out) "out[i] =");
+  K.loop_control k
+
+(* Strided copy with scale (unit-stride in, stride-3 out). *)
+let strided_scale k =
+  let a = K.reg k "a" in
+  let ain = K.addr k "ain" and aout = K.addr k "aout" in
+  let x, _ = K.load k ain "x[i]" in
+  let p = K.binop k "fmul" (cur a) (cur x) "a*x" in
+  ignore (K.store k aout (cur p) "y[3i] =");
+  K.loop_control k
+
+(* Triangular solve inner step: serial through a divide. *)
+let trsv_step k =
+  let adiag = K.addr k "adiag" and ab = K.addr k "ab" in
+  let d, _ = K.load k adiag "diag[i]" in
+  let bv, _ = K.load k ab "b[i]" in
+  let x = K.reg k "x" in
+  let t = K.binop k "fmul" (prev x) (cur bv) "x'*b" in
+  let num = K.binop k "fsub" (cur bv) (cur t) "b - x'*b" in
+  ignore (K.into k "fdiv" ~dst:x [ cur num; cur d ] "x = num/diag");
+  K.loop_control k
+
+(* Max-reduction (unpredicated compare-select idiom via predication). *)
+let reduce_max k =
+  let ax = K.addr k "ax" in
+  let x, _ = K.load k ax "x[i]" in
+  let m = K.reg k "m" in
+  let c = K.binop k "fcmp" (cur x) (prev m) "x > m" in
+  let pt = K.unop k "pred_set" (cur c) "p_gt" in
+  let pf = K.unop k "pred_reset" (cur c) "p_le" in
+  ignore (K.into ~pred:(pt, 0) k "copy" ~dst:m [ cur x ] "m = x");
+  ignore (K.into ~pred:(pf, 0) k "copy" ~dst:m [ prev m ] "m = m'");
+  K.loop_control k
+
+let table : (string * (K.t -> unit)) list =
+  [
+    ("daxpy", daxpy);
+    ("sdot", sdot);
+    ("sscal", sscal);
+    ("sum_squares", sum_squares);
+    ("stencil3", stencil 1);
+    ("stencil5", stencil 2);
+    ("stencil9", stencil 4);
+    ("fir8", fir 8);
+    ("iir", iir);
+    ("cmac", cmac);
+    ("horner", horner);
+    ("gather", gather);
+    ("checksum", checksum);
+    ("saturate", saturate);
+    ("strided_scale", strided_scale);
+    ("trsv_step", trsv_step);
+    ("reduce_max", reduce_max);
+  ]
+
+let names = List.map fst table
+
+let build ?model machine name =
+  match List.assoc_opt name table with
+  | None -> raise Not_found
+  | Some f ->
+      let k = K.create ?model machine in
+      f k;
+      K.finish k
+
+let all ?model machine =
+  List.map (fun (name, _) -> (name, build ?model machine name)) table

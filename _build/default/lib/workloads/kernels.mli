@@ -1,0 +1,20 @@
+(** A second family of named loops: classic numerical micro-kernels in
+    the SPEC/linear-algebra flavour, complementing the Livermore set.
+
+    Where {!Lfk} reproduces the paper's exact third suite, these kernels
+    cover idioms the Perfect Club / SPEC portion of its input set was
+    full of: BLAS level-1 (daxpy/dot/scale), stencils of several radii,
+    filters (FIR and the serial IIR), a complex-arithmetic butterfly,
+    Horner evaluation, table-driven gathers, and integer reduce/hash
+    loops.  All are built through the same {!Kernel_dsl} and carry the
+    standard loop control. *)
+
+open Ims_machine
+open Ims_ir
+
+val names : string list
+
+val build : ?model:Dep.latency_model -> Machine.t -> string -> Ddg.t
+(** @raise Not_found for an unknown name. *)
+
+val all : ?model:Dep.latency_model -> Machine.t -> (string * Ddg.t) list

@@ -1,0 +1,567 @@
+open Ims_ir
+module K = Kernel_dsl
+
+let cur v = (v, 0)
+let prev v = (v, 1)
+
+(* Kernel 1 — hydro fragment:
+   x[k] = q + y[k] * (r*z[k+10] + t*z[k+11]) *)
+let lfk01 k =
+  let q = K.reg k "q" and r = K.reg k "r" and t = K.reg k "t" in
+  let ay = K.addr k "ay" and az10 = K.addr k "az10" in
+  let az11 = K.addr k "az11" and ax = K.addr k "ax" in
+  let y, _ = K.load k ay "y[k]" in
+  let z10, _ = K.load k az10 "z[k+10]" in
+  let z11, _ = K.load k az11 "z[k+11]" in
+  let rz = K.binop k "fmul" (cur r) (cur z10) "r*z[k+10]" in
+  let tz = K.binop k "fmul" (cur t) (cur z11) "t*z[k+11]" in
+  let sum = K.binop k "fadd" (cur rz) (cur tz) "r*z+t*z" in
+  let prod = K.binop k "fmul" (cur y) (cur sum) "y[k]*(...)" in
+  let x = K.binop k "fadd" (cur q) (cur prod) "q + ..." in
+  ignore (K.store k ax (cur x) "x[k] =");
+  K.loop_control k
+
+(* Kernel 2 — ICCG (incomplete Cholesky, vectorized sweep):
+   x[ii+k] = x[k] - v[k]*x[k+1] *)
+let lfk02 k =
+  let av = K.addr k "av" and ax0 = K.addr k "ax0" in
+  let ax1 = K.addr k "ax1" and axo = K.addr k "axo" in
+  let v, _ = K.load k av "v[k]" in
+  let x0, _ = K.load k ax0 "x[k]" in
+  let x1, _ = K.load k ax1 "x[k+1]" in
+  let p = K.binop k "fmul" (cur v) (cur x1) "v[k]*x[k+1]" in
+  let d = K.binop k "fsub" (cur x0) (cur p) "x[k] - ..." in
+  ignore (K.store k axo (cur d) "x[ii+k] =");
+  K.loop_control k
+
+(* Kernel 3 — inner product: q = q + z[k]*x[k] *)
+let lfk03 k =
+  let q = K.reg k "q" in
+  let az = K.addr k "az" and ax = K.addr k "ax" in
+  let z, _ = K.load k az "z[k]" in
+  let x, _ = K.load k ax "x[k]" in
+  let p = K.binop k "fmul" (cur z) (cur x) "z[k]*x[k]" in
+  ignore (K.into k "fadd" ~dst:q [ prev q; cur p ] "q += z*x");
+  K.loop_control k
+
+(* Kernel 4 — banded linear equations (reduction sweep):
+   xz = xz - y[j]*x[j] *)
+let lfk04 k =
+  let xz = K.reg k "xz" in
+  let ay = K.addr k "ay" and ax = K.addr k "ax" in
+  let y, _ = K.load k ay "y[j]" in
+  let x, _ = K.load k ax "x[j]" in
+  let p = K.binop k "fmul" (cur y) (cur x) "y[j]*x[j]" in
+  ignore (K.into k "fsub" ~dst:xz [ prev xz; cur p ] "xz -= y*x");
+  K.loop_control k
+
+(* Kernel 5 — tri-diagonal elimination, below diagonal:
+   x[i] = z[i] * (y[i] - x[i-1])   (register first-order recurrence) *)
+let lfk05 k =
+  let x = K.reg k "x" in
+  let az = K.addr k "az" and ay = K.addr k "ay" and ax = K.addr k "ax" in
+  let z, _ = K.load k az "z[i]" in
+  let y, _ = K.load k ay "y[i]" in
+  let d = K.binop k "fsub" (cur y) (prev x) "y[i] - x[i-1]" in
+  ignore (K.into k "fmul" ~dst:x [ cur z; cur d ] "x[i] = z*(...)");
+  ignore (K.store k ax (cur x) "x[i] =");
+  K.loop_control k
+
+(* Kernel 6 — general linear recurrence through memory:
+   w[i] = w[i] + b[k]*w[i-k-1]; the carried value travels through the
+   store/load pair, declared as an explicit memory flow dependence. *)
+let lfk06 k =
+  let ab = K.addr k "ab" and awr = K.addr k "awr" and aww = K.addr k "aww" in
+  let b, _ = K.load k ab "b[k][i]" in
+  let wold, load_w = K.load k awr "w[(i-k)-1]" in
+  let p = K.binop k "fmul" (cur b) (cur wold) "b*w" in
+  let acc = K.reg k "wacc" in
+  ignore (K.into k "fadd" ~dst:acc [ prev acc; cur p ] "w += b*w'");
+  let st = K.store k aww (cur acc) "w[i] =" in
+  Builder.mem_dep (K.builder k) ~distance:1 Dep.Flow ~src:st ~dst:load_w;
+  K.loop_control k
+
+(* Kernel 7 — equation of state fragment (large vectorizable body):
+   x[k] = u[k] + r*(z[k] + r*y[k])
+        + t*(u[k+3] + r*(u[k+2] + r*u[k+1])
+             + t*(u[k+6] + q*(u[k+5] + q*u[k+4]))) *)
+let lfk07 k =
+  let r = K.reg k "r" and t = K.reg k "t" and q = K.reg k "q" in
+  let streams = [ "u0"; "u1"; "u2"; "u3"; "u4"; "u5"; "u6"; "y"; "z" ] in
+  let load name =
+    let a = K.addr k ("a" ^ name) in
+    fst (K.load k a (name ^ "[k]"))
+  in
+  let vals = List.map (fun n -> (n, load n)) streams in
+  let v n = cur (List.assoc n vals) in
+  let ax = K.addr k "ax" in
+  let ry = K.binop k "fmul" (cur r) (v "y") "r*y" in
+  let zry = K.binop k "fadd" (v "z") (cur ry) "z + r*y" in
+  let rzry = K.binop k "fmul" (cur r) (cur zry) "r*(z+r*y)" in
+  let t1 = K.binop k "fadd" (v "u0") (cur rzry) "u + r*(...)" in
+  let ru1 = K.binop k "fmul" (cur r) (v "u1") "r*u1" in
+  let u2ru1 = K.binop k "fadd" (v "u2") (cur ru1) "u2 + r*u1" in
+  let r2 = K.binop k "fmul" (cur r) (cur u2ru1) "r*(u2+r*u1)" in
+  let u3r = K.binop k "fadd" (v "u3") (cur r2) "u3 + r*(...)" in
+  let qu4 = K.binop k "fmul" (cur q) (v "u4") "q*u4" in
+  let u5q = K.binop k "fadd" (v "u5") (cur qu4) "u5 + q*u4" in
+  let q2 = K.binop k "fmul" (cur q) (cur u5q) "q*(u5+q*u4)" in
+  let u6q = K.binop k "fadd" (v "u6") (cur q2) "u6 + q*(...)" in
+  let tu6 = K.binop k "fmul" (cur t) (cur u6q) "t*(u6+...)" in
+  let inner = K.binop k "fadd" (cur u3r) (cur tu6) "u3r + t*(...)" in
+  let tinner = K.binop k "fmul" (cur t) (cur inner) "t*(...)" in
+  let x = K.binop k "fadd" (cur t1) (cur tinner) "x[k]" in
+  ignore (K.store k ax (cur x) "x[k] =");
+  K.loop_control k
+
+(* Kernel 8 — ADI integration (one sweep): three coupled updates from
+   shared difference terms. *)
+let lfk08 k =
+  let a11 = K.reg k "a11" and a12 = K.reg k "a12" and a13 = K.reg k "a13" in
+  let a21 = K.reg k "a21" and a22 = K.reg k "a22" and a23 = K.reg k "a23" in
+  let a31 = K.reg k "a31" and a32 = K.reg k "a32" and a33 = K.reg k "a33" in
+  let sig_ = K.reg k "sig" in
+  let load name =
+    let a = K.addr k ("a" ^ name) in
+    fst (K.load k a name)
+  in
+  let u1p = load "u1[kx][ky+1]" and u1m = load "u1[kx][ky-1]" in
+  let u2p = load "u2[kx][ky+1]" and u2m = load "u2[kx][ky-1]" in
+  let u3p = load "u3[kx][ky+1]" and u3m = load "u3[kx][ky-1]" in
+  let u1 = load "u1[kx][ky]" and u2 = load "u2[kx][ky]" and u3 = load "u3[kx][ky]" in
+  let du1 = K.binop k "fsub" (cur u1p) (cur u1m) "du1" in
+  let du2 = K.binop k "fsub" (cur u2p) (cur u2m) "du2" in
+  let du3 = K.binop k "fsub" (cur u3p) (cur u3m) "du3" in
+  let update u (c1, c2, c3) out =
+    let t1 = K.binop k "fmul" (cur c1) (cur du1) "a*du1" in
+    let t2 = K.binop k "fmul" (cur c2) (cur du2) "a*du2" in
+    let t3 = K.binop k "fmul" (cur c3) (cur du3) "a*du3" in
+    let s1 = K.binop k "fadd" (cur t1) (cur t2) "" in
+    let s2 = K.binop k "fadd" (cur s1) (cur t3) "" in
+    let s3 = K.binop k "fmul" (cur sig_) (cur s2) "sig*(...)" in
+    let nu = K.binop k "fadd" (cur u) (cur s3) "u + sig*(...)" in
+    let a = K.addr k out in
+    ignore (K.store k a (cur nu) (out ^ " ="))
+  in
+  update u1 (a11, a12, a13) "u1out";
+  update u2 (a21, a22, a23) "u2out";
+  update u3 (a31, a32, a33) "u3out";
+  K.loop_control k
+
+(* Kernel 9 — integrate predictors: one long dot product of thirteen
+   terms against the px row, fully vectorizable. *)
+let lfk09 k =
+  let coeffs = List.init 10 (fun i -> K.reg k (Printf.sprintf "dm%d" i)) in
+  let load i =
+    let a = K.addr k (Printf.sprintf "apx%d" i) in
+    fst (K.load k a (Printf.sprintf "px[i][%d]" i))
+  in
+  let terms = List.init 10 (fun i -> load (i + 3)) in
+  let products =
+    List.map2
+      (fun c x -> K.binop k "fmul" (cur c) (cur x) "dm*px")
+      coeffs terms
+  in
+  let sum =
+    match products with
+    | first :: rest ->
+        List.fold_left
+          (fun acc p -> K.binop k "fadd" (cur acc) (cur p) "+")
+          first rest
+    | [] -> assert false
+  in
+  let aout = K.addr k "apx0" in
+  ignore (K.store k aout (cur sum) "px[i][0] =");
+  K.loop_control k
+
+(* Kernel 10 — difference predictors: a serial chain of differences with
+   a store after every link (long SL, trivial MII). *)
+let lfk10 k =
+  let acx = K.addr k "acx" in
+  let ar, _ = K.load k acx "cx[i][5]" in
+  let carry = ref ar in
+  for j = 5 to 12 do
+    let apx = K.addr k (Printf.sprintf "apx%d" j) in
+    let px, _ = K.load k apx (Printf.sprintf "px[i][%d]" j) in
+    let br = K.binop k "fsub" (cur !carry) (cur px) "br = ar - px" in
+    let aout = K.addr k (Printf.sprintf "aout%d" j) in
+    ignore (K.store k aout (cur !carry) (Printf.sprintf "px[i][%d] =" j));
+    carry := br
+  done;
+  let afin = K.addr k "aout13" in
+  ignore (K.store k afin (cur !carry) "px[i][13] =");
+  K.loop_control k
+
+(* Kernel 11 — first sum (prefix sum): x[k] = x[k-1] + y[k] *)
+let lfk11 k =
+  let x = K.reg k "x" in
+  let ay = K.addr k "ay" and ax = K.addr k "ax" in
+  let y, _ = K.load k ay "y[k]" in
+  ignore (K.into k "fadd" ~dst:x [ prev x; cur y ] "x = x' + y");
+  ignore (K.store k ax (cur x) "x[k] =");
+  K.loop_control k
+
+(* Kernel 12 — first difference: x[k] = y[k+1] - y[k] *)
+let lfk12 k =
+  let ay1 = K.addr k "ay1" and ay0 = K.addr k "ay0" and ax = K.addr k "ax" in
+  let y1, _ = K.load k ay1 "y[k+1]" in
+  let y0, _ = K.load k ay0 "y[k]" in
+  let d = K.binop k "fsub" (cur y1) (cur y0) "y[k+1]-y[k]" in
+  ignore (K.store k ax (cur d) "x[k] =");
+  K.loop_control k
+
+(* Kernel 13 — 2-D particle in cell (IF-converted gather/scatter). *)
+let lfk13 k =
+  let ap1 = K.addr k "ap1" and ap2 = K.addr k "ap2" in
+  let p1, _ = K.load k ap1 "p[ip][0]" in
+  let p2, _ = K.load k ap2 "p[ip][1]" in
+  let i1 = K.unop k "copy" (cur p1) "i1 = int(p1)" in
+  let j1 = K.unop k "copy" (cur p2) "j1 = int(p2)" in
+  let ay = K.addr k "ay" and az = K.addr k "az" in
+  let y, _ = K.load k ay "y[i1]" in
+  let z, _ = K.load k az "z[j1]" in
+  let s1 = K.binop k "fadd" (cur p1) (cur y) "p1 + y" in
+  let s2 = K.binop k "fadd" (cur p2) (cur z) "p2 + z" in
+  ignore (K.store k ap1 (cur s1) "p[ip][0] =");
+  ignore (K.store k ap2 (cur s2) "p[ip][1] =");
+  (* if (i2 <= 0) i2 = i2 + 64 — IF-converted bounds wrap. *)
+  let i2 = K.binop k "add" (cur i1) (cur j1) "i2" in
+  let zero = K.reg k "zero" in
+  let c = K.binop k "cmp" (cur i2) (cur zero) "i2 <= 0" in
+  let pt = K.unop k "pred_set" (cur c) "p_wrap" in
+  let pf = K.unop k "pred_reset" (cur c) "p_nowrap" in
+  let n64 = K.reg k "n64" in
+  let wrapped = K.binop ~pred:(pt, 0) k "add" (cur i2) (cur n64) "i2 + 64" in
+  let kept = K.unop ~pred:(pf, 0) k "copy" (cur i2) "i2" in
+  let ah = K.addr k "ah" in
+  let h, _ = K.load k ah "h[i2][j2]" in
+  let hw = K.binop k "fadd" (cur h) (cur wrapped) "h + w" in
+  let hk = K.binop k "fadd" (cur hw) (cur kept) "h + k" in
+  ignore (K.store k ah (cur hk) "h[i2][j2] =");
+  K.loop_control k
+
+(* Kernel 14, first loop — 1-D particle in cell: position update. *)
+let lfk14a k =
+  let flx = K.reg k "flx" in
+  let avx = K.addr k "avx" and axx = K.addr k "axx" in
+  let agrd = K.addr k "agrd" in
+  let vx, _ = K.load k avx "vx[k]" in
+  let xx, _ = K.load k axx "xx[k]" in
+  let grd, _ = K.load k agrd "grd[ix]" in
+  let xi = K.unop k "copy" (cur grd) "xi = real(ix)" in
+  let ex = K.binop k "fsub" (cur xx) (cur xi) "xx - xi" in
+  let fx = K.binop k "fmul" (cur flx) (cur ex) "flx*(...)" in
+  let nvx = K.binop k "fadd" (cur vx) (cur fx) "vx + flx*ex" in
+  let nxx = K.binop k "fadd" (cur xx) (cur nvx) "xx + vx" in
+  ignore (K.store k avx (cur nvx) "vx[k] =");
+  ignore (K.store k axx (cur nxx) "xx[k] =");
+  let air = K.addr k "air" in
+  ignore (K.store k air (cur nxx) "ir[k] =");
+  K.loop_control k
+
+(* Kernel 14, second loop — charge deposition with wraparound test
+   (IF-converted). *)
+let lfk14b k =
+  let air = K.addr k "air" and arx = K.addr k "arx" in
+  let ir, _ = K.load k air "ir[k]" in
+  let rx, _ = K.load k arx "rx[k]" in
+  let zero = K.reg k "zero" in
+  let c = K.binop k "cmp" (cur ir) (cur zero) "ir < 0" in
+  let pt = K.unop k "pred_set" (cur c) "p_neg" in
+  let pf = K.unop k "pred_reset" (cur c) "p_pos" in
+  let nbins = K.reg k "nbins" in
+  let irw = K.binop ~pred:(pt, 0) k "add" (cur ir) (cur nbins) "ir + 2048" in
+  let irk = K.unop ~pred:(pf, 0) k "copy" (cur ir) "ir" in
+  let adep = K.addr k "adep" in
+  let dep0, _ = K.load k adep "dep[ir]" in
+  let one = K.reg k "onef" in
+  let rxm = K.binop k "fsub" (cur one) (cur rx) "1 - rx" in
+  let d1 = K.binop k "fadd" (cur dep0) (cur rxm) "dep + (1-rx)" in
+  let d2 = K.binop k "fadd" (cur d1) (cur irw) "dep + w" in
+  let d3 = K.binop k "fadd" (cur d2) (cur irk) "dep + k" in
+  ignore (K.store k adep (cur d3) "dep[ir] =");
+  K.loop_control k
+
+(* Kernel 15 — casual Fortran: nested conditionals via structured
+   IF-conversion. *)
+let lfk15 k =
+  let b = K.builder k in
+  let avy = K.addr k "avy" and avs = K.addr k "avs" in
+  let vy, _ = K.load k avy "vy[j][k]" in
+  let vs, _ = K.load k avs "vs[j][k-1]" in
+  let zero = K.reg k "zero" in
+  let c1 = K.binop k "cmp" (cur vy) (cur zero) "vy > 0" in
+  let region =
+    If_conversion.(
+      If
+        {
+          cond = ("lfk15$c1", 0);
+          then_ =
+            Seq
+              [
+                Block
+                  [
+                    stmt "fmul" ~dsts:[ "t" ] ~srcs:[ ("lfk15$vs", 0); ("lfk15$vs", 0) ]
+                      ~tag:"t = vs*vs";
+                    stmt "fadd" ~dsts:[ "r" ] ~srcs:[ ("t", 0); ("lfk15$vy", 0) ]
+                      ~tag:"r = t + vy";
+                  ];
+                If
+                  {
+                    cond = ("lfk15$c1", 0);
+                    then_ =
+                      Block
+                        [
+                          stmt "fsub" ~dsts:[ "r2" ]
+                            ~srcs:[ ("r", 0); ("lfk15$vs", 0) ]
+                            ~tag:"r2 = r - vs";
+                        ];
+                    else_ =
+                      Block
+                        [
+                          stmt "copy" ~dsts:[ "r2" ] ~srcs:[ ("r", 0) ]
+                            ~tag:"r2 = r";
+                        ];
+                  };
+              ];
+          else_ =
+            Block
+              [
+                stmt "fmul" ~dsts:[ "r2b" ]
+                  ~srcs:[ ("lfk15$vy", 0); ("lfk15$vy", 0) ]
+                  ~tag:"r2b = vy*vy";
+              ];
+        })
+  in
+  (* Alias the condition and inputs into the names used by the region. *)
+  ignore (Builder.add b ~opcode:"copy" ~dsts:[ Builder.vreg b "lfk15$c1" ] ~srcs:[ (c1, 0) ] ());
+  ignore (Builder.add b ~opcode:"copy" ~dsts:[ Builder.vreg b "lfk15$vs" ] ~srcs:[ (vs, 0) ] ());
+  ignore (Builder.add b ~opcode:"copy" ~dsts:[ Builder.vreg b "lfk15$vy" ] ~srcs:[ (vy, 0) ] ());
+  If_conversion.convert b region;
+  let aout = K.addr k "aout" in
+  let r2 = Builder.vreg b "r2" in
+  ignore (K.store k aout (r2, 0) "vy[j][k] =");
+  K.loop_control k
+
+(* Kernel 17 — implicit conditional computation: predicated recurrence. *)
+let lfk17 k =
+  let scale = K.reg k "scale" in
+  let avxne = K.addr k "avxne" and avxnd = K.addr k "avxnd" in
+  let vxne, _ = K.load k avxne "vxne[i]" in
+  let vxnd, _ = K.load k avxnd "vxnd[i]" in
+  let xnm = K.reg k "xnm" in
+  let t = K.binop k "fmul" (cur scale) (prev xnm) "scale*xnm'" in
+  let c = K.binop k "fcmp" (cur t) (cur vxne) "t > vxne" in
+  let pt = K.unop k "pred_set" (cur c) "p_t" in
+  let pf = K.unop k "pred_reset" (cur c) "p_f" in
+  ignore
+    (K.into ~pred:(pt, 0) k "copy" ~dst:xnm [ cur vxne ] "xnm = vxne");
+  ignore
+    (K.into ~pred:(pf, 0) k "copy" ~dst:xnm [ cur vxnd ] "xnm = vxnd");
+  let aout = K.addr k "aout" in
+  ignore (K.store k aout (cur xnm) "xnm out");
+  K.loop_control k
+
+(* Kernel 18 — 2-D explicit hydrodynamics, three inner loops. *)
+let lfk18_sub part k =
+  let t = K.reg k "t18" and s = K.reg k "s18" in
+  let load name =
+    let a = K.addr k ("a" ^ name) in
+    fst (K.load k a name)
+  in
+  (match part with
+  | `A ->
+      (* za, zb from zp/zq/zr/zm neighbourhoods. *)
+      let zp0 = load "zp[j-1][k]" and zp1 = load "zp[j][k]" in
+      let zq0 = load "zq[j-1][k]" and zq1 = load "zq[j][k]" in
+      let zr0 = load "zr[j][k]" and zm0 = load "zm[j][k]" in
+      let n1 = K.binop k "fadd" (cur zp0) (cur zq0) "zp+zq" in
+      let n2 = K.binop k "fadd" (cur zp1) (cur zq1) "zp+zq" in
+      let d1 = K.binop k "fsub" (cur n1) (cur n2) "" in
+      let m1 = K.binop k "fmul" (cur zr0) (cur d1) "zr*(...)" in
+      let m2 = K.binop k "fmul" (cur zm0) (cur m1) "zm*(...)" in
+      let za = K.binop k "fmul" (cur t) (cur m2) "za" in
+      let zb = K.binop k "fsub" (cur m2) (cur za) "zb" in
+      let aza = K.addr k "aza" and azb = K.addr k "azb" in
+      ignore (K.store k aza (cur za) "za[j][k] =");
+      ignore (K.store k azb (cur zb) "zb[j][k] =")
+  | `B ->
+      (* zu, zv velocity updates. *)
+      let zu = load "zu[j][k]" and zv = load "zv[j][k]" in
+      let za0 = load "za[j][k]" and za1 = load "za[j-1][k]" in
+      let zb0 = load "zb[j][k]" and zb1 = load "zb[j][k-1]" in
+      let zz0 = load "zz[j][k]" and zz1 = load "zz[j+1][k]" in
+      let d1 = K.binop k "fsub" (cur zz1) (cur zz0) "dz" in
+      let f1 = K.binop k "fmul" (cur za0) (cur d1) "za*dz" in
+      let d2 = K.binop k "fsub" (cur za1) (cur zb0) "" in
+      let f2 = K.binop k "fmul" (cur zb1) (cur d2) "zb*(...)" in
+      let su = K.binop k "fadd" (cur f1) (cur f2) "" in
+      let nzu = K.binop k "fadd" (cur zu) (cur su) "zu +" in
+      let sv = K.binop k "fsub" (cur f1) (cur f2) "" in
+      let nzv = K.binop k "fadd" (cur zv) (cur sv) "zv +" in
+      let azu = K.addr k "azuo" and azv = K.addr k "azvo" in
+      ignore (K.store k azu (cur nzu) "zu[j][k] =");
+      ignore (K.store k azv (cur nzv) "zv[j][k] =")
+  | `C ->
+      (* zr, zz position updates. *)
+      let zr = load "zr[j][k]" and zz = load "zz[j][k]" in
+      let zu = load "zu[j][k]" and zv = load "zv[j][k]" in
+      let fu = K.binop k "fmul" (cur s) (cur zu) "s*zu" in
+      let fv = K.binop k "fmul" (cur s) (cur zv) "s*zv" in
+      let nzr = K.binop k "fadd" (cur zr) (cur fu) "zr + s*zu" in
+      let nzz = K.binop k "fadd" (cur zz) (cur fv) "zz + s*zv" in
+      let azr = K.addr k "azro" and azz = K.addr k "azzo" in
+      ignore (K.store k azr (cur nzr) "zr[j][k] =");
+      ignore (K.store k azz (cur nzz) "zz[j][k] ="));
+  K.loop_control k
+
+(* Kernel 19 — general linear recurrence equations, both sweeps. *)
+let lfk19 forward k =
+  let stb5 = K.reg k "stb5" in
+  let asa = K.addr k "asa" and asb = K.addr k "asb" in
+  let ab5 = K.addr k "ab5" in
+  let sa, _ = K.load k asa "sa[k]" in
+  let sb, _ = K.load k asb "sb[k]" in
+  (* stb5 = b5[k] := sa[k] + stb5*sb[k] (forward) or the mirrored
+     backward sweep — structurally identical recurrences. *)
+  let p = K.binop k "fmul" (prev stb5) (cur sb) "stb5*sb" in
+  ignore (K.into k "fadd" ~dst:stb5 [ cur sa; cur p ]
+      (if forward then "stb5 fwd" else "stb5 bwd"));
+  ignore (K.store k ab5 (cur stb5) "b5[k] =");
+  K.loop_control k
+
+(* Kernel 20 — discrete ordinates transport: recurrence through a
+   divide (RecMII dominated by the 22-cycle fdiv). *)
+let lfk20 k =
+  let a = K.reg k "a20" and b = K.reg k "b20" in
+  let xx = K.reg k "xx" in
+  let avx = K.addr k "avx" and ay = K.addr k "ay" in
+  let ag = K.addr k "ag" and axxo = K.addr k "axxo" in
+  let vx, _ = K.load k avx "vx[k]" in
+  let y, _ = K.load k ay "y[k]" in
+  let g, _ = K.load k ag "g[k]" in
+  let t1 = K.binop k "fmul" (cur a) (prev xx) "a*xx'" in
+  let t2 = K.binop k "fadd" (cur vx) (cur t1) "vx + a*xx'" in
+  let t3 = K.binop k "fmul" (cur y) (cur t2) "y*(...)" in
+  let t4 = K.binop k "fadd" (cur b) (cur g) "b + g" in
+  ignore (K.into k "fdiv" ~dst:xx [ cur t3; cur t4 ] "xx = num/den");
+  ignore (K.store k axxo (cur xx) "xx[k] =");
+  K.loop_control k
+
+(* Kernel 21 — matrix * matrix product: px[i][j] += vy[k][j]*cx[i][k] *)
+let lfk21 k =
+  let px = K.reg k "px" in
+  let avy = K.addr k "avy" and acx = K.addr k "acx" in
+  let apx = K.addr k "apx" in
+  let vy, _ = K.load k avy "vy[k][j]" in
+  let cx, _ = K.load k acx "cx[i][k]" in
+  let p = K.binop k "fmul" (cur vy) (cur cx) "vy*cx" in
+  ignore (K.into k "fadd" ~dst:px [ prev px; cur p ] "px += vy*cx");
+  ignore (K.store k apx (cur px) "px[i][j] =");
+  K.loop_control k
+
+(* Kernel 22 — Planckian distribution: two divides, no recurrence (the
+   original exp is a table lookup plus correction — modelled by the
+   divide-heavy data flow). *)
+let lfk22 k =
+  let au = K.addr k "au" and av = K.addr k "av" in
+  let ax = K.addr k "ax" and aw = K.addr k "aw" and ayo = K.addr k "ayo" in
+  let u, _ = K.load k au "u[k]" in
+  let v, _ = K.load k av "v[k]" in
+  let x, _ = K.load k ax "x[k]" in
+  let y = K.binop k "fdiv" (cur u) (cur v) "y = u/v" in
+  let one = K.reg k "onef" in
+  let e1 = K.binop k "fmul" (cur y) (cur y) "y*y (exp approx)" in
+  let e2 = K.binop k "fadd" (cur e1) (cur y) "" in
+  let den = K.binop k "fsub" (cur e2) (cur one) "exp(y)-1" in
+  let w = K.binop k "fdiv" (cur x) (cur den) "w = x/(exp(y)-1)" in
+  ignore (K.store k aw (cur w) "w[k] =");
+  ignore (K.store k ayo (cur y) "y[k] =");
+  K.loop_control k
+
+(* Kernel 23 — 2-D implicit hydrodynamics: recurrence through memory on
+   the k-1 column. *)
+let lfk23 k =
+  let load name =
+    let a = K.addr k ("a" ^ name) in
+    K.load k a name
+  in
+  let za1, _ = load "za[j+1][k]" in
+  let zr0, _ = load "zr[j][k]" in
+  let za2, load_prev = load "za[j][k-1]" in
+  let zb0, _ = load "zb[j][k]" in
+  let zu0, _ = load "zu[j][k]" in
+  let zv0, _ = load "zv[j][k]" in
+  let zzk, _ = load "zz[j][k]" in
+  let qa1 = K.binop k "fmul" (cur za1) (cur zr0) "za*zr" in
+  let qa2 = K.binop k "fmul" (cur za2) (cur zb0) "za'*zb" in
+  let qa3 = K.binop k "fadd" (cur qa1) (cur qa2) "" in
+  let qa4 = K.binop k "fadd" (cur zu0) (cur zv0) "zu+zv" in
+  let qa = K.binop k "fadd" (cur qa3) (cur qa4) "qa" in
+  let f = K.reg k "f175" in
+  let d = K.binop k "fsub" (cur qa) (cur zzk) "qa - zz" in
+  let s = K.binop k "fmul" (cur f) (cur d) "0.175*(...)" in
+  let nz = K.binop k "fadd" (cur zzk) (cur s) "zz + 0.175*(...)" in
+  let azout = K.addr k "azout" in
+  let st = K.store k azout (cur nz) "za[j][k] =" in
+  Builder.mem_dep (K.builder k) ~distance:1 Dep.Flow ~src:st ~dst:load_prev;
+  K.loop_control k
+
+(* Kernel 24 — first minimum: predicated min-reduction (the conditional
+   is IF-converted, not an early exit). *)
+let lfk24 k =
+  let ax = K.addr k "ax" in
+  let x, _ = K.load k ax "x[k]" in
+  let xm = K.reg k "xm" in
+  let c = K.binop k "fcmp" (cur x) (prev xm) "x[k] < xm" in
+  let pt = K.unop k "pred_set" (cur c) "p_lt" in
+  let pf = K.unop k "pred_reset" (cur c) "p_ge" in
+  ignore (K.into ~pred:(pt, 0) k "copy" ~dst:xm [ cur x ] "xm = x[k]");
+  ignore (K.into ~pred:(pf, 0) k "copy" ~dst:xm [ prev xm ] "xm = xm'");
+  K.loop_control k
+
+let table : (string * (K.t -> unit)) list =
+  [
+    ("lfk01", lfk01);
+    ("lfk02", lfk02);
+    ("lfk03", lfk03);
+    ("lfk04", lfk04);
+    ("lfk05", lfk05);
+    ("lfk06", lfk06);
+    ("lfk07", lfk07);
+    ("lfk08", lfk08);
+    ("lfk09", lfk09);
+    ("lfk10", lfk10);
+    ("lfk11", lfk11);
+    ("lfk12", lfk12);
+    ("lfk13", lfk13);
+    ("lfk14a", lfk14a);
+    ("lfk14b", lfk14b);
+    ("lfk15", lfk15);
+    ("lfk17", lfk17);
+    ("lfk18a", lfk18_sub `A);
+    ("lfk18b", lfk18_sub `B);
+    ("lfk18c", lfk18_sub `C);
+    ("lfk19a", lfk19 true);
+    ("lfk19b", lfk19 false);
+    ("lfk20", lfk20);
+    ("lfk21", lfk21);
+    ("lfk22", lfk22);
+    ("lfk23", lfk23);
+    ("lfk24", lfk24);
+  ]
+
+let names = List.map fst table
+
+let build ?model ?keep_false_deps machine name =
+  match List.assoc_opt name table with
+  | None -> raise Not_found
+  | Some f ->
+      let k = K.create ?model machine in
+      f k;
+      K.finish ?keep_false_deps k
+
+let all ?model ?keep_false_deps machine =
+  List.map
+    (fun (name, _) -> (name, build ?model ?keep_false_deps machine name))
+    table

@@ -1,0 +1,31 @@
+(** The Livermore Fortran Kernels as modulo-scheduling candidates.
+
+    27 innermost loops hand-translated to the post-front-end IR the
+    paper's research scheduler consumed: strength-reduced address
+    streams, IF-converted conditionals (kernels 13-15, 17, 24), explicit
+    memory dependences where the Fortran carries recurrences through
+    arrays (kernels 6, 23), and the loop-control operations.  Loops with
+    early exits (kernel 16's Monte Carlo search) are excluded, exactly as
+    the Cydra 5 compiler rejected them (section 4.1).
+
+    The mix spans the paper's structural space: vectorizable streams
+    (1, 7, 8, 9, 12, 18), reductions (3, 4, 21), first-order register
+    recurrences (5, 11, 19), long-latency recurrences through divides
+    (20, 22) and through memory (6, 23), and predicated minimum /
+    particle-in-cell code (13, 14, 24). *)
+
+open Ims_machine
+open Ims_ir
+
+val names : string list
+(** The 27 loop names, e.g. ["lfk01"; ...; "lfk24"]. *)
+
+val build :
+  ?model:Dep.latency_model -> ?keep_false_deps:bool -> Machine.t -> string -> Ddg.t
+(** @raise Not_found for an unknown name.  [model] selects the table 1
+    delay column (default VLIW); [keep_false_deps] disables the EVR /
+    dynamic-single-assignment assumption for the ablation study. *)
+
+val all :
+  ?model:Dep.latency_model -> ?keep_false_deps:bool -> Machine.t ->
+  (string * Ddg.t) list

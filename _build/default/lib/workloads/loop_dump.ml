@@ -1,0 +1,75 @@
+open Ims_ir
+
+let operand_str (s : Op.operand) =
+  if s.distance = 0 then Printf.sprintf "v%d" s.reg
+  else Printf.sprintf "v%d[%d]" s.reg s.distance
+
+(* The builder re-derives two families of edges from the operations
+   alone: register dataflow through operands, and the must-alias
+   ordering between memory operations sharing an identical address
+   operand. *)
+let must_alias_pair ddg (d : Dep.t) =
+  d.distance = 0
+  &&
+  let src = Ddg.op ddg d.src and dst = Ddg.op ddg d.dst in
+  let is_mem (o : Op.t) = o.opcode = "load" || o.opcode = "store" in
+  is_mem src && is_mem dst
+  &&
+  match (src.Op.srcs, dst.Op.srcs) with
+  | (a : Op.operand) :: _, (b : Op.operand) :: _ ->
+      a.reg = b.reg && a.distance = b.distance
+  | _ -> false
+
+let derivable ddg (d : Dep.t) =
+  match d.kind with
+  | Dep.Anti | Dep.Output -> must_alias_pair ddg d
+  | Dep.Flow | Dep.Control ->
+      let src = Ddg.op ddg d.src and dst = Ddg.op ddg d.dst in
+      let matches (s : Op.operand) =
+        s.distance = d.distance && List.mem s.reg src.Op.dsts
+      in
+      List.exists matches dst.Op.srcs
+      || Option.fold ~none:false ~some:matches dst.Op.pred
+      || must_alias_pair ddg d
+
+let dump ddg =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "# dumped loop\n";
+  List.iter
+    (fun i ->
+      let o = Ddg.op ddg i in
+      let dsts =
+        String.concat "," (List.map (Printf.sprintf "v%d") o.Op.dsts)
+      in
+      let srcs = String.concat " " (List.map operand_str o.Op.srcs) in
+      let imm =
+        match o.Op.imm with
+        | Some v -> Printf.sprintf " $%g" v
+        | None -> ""
+      in
+      let pred =
+        match o.Op.pred with
+        | Some p -> " when " ^ operand_str p
+        | None -> ""
+      in
+      let lhs = if dsts = "" then "" else dsts ^ " = " in
+      let rhs = if srcs = "" then "" else " " ^ srcs in
+      Buffer.add_string buf
+        (Printf.sprintf "%s%s%s%s%s%s\n" lhs o.Op.opcode rhs imm pred
+           (if o.Op.tag = "" then "" else "  # " ^ o.Op.tag)))
+    (Ddg.real_ids ddg);
+  let stop = Ddg.stop ddg in
+  Array.iter
+    (fun edges ->
+      List.iter
+        (fun (d : Dep.t) ->
+          if
+            (not (d.src = Ddg.start || d.dst = stop || d.src = stop))
+            && not (derivable ddg d)
+          then
+            Buffer.add_string buf
+              (Printf.sprintf "memdep %s %d %d %d\n"
+                 (Dep.kind_to_string d.kind) d.src d.dst d.distance))
+        edges)
+    ddg.Ddg.succs;
+  Buffer.contents buf

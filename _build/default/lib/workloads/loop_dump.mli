@@ -1,0 +1,21 @@
+(** Serialization of a dependence graph to the textual loop format of
+    {!Loop_parse}.
+
+    [parse (dump ddg)] reconstructs an isomorphic graph: same operations
+    in the same order, same register dataflow, and the same
+    non-derivable (memory) dependences, re-declared as [memdep] lines.
+    Register-derivable edges are not dumped — the parser's builder
+    re-derives them — so the round trip also cross-checks the derivation
+    logic itself.
+
+    Useful for saving interesting loops ([imsc export]), for diffing
+    graphs, and as a property-test oracle. *)
+
+open Ims_ir
+
+val dump : Ddg.t -> string
+
+val derivable : Ddg.t -> Dep.t -> bool
+(** Would the builder re-derive this edge from the operand lists alone?
+    True for register flow/control via operands; false for declared
+    memory dependences. *)

@@ -1,0 +1,140 @@
+open Ims_ir
+
+exception Parse_error of int * string
+
+let fail line fmt = Format.kasprintf (fun s -> raise (Parse_error (line, s))) fmt
+
+let strip_comment line =
+  let cut c s = match String.index_opt s c with
+    | Some i -> String.sub s 0 i
+    | None -> s
+  in
+  cut '#' (cut ';' line)
+
+let tokens line =
+  String.split_on_char ' ' line
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun t -> t <> "")
+
+(* "name" or "name[d]" *)
+let parse_operand lineno token =
+  match String.index_opt token '[' with
+  | None -> (token, 0)
+  | Some i ->
+      if String.length token < i + 3 || token.[String.length token - 1] <> ']'
+      then fail lineno "malformed operand %S" token
+      else begin
+        let name = String.sub token 0 i in
+        let d = String.sub token (i + 1) (String.length token - i - 2) in
+        match int_of_string_opt d with
+        | Some d when d >= 0 -> (name, d)
+        | _ -> fail lineno "bad distance in %S" token
+      end
+
+let parse_dep_kind lineno = function
+  | "flow" -> Dep.Flow
+  | "anti" -> Dep.Anti
+  | "output" -> Dep.Output
+  | "control" -> Dep.Control
+  | s -> fail lineno "unknown dependence kind %S" s
+
+let parse machine text =
+  let b = Builder.create machine in
+  let ops = ref [] in  (* opref list, reversed *)
+  let memdeps = ref [] in  (* (lineno, kind, src#, dst#, dist) *)
+  let handle_op lineno toks =
+    let dsts, rest =
+      match
+        List.find_index (fun t -> t = "=") toks
+      with
+      | Some i ->
+          let before = List.filteri (fun j _ -> j < i) toks in
+          let after = List.filteri (fun j _ -> j > i) toks in
+          let dsts =
+            List.concat_map (String.split_on_char ',') before
+            |> List.filter (fun s -> s <> "")
+          in
+          (dsts, after)
+      | None -> ([], toks)
+    in
+    match rest with
+    | [] -> fail lineno "missing opcode"
+    | opcode :: operands ->
+        let imm, operands =
+          let imms, others =
+            List.partition
+              (fun t -> String.length t > 1 && t.[0] = '$')
+              operands
+          in
+          match imms with
+          | [] -> (None, others)
+          | [ t ] -> (
+              match float_of_string_opt (String.sub t 1 (String.length t - 1)) with
+              | Some v -> (Some v, others)
+              | None -> fail lineno "bad immediate %S" t)
+          | _ -> fail lineno "at most one immediate per operation"
+        in
+        let srcs, pred =
+          match List.find_index (fun t -> t = "when") operands with
+          | Some i ->
+              let before = List.filteri (fun j _ -> j < i) operands in
+              let after = List.filteri (fun j _ -> j > i) operands in
+              (match after with
+              | [ p ] -> (before, Some (parse_operand lineno p))
+              | _ -> fail lineno "expected one predicate after 'when'")
+          | None -> (operands, None)
+        in
+        let srcs = List.map (parse_operand lineno) srcs in
+        let to_reg (name, d) = (Builder.vreg b name, d) in
+        let op =
+          Builder.add b ~tag:(Printf.sprintf "line %d" lineno)
+            ?pred:(Option.map to_reg pred) ?imm ~opcode
+            ~dsts:(List.map (Builder.vreg b) dsts)
+            ~srcs:(List.map to_reg srcs) ()
+        in
+        ops := op :: !ops
+  in
+  let handle_memdep lineno = function
+    | [ kind; src; dst ] | [ kind; src; dst; _ ] as toks ->
+        let dist =
+          match toks with
+          | [ _; _; _; d ] -> (
+              match int_of_string_opt d with
+              | Some d when d >= 0 -> d
+              | _ -> fail lineno "bad memdep distance %S" d)
+          | _ -> 0
+        in
+        let num s =
+          match int_of_string_opt s with
+          | Some i when i >= 1 -> i
+          | _ -> fail lineno "bad operation number %S" s
+        in
+        memdeps := (lineno, parse_dep_kind lineno kind, num src, num dst, dist) :: !memdeps
+    | _ -> fail lineno "memdep expects: kind src# dst# [distance]"
+  in
+  String.split_on_char '\n' text
+  |> List.iteri (fun i line ->
+         let lineno = i + 1 in
+         match tokens (strip_comment line) with
+         | [] -> ()
+         | "memdep" :: rest -> handle_memdep lineno rest
+         | toks -> handle_op lineno toks);
+  let op_array = Array.of_list (List.rev !ops) in
+  List.iter
+    (fun (lineno, kind, src, dst, distance) ->
+      let get i =
+        if i > Array.length op_array then
+          fail lineno "memdep references operation %d of %d" i
+            (Array.length op_array)
+        else op_array.(i - 1)
+      in
+      Builder.mem_dep b ~distance kind ~src:(get src) ~dst:(get dst))
+    (List.rev !memdeps);
+  Builder.finish b
+
+let parse_file machine path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  parse machine text

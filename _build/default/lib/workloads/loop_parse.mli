@@ -1,0 +1,33 @@
+(** A small textual loop format for the [imsc] command-line tool.
+
+    One operation per line:
+
+    {v
+    # dot product, one line per operation
+    a  = aadd a[1]          # address stream, loop-carried
+    x  = load a
+    y  = fmul x x
+    s  = fadd s[1] y        # reduction: reads s from 1 iteration ago
+    store out x             # operations without results omit "dsts ="
+    q  = fadd s y when p    # predicated, guard after "when"
+    memdep flow 5 2 1       # memory dep: kind, src op#, dst op#, distance
+    v}
+
+    Registers are named; [name[d]] reads the value from [d] iterations
+    ago.  A token [$8] attaches an immediate operand (e.g. the stride of
+    an address increment).  Operation numbers in [memdep] lines are
+    1-based line positions among operation lines.  [#] or [;] start
+    comments. *)
+
+open Ims_machine
+open Ims_ir
+
+exception Parse_error of int * string
+(** Line number and message. *)
+
+val parse : Machine.t -> string -> Ddg.t
+(** @raise Parse_error on malformed input.
+    @raise Machine.Unknown_opcode for opcodes the machine lacks. *)
+
+val parse_file : Machine.t -> string -> Ddg.t
+(** Reads the file and {!parse}s it. *)

@@ -1,0 +1,38 @@
+open Ims_machine
+open Ims_ir
+
+type case = { name : string; ddg : Ddg.t; entry_freq : int; loop_freq : int }
+
+let default_count = 1327
+
+let cases ?machine ?(count = default_count) ?(seed = 1994) () =
+  let machine =
+    match machine with Some m -> m | None -> Machine.cydra5 ()
+  in
+  let rng = Random.State.make [| seed; 27 |] in
+  let lfk =
+    List.map
+      (fun (name, ddg) ->
+        let p = Synthetic.generate_profile rng in
+        {
+          name;
+          ddg;
+          entry_freq = p.Synthetic.entry_freq;
+          loop_freq = p.Synthetic.loop_freq;
+        })
+      (Lfk.all machine)
+  in
+  let n_synthetic = max 0 (count - List.length lfk) in
+  let synthetic =
+    List.map
+      (fun (name, ddg, (p : Synthetic.profile)) ->
+        { name; ddg; entry_freq = p.entry_freq; loop_freq = p.loop_freq })
+      (Synthetic.batch machine ~seed ~count:n_synthetic)
+  in
+  lfk @ synthetic
+
+let execution_time case ~sl ~ii =
+  if case.loop_freq = 0 then 0
+  else (case.entry_freq * sl) + ((case.loop_freq - case.entry_freq) * ii)
+
+let executed = List.filter (fun c -> c.loop_freq > 0)

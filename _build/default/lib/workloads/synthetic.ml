@@ -1,0 +1,168 @@
+open Ims_ir
+module K = Kernel_dsl
+
+type profile = { entry_freq : int; loop_freq : int }
+
+let gaussian rng =
+  let u1 = max 1e-12 (Random.State.float rng 1.0) in
+  let u2 = Random.State.float rng 1.0 in
+  sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
+
+let lognormal rng ~mu ~sigma = exp (mu +. (sigma *. gaussian rng))
+
+let pick rng xs = List.nth xs (Random.State.int rng (List.length xs))
+
+(* Weighted opcode mix of the compute operations. *)
+let compute_opcode rng =
+  let r = Random.State.float rng 1.0 in
+  if r < 0.30 then "fadd"
+  else if r < 0.45 then "fsub"
+  else if r < 0.72 then "fmul"
+  else if r < 0.80 then "add"
+  else if r < 0.86 then "sub"
+  else if r < 0.91 then "copy"
+  else if r < 0.95 then "fcmp"
+  else if r < 0.988 then "mul"
+  else "fdiv"
+
+(* One register-recurrence chain of [size] operations at the given
+   iteration distance; its operations form one non-trivial SCC. *)
+let emit_recurrence k rng pool ~size ~distance =
+  let acc = K.fresh k "acc" in
+  let rec chain i carried =
+    let other = pick rng !pool in
+    let opcode = if Random.State.bool rng then "fadd" else "fmul" in
+    if i = size - 1 then
+      ignore (K.into k opcode ~dst:acc [ carried; (other, 0) ] "rec tail")
+    else begin
+      let t = K.binop k opcode carried (other, 0) "rec link" in
+      chain (i + 1) (t, 0)
+    end
+  in
+  chain 0 (acc, distance);
+  pool := acc :: !pool
+
+(* A memory recurrence: load, combine, store back with a distance-1
+   memory flow dependence. *)
+let emit_memory_recurrence k rng pool =
+  let a = K.addr k (Printf.sprintf "amr%d" (Random.State.int rng 10000)) in
+  let v, load_op = K.load k a "carried[i-1]" in
+  let other = pick rng !pool in
+  let t = K.binop k "fadd" (v, 0) (other, 0) "carried +" in
+  let st = K.store k a (t, 0) "carried[i] =" in
+  Builder.mem_dep (K.builder k) ~distance:1 Dep.Flow ~src:st ~dst:load_op;
+  pool := v :: t :: !pool
+
+(* A small IF-converted diamond guarded by a fresh comparison. *)
+let emit_diamond k rng pool =
+  let x = pick rng !pool and y = pick rng !pool in
+  let c = K.binop k "fcmp" (x, 0) (y, 0) "guard" in
+  let pt = K.unop k "pred_set" (c, 0) "p_t" in
+  let pf = K.unop k "pred_reset" (c, 0) "p_f" in
+  let a = K.binop ~pred:(pt, 0) k "fadd" (x, 0) (y, 0) "then" in
+  let b = K.binop ~pred:(pf, 0) k "fsub" (x, 0) (y, 0) "else" in
+  pool := a :: b :: !pool
+
+let generate machine rng =
+  let k = K.create machine in
+  let pool = ref [ K.reg k "c0"; K.reg k "c1"; K.reg k "c2" ] in
+  let tiny = Random.State.float rng 1.0 < 0.28 in
+  if tiny then begin
+    (* Initialisation loop: store a constant or a trivial expression.
+       A third of them address through the loop counter itself (strength
+       reduction folded the stream away), giving the 4-operation minimum. *)
+    let n_stores = if Random.State.float rng 1.0 < 0.8 then 1 else 2 in
+    for s = 0 to n_stores - 1 do
+      let a =
+        if Random.State.float rng 1.0 < 0.35 then (K.reg k "loop$i", 1)
+        else (K.addr k (Printf.sprintf "ao%d" s), 0)
+      in
+      let v =
+        if Random.State.float rng 1.0 < 0.8 then pick rng !pool
+        else K.unop k "copy" (pick rng !pool, 0) "t"
+      in
+      ignore
+        (Builder.add (K.builder k) ~tag:"init store" ~opcode:"store" ~dsts:[]
+           ~srcs:[ a; (v, 0) ] ())
+    done
+  end
+  else begin
+    let target =
+      int_of_float (lognormal rng ~mu:(log 18.0) ~sigma:0.85)
+      |> max 7 |> min 160
+    in
+    let avail = target - 3 in
+    let n_loads = max 1 (avail / 6) in
+    let n_stores = max 1 (avail / 12) in
+    let backsub = Random.State.float rng 1.0 < 0.75 in
+    for l = 0 to n_loads - 1 do
+      let a = K.addr ~backsub k (Printf.sprintf "ai%d" l) in
+      let v, _ = K.load k a "in" in
+      pool := v :: !pool
+    done;
+    let used = ref (2 * (n_loads + n_stores)) in
+    (* Recurrences: 77% of loops have none. *)
+    if Random.State.float rng 1.0 < 0.30 then begin
+      let n_recs = 1 + (if Random.State.float rng 1.0 < 0.25 then 1 else 0) in
+      for _ = 1 to n_recs do
+        if Random.State.float rng 1.0 < 0.2 then begin
+          emit_memory_recurrence k rng pool;
+          used := !used + 4
+        end
+        else begin
+          let size =
+            let r = Random.State.float rng 1.0 in
+            if r < 0.35 then 1
+            else if r < 0.75 then 2
+            else if r < 0.93 then 3 + Random.State.int rng 3
+            else 6 + Random.State.int rng 24
+          in
+          let distance = if Random.State.float rng 1.0 < 0.85 then 1 else 2 in
+          emit_recurrence k rng pool ~size ~distance;
+          used := !used + size
+        end
+      done
+    end;
+    (* Occasional IF-converted diamond. *)
+    if Random.State.float rng 1.0 < 0.15 then begin
+      emit_diamond k rng pool;
+      used := !used + 5
+    end;
+    (* Fill with compute operations. *)
+    while !used < avail - n_stores do
+      let opcode = compute_opcode rng in
+      let x = pick rng !pool and y = pick rng !pool in
+      let v =
+        if opcode = "copy" then K.unop k opcode (x, 0) "t"
+        else K.binop k opcode (x, 0) (y, 0) "t"
+      in
+      pool := v :: !pool;
+      incr used
+    done;
+    for s = 0 to n_stores - 1 do
+      let a = K.addr ~backsub k (Printf.sprintf "ao%d" s) in
+      ignore (K.store k a (pick rng !pool, 0) "out")
+    done
+  end;
+  K.loop_control ~backsub:(tiny || Random.State.float rng 1.0 < 0.75) k;
+  K.finish k
+
+let generate_profile rng =
+  if Random.State.float rng 1.0 > 0.45 then { entry_freq = 0; loop_freq = 0 }
+  else begin
+    let entry_freq =
+      max 1 (int_of_float (lognormal rng ~mu:(log 5.0) ~sigma:1.2))
+    in
+    let trip =
+      max 2 (int_of_float (lognormal rng ~mu:(log 50.0) ~sigma:1.3))
+    in
+    { entry_freq; loop_freq = entry_freq * trip }
+  end
+
+let batch machine ~seed ~count =
+  let rng = Random.State.make [| seed |] in
+  List.init count (fun i ->
+      let name = Printf.sprintf "syn%04d" (i + 1) in
+      let ddg = generate machine rng in
+      let profile = generate_profile rng in
+      (name, ddg, profile))

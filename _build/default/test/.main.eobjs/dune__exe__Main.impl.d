@@ -1,0 +1,1 @@
+test/main.ml: Alcotest Test_core Test_graph Test_integration Test_ir Test_machine Test_mii Test_pipeline Test_stats Test_workloads

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Circuits Ims_graph List QCheck QCheck_alcotest Scc Topo

@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Array Builder Ddg Dep Evr Format If_conversion Ims_core Ims_ir Ims_machine Ims_mii Ims_workloads List Machine Op Optimize Printf QCheck QCheck_alcotest Random String Unroll

@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Array Ims_core Ims_ir Ims_machine List Machine Machine_parse Mrt Opcode Printf QCheck QCheck_alcotest Reservation Resource

@@ -1,0 +1,1 @@
+test/test_mii.ml: Alcotest Builder Ddg Ims_graph Ims_ir Ims_machine Ims_mii Ims_workloads List Machine Mii Mindist Printf QCheck QCheck_alcotest Random Rational Recmii Resmii

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Distribution Format Gen Ims_mii Ims_stats List QCheck QCheck_alcotest Random Regression String Text_table

@@ -1,0 +1,13 @@
+let () =
+  Alcotest.run "ims"
+    [
+      Test_machine.tests;
+      Test_graph.tests;
+      Test_ir.tests;
+      Test_mii.tests;
+      Test_core.tests;
+      Test_pipeline.tests;
+      Test_workloads.tests;
+      Test_stats.tests;
+      Test_integration.tests;
+    ]

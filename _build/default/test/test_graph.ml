@@ -1,0 +1,210 @@
+(* Tests for the graph substrate: Tarjan SCC, Johnson circuit enumeration
+   and topological utilities, including brute-force cross-checks on random
+   graphs. *)
+
+open Ims_graph
+
+let adj edges n v =
+  List.filter_map (fun (a, b) -> if a = v then Some b else None) edges
+  |> fun l -> if v < n then l else []
+
+(* --- SCC ----------------------------------------------------------------- *)
+
+let test_scc_dag () =
+  let r = Scc.compute ~n:4 ~succs:(adj [ (0, 1); (1, 2); (2, 3) ] 4) in
+  Alcotest.(check int) "four singleton components" 4 r.Scc.count
+
+let test_scc_cycle () =
+  let r = Scc.compute ~n:3 ~succs:(adj [ (0, 1); (1, 2); (2, 0) ] 3) in
+  Alcotest.(check int) "one component" 1 r.Scc.count
+
+let test_scc_two_components () =
+  let edges = [ (0, 1); (1, 0); (1, 2); (2, 3); (3, 2) ] in
+  let r = Scc.compute ~n:4 ~succs:(adj edges 4) in
+  Alcotest.(check int) "two non-trivial components" 2 r.Scc.count;
+  Alcotest.(check bool)
+    "0 and 1 together" true
+    (r.Scc.component.(0) = r.Scc.component.(1));
+  Alcotest.(check bool)
+    "2 and 3 together" true
+    (r.Scc.component.(2) = r.Scc.component.(3));
+  (* Reverse topological numbering: 0->...->2's component. *)
+  Alcotest.(check bool)
+    "edge crosses downward" true
+    (r.Scc.component.(1) > r.Scc.component.(2))
+
+let test_scc_self_loop_non_trivial () =
+  let succs = adj [ (1, 1) ] 3 in
+  let r = Scc.compute ~n:3 ~succs in
+  let nt = Scc.non_trivial ~succs r in
+  Alcotest.(check int) "only the self-loop is a recurrence" 1 (Array.length nt);
+  Alcotest.(check (list int)) "it is vertex 1" [ 1 ] nt.(0)
+
+(* Brute force: u and v are in the same SCC iff reachable both ways. *)
+let reachable n succs a b =
+  let seen = Array.make n false in
+  let rec go v =
+    if not seen.(v) then begin
+      seen.(v) <- true;
+      List.iter go (succs v)
+    end
+  in
+  go a;
+  seen.(b)
+
+let prop_scc_matches_reachability =
+  QCheck.Test.make ~count:200 ~name:"scc agrees with two-way reachability"
+    QCheck.(
+      pair (int_range 1 10) (small_list (pair (int_range 0 9) (int_range 0 9))))
+    (fun (n, edges) ->
+      let edges = List.filter (fun (a, b) -> a < n && b < n) edges in
+      let succs = adj edges n in
+      let r = Scc.compute ~n ~succs in
+      let ok = ref true in
+      for u = 0 to n - 1 do
+        for v = 0 to n - 1 do
+          let same = r.Scc.component.(u) = r.Scc.component.(v) in
+          let mutual = reachable n succs u v && reachable n succs v u in
+          if same <> mutual then ok := false
+        done
+      done;
+      !ok)
+
+(* --- Circuits ------------------------------------------------------------ *)
+
+let sort_circuits cs =
+  (* Normalise rotation so circuits compare canonically. *)
+  let canon c =
+    let m = List.fold_left min max_int c in
+    let rec rot = function
+      | x :: _ as l when x = m -> l
+      | x :: rest -> rot (rest @ [ x ])
+      | [] -> []
+    in
+    rot c
+  in
+  List.sort compare (List.map canon cs)
+
+let test_circuits_triangle_plus_self () =
+  let succs = adj [ (0, 1); (1, 2); (2, 0); (1, 1) ] 3 in
+  let cs = Circuits.enumerate ~n:3 succs in
+  Alcotest.(check int) "two circuits" 2 (List.length cs);
+  Alcotest.(check bool)
+    "contains the triangle" true
+    (List.mem [ 0; 1; 2 ] (sort_circuits cs));
+  Alcotest.(check bool) "contains the self loop" true (List.mem [ 1 ] cs)
+
+let test_circuits_complete_graph () =
+  (* K3 has 2 triangles (two orientations... directed complete graph on 3
+     vertices: circuits = 3 two-cycles + 2 triangles = 5). *)
+  let edges =
+    [ (0, 1); (1, 0); (0, 2); (2, 0); (1, 2); (2, 1) ]
+  in
+  let cs = Circuits.enumerate ~n:3 (adj edges 3) in
+  Alcotest.(check int) "K3 has 5 elementary circuits" 5 (List.length cs)
+
+let test_circuits_limit () =
+  let edges = [ (0, 1); (1, 0); (0, 2); (2, 0); (1, 2); (2, 1) ] in
+  Alcotest.check_raises "limit enforced" Circuits.Limit_exceeded (fun () ->
+      ignore (Circuits.enumerate ~limit:3 ~n:3 (adj edges 3)))
+
+let test_circuits_dag_empty () =
+  Alcotest.(check int)
+    "DAG has no circuits" 0
+    (Circuits.count ~n:4 (adj [ (0, 1); (0, 2); (1, 3); (2, 3) ] 4))
+
+(* Brute force enumeration via DFS with explicit path for small graphs. *)
+let brute_circuits n succs =
+  let out = ref [] in
+  (* [path] is reversed (head = current vertex [v]); only vertices greater
+     than [start] are entered, so each circuit is found exactly once, from
+     its smallest vertex. *)
+  let rec extend start path v =
+    List.iter
+      (fun w ->
+        if w = start then out := List.rev path :: !out
+        else if w > start && not (List.mem w path) then
+          extend start (w :: path) w)
+      (succs v)
+  in
+  for s = 0 to n - 1 do
+    extend s [ s ] s
+  done;
+  !out
+
+let prop_circuits_match_brute_force =
+  QCheck.Test.make ~count:150 ~name:"johnson matches brute-force circuits"
+    QCheck.(
+      pair (int_range 1 6) (small_list (pair (int_range 0 5) (int_range 0 5))))
+    (fun (n, edges) ->
+      let edges =
+        List.sort_uniq compare
+          (List.filter (fun (a, b) -> a < n && b < n) edges)
+      in
+      let succs = adj edges n in
+      let johnson = sort_circuits (Circuits.enumerate ~n succs) in
+      let brute = sort_circuits (brute_circuits n succs) in
+      johnson = brute)
+
+(* --- Topo ---------------------------------------------------------------- *)
+
+let test_topo_dag () =
+  match Topo.sort ~n:4 ~succs:(adj [ (0, 1); (0, 2); (1, 3); (2, 3) ] 4) with
+  | None -> Alcotest.fail "expected an order"
+  | Some order ->
+      let pos = Array.make 4 0 in
+      List.iteri (fun i v -> pos.(v) <- i) order;
+      Alcotest.(check bool) "respects edges" true
+        (pos.(0) < pos.(1) && pos.(0) < pos.(2) && pos.(1) < pos.(3)
+        && pos.(2) < pos.(3))
+
+let test_topo_cycle_none () =
+  Alcotest.(check bool)
+    "cycle detected" true
+    (Topo.sort ~n:2 ~succs:(adj [ (0, 1); (1, 0) ] 2) = None)
+
+let test_topo_forced_is_permutation () =
+  let order =
+    Topo.sort_ignoring_cycles ~n:4 ~succs:(adj [ (0, 1); (1, 0); (2, 3) ] 4)
+  in
+  Alcotest.(check (list int))
+    "permutation" [ 0; 1; 2; 3 ]
+    (List.sort compare order)
+
+let test_longest_path () =
+  let succs v =
+    match v with
+    | 0 -> [ (1, 2); (2, 10) ]
+    | 1 -> [ (3, 2) ]
+    | 2 -> [ (3, 1) ]
+    | _ -> []
+  in
+  let dist = Topo.longest_path ~n:4 ~succs ~source:0 in
+  Alcotest.(check int) "longest to 3 via 2" 11 dist.(3)
+
+let test_longest_path_unreachable () =
+  let dist = Topo.longest_path ~n:3 ~succs:(fun _ -> []) ~source:0 in
+  Alcotest.(check bool) "unreachable is min_int" true (dist.(2) = min_int)
+
+let tests =
+  ( "graph",
+    [
+      Alcotest.test_case "scc: dag" `Quick test_scc_dag;
+      Alcotest.test_case "scc: cycle" `Quick test_scc_cycle;
+      Alcotest.test_case "scc: two components" `Quick test_scc_two_components;
+      Alcotest.test_case "scc: self loop" `Quick test_scc_self_loop_non_trivial;
+      QCheck_alcotest.to_alcotest prop_scc_matches_reachability;
+      Alcotest.test_case "circuits: triangle + self" `Quick
+        test_circuits_triangle_plus_self;
+      Alcotest.test_case "circuits: K3" `Quick test_circuits_complete_graph;
+      Alcotest.test_case "circuits: limit" `Quick test_circuits_limit;
+      Alcotest.test_case "circuits: dag" `Quick test_circuits_dag_empty;
+      QCheck_alcotest.to_alcotest prop_circuits_match_brute_force;
+      Alcotest.test_case "topo: dag order" `Quick test_topo_dag;
+      Alcotest.test_case "topo: cycle gives none" `Quick test_topo_cycle_none;
+      Alcotest.test_case "topo: forced is a permutation" `Quick
+        test_topo_forced_is_permutation;
+      Alcotest.test_case "longest path" `Quick test_longest_path;
+      Alcotest.test_case "longest path: unreachable" `Quick
+        test_longest_path_unreachable;
+    ] )

@@ -1,0 +1,261 @@
+(* Cross-cutting integration properties: pass composition (speculate,
+   interleave, unroll, compaction, slack), cross-machine retargeting,
+   parser fuzzing, and whole-pipeline agreement between the three
+   independent checkers. *)
+
+open Ims_machine
+open Ims_ir
+open Ims_core
+open Ims_mii
+open Ims_workloads
+
+let machine = Machine.cydra5 ()
+let ss4 = Machine.superscalar4 ()
+
+let random_loop seed =
+  Synthetic.generate machine (Random.State.make [| seed; 41 |])
+
+let schedule_opt ddg = (Ims.modulo_schedule ddg).Ims.schedule
+
+(* --- Pass composition ---------------------------------------------------------- *)
+
+let prop_passes_compose =
+  QCheck.Test.make ~count:50
+    ~name:"integration: speculate |> interleave |> unroll still schedules"
+    QCheck.(pair (int_bound 1_000_000) (int_range 2 3))
+    (fun (seed, k) ->
+      let ddg = random_loop seed in
+      if Ddg.n_real ddg > 40 then true
+      else begin
+        let transformed =
+          Unroll.by (Optimize.interleave (Optimize.speculate ddg) ~factor:2) k
+        in
+        match schedule_opt transformed with
+        | Some s -> Schedule.verify s = Ok ()
+        | None -> false
+      end)
+
+let prop_compact_after_slack =
+  QCheck.Test.make ~count:40
+    ~name:"integration: compaction on slack schedules is monotone and legal"
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let ddg = random_loop seed in
+      if Ddg.n_real ddg > 40 then true
+      else
+        match (Slack.modulo_schedule ddg).Ims.schedule with
+        | None -> false
+        | Some s ->
+            let r = Ims_pipeline.Compact.improve s in
+            Schedule.verify r.Ims_pipeline.Compact.schedule = Ok ()
+            && r.Ims_pipeline.Compact.lifetime_after
+               <= r.Ims_pipeline.Compact.lifetime_before)
+
+let prop_retarget_schedules =
+  QCheck.Test.make ~count:50
+    ~name:"integration: retargeted loops schedule validly on the superscalar"
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let ddg = Ddg.map_machine (random_loop seed) ss4 in
+      match schedule_opt ddg with
+      | Some s -> Schedule.verify s = Ok ()
+      | None -> false)
+
+let prop_unroll_preserves_store_volume =
+  (* Unrolling renames registers, and the interpreter derives array
+     bases from register ids, so absolute addresses legitimately move;
+     what must be preserved is the shape of the memory traffic: trip t
+     of the 2x-unrolled loop performs the work of 2t original
+     iterations, writing the same number of distinct cells. *)
+  QCheck.Test.make ~count:25
+    ~name:"integration: unrolling preserves the store footprint"
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let ddg = random_loop seed in
+      if Ddg.n_real ddg > 25 || not (Ims_pipeline.Interp.supported ddg) then
+        true
+      else begin
+        let u = Unroll.by ddg 2 in
+        if not (Ims_pipeline.Interp.supported u) then true
+        else begin
+          let a = Ims_pipeline.Interp.run_sequential ddg ~trip:8 in
+          let b = Ims_pipeline.Interp.run_sequential u ~trip:4 in
+          List.length a.Ims_pipeline.Interp.memory
+          = List.length b.Ims_pipeline.Interp.memory
+        end
+      end)
+
+(* --- The three checkers agree ---------------------------------------------------- *)
+
+let prop_checkers_agree_on_corruption =
+  QCheck.Test.make ~count:60
+    ~name:"integration: verify and simulator agree on corrupted schedules"
+    QCheck.(pair (int_bound 1_000_000) (pair (int_range 1 30) (int_range 0 9)))
+    (fun (seed, (victim, delta)) ->
+      let ddg = random_loop seed in
+      match schedule_opt ddg with
+      | None -> false
+      | Some s ->
+          let n = Ddg.n_total ddg in
+          let victim = 1 + (victim mod Ddg.n_real ddg) in
+          let entries =
+            Array.init n (fun i ->
+                {
+                  Schedule.time =
+                    (if i = victim then max 0 (Schedule.time s i + delta - 4)
+                     else Schedule.time s i);
+                  alt = Schedule.alt s i;
+                })
+          in
+          let mutated = Schedule.make ddg ~ii:s.Schedule.ii ~entries in
+          let ok_verify = Schedule.verify mutated = Ok () in
+          let ok_sim =
+            match Ims_pipeline.Simulator.run mutated with
+            | Ok _ -> true
+            | Error _ -> false
+          in
+          (* verify checks every edge and resource; the simulator
+             re-derives values and occupancy independently.  A mutation
+             the verifier blesses must therefore simulate cleanly (the
+             converse need not hold: an edge with no value consumer can
+             fail verify yet leave the simulation sound). *)
+          (not ok_verify) || ok_sim)
+
+let prop_verify_legal_implies_sim_legal =
+  QCheck.Test.make ~count:60
+    ~name:"integration: verify-legal schedules always simulate cleanly"
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let ddg = random_loop seed in
+      match schedule_opt ddg with
+      | None -> false
+      | Some s -> (
+          Schedule.verify s = Ok ()
+          && match Ims_pipeline.Simulator.run s with Ok _ -> true | Error _ -> false))
+
+(* --- Parser fuzzing --------------------------------------------------------------- *)
+
+let fuzz_tokens =
+  [| "x"; "y"; "="; "load"; "fadd"; "when"; "memdep"; "flow"; "1"; "2";
+     "a[1]"; "a[-1]"; "a["; "]"; ","; "#"; "store"; "zzz"; "v0"; "0" |]
+
+let prop_parser_total =
+  QCheck.Test.make ~count:300
+    ~name:"parser: fuzzed input raises only Parse_error / Unknown_opcode"
+    QCheck.(pair (int_bound 1_000_000) (int_range 0 30))
+    (fun (seed, len) ->
+      let rng = Random.State.make [| seed; 43 |] in
+      let text =
+        String.concat ""
+          (List.init len (fun _ ->
+               let t = fuzz_tokens.(Random.State.int rng (Array.length fuzz_tokens)) in
+               let sep = if Random.State.int rng 4 = 0 then "\n" else " " in
+               t ^ sep))
+      in
+      match Loop_parse.parse machine text with
+      | _ -> true
+      | exception Loop_parse.Parse_error _ -> true
+      | exception Machine.Unknown_opcode _ -> true
+      | exception Invalid_argument _ -> true (* builder-level misuse *)
+      | exception _ -> false)
+
+(* --- Whole-pipeline spot checks ----------------------------------------------------- *)
+
+let test_full_pipeline_lfk07 () =
+  (* One loop, every stage: schedule, verify, simulate, interpret,
+     compact, allocate (both schemas), emit (both schemas), tradeoff. *)
+  let ddg = Lfk.build machine "lfk07" in
+  let s =
+    match schedule_opt ddg with Some s -> s | None -> Alcotest.fail "sched"
+  in
+  Alcotest.(check bool) "verify" true (Schedule.verify s = Ok ());
+  (match Ims_pipeline.Simulator.run s with
+  | Ok _ -> ()
+  | Error es -> Alcotest.failf "sim: %s" (List.hd es));
+  (match Ims_pipeline.Interp.check s with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  let c = Ims_pipeline.Compact.improve s in
+  Alcotest.(check bool) "compacted legal" true
+    (Schedule.verify c.Ims_pipeline.Compact.schedule = Ok ());
+  let alloc = Ims_pipeline.Rotreg.allocate c.Ims_pipeline.Compact.schedule in
+  Alcotest.(check bool) "rotreg legal" true (Ims_pipeline.Rotreg.verify alloc = Ok ());
+  let ra = Ims_pipeline.Regalloc.allocate c.Ims_pipeline.Compact.schedule in
+  Alcotest.(check bool) "regalloc legal" true (Ims_pipeline.Regalloc.verify ra = Ok ());
+  Alcotest.(check bool) "rotating emission" true
+    (String.length (Ims_pipeline.Codegen.emit Ims_pipeline.Codegen.Rotating s) > 0);
+  Alcotest.(check bool) "mve emission" true
+    (String.length (Ims_pipeline.Codegen.emit Ims_pipeline.Codegen.Mve s) > 0);
+  let t = Ims_pipeline.Tradeoff.analyze s in
+  Alcotest.(check bool) "pipelining wins eventually" true
+    (Ims_pipeline.Tradeoff.speedup t ~trip:10_000 > 1.0)
+
+let test_full_pipeline_on_superscalar () =
+  let ddg = Ddg.map_machine (Lfk.build machine "lfk05") ss4 in
+  let s =
+    match schedule_opt ddg with Some s -> s | None -> Alcotest.fail "sched"
+  in
+  Alcotest.(check bool) "verify" true (Schedule.verify s = Ok ());
+  match Ims_pipeline.Interp.check s with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_determinism_across_runs () =
+  (* Exactly identical outcome objects on repeated runs. *)
+  let d1 = Lfk.build machine "lfk08" and d2 = Lfk.build machine "lfk08" in
+  let s1 = Option.get (schedule_opt d1) and s2 = Option.get (schedule_opt d2) in
+  Alcotest.(check int) "same ii" s1.Schedule.ii s2.Schedule.ii;
+  List.iter
+    (fun i ->
+      Alcotest.(check int)
+        (Printf.sprintf "op %d same slot" i)
+        (Schedule.time s1 i) (Schedule.time s2 i))
+    (Ddg.real_ids d1)
+
+let test_mii_consistency_families () =
+  (* Over every named loop: resmii, recmii sane, both recmii methods
+     agree, rational below integer. *)
+  List.iter
+    (fun (name, ddg) ->
+      let m = Mii.compute ddg in
+      Alcotest.(check bool) (name ^ " mii is the max") true
+        (m.Mii.mii = max m.Mii.resmii m.Mii.recmii);
+      Alcotest.(check int) (name ^ " circuit recmii agrees") m.Mii.recmii
+        (Recmii.by_circuits ~limit:200_000 ddg);
+      let r = Rational.of_ddg ddg in
+      Alcotest.(check bool) (name ^ " rational below integer") true
+        (r.Rational.mii <= float_of_int m.Mii.mii +. 1e-9))
+    (Lfk.all machine @ Kernels.all machine)
+
+
+let prop_sms_semantics =
+  QCheck.Test.make ~count:30
+    ~name:"integration: sms schedules compute sequential values too"
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let ddg = random_loop seed in
+      if Ddg.n_real ddg > 40 then true
+      else
+        match (Sms.modulo_schedule ~max_delta_ii:64 ddg).Ims.schedule with
+        | None -> true
+        | Some s ->
+            Schedule.verify s = Ok () && Ims_pipeline.Interp.check s = Ok ())
+
+let tests =
+  ( "integration",
+    [
+      QCheck_alcotest.to_alcotest prop_passes_compose;
+      QCheck_alcotest.to_alcotest prop_compact_after_slack;
+      QCheck_alcotest.to_alcotest prop_retarget_schedules;
+      QCheck_alcotest.to_alcotest prop_unroll_preserves_store_volume;
+      QCheck_alcotest.to_alcotest prop_checkers_agree_on_corruption;
+      QCheck_alcotest.to_alcotest prop_verify_legal_implies_sim_legal;
+      QCheck_alcotest.to_alcotest prop_parser_total;
+      QCheck_alcotest.to_alcotest prop_sms_semantics;
+      Alcotest.test_case "full pipeline on lfk07" `Quick test_full_pipeline_lfk07;
+      Alcotest.test_case "full pipeline on the superscalar" `Quick
+        test_full_pipeline_on_superscalar;
+      Alcotest.test_case "determinism" `Quick test_determinism_across_runs;
+      Alcotest.test_case "mii consistency, all named loops" `Slow
+        test_mii_consistency_families;
+    ] )
