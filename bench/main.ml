@@ -31,6 +31,17 @@ open Ims_workloads
 let quick = Array.exists (fun a -> a = "--quick") Sys.argv
 let suite_count = if quick then 300 else Suite.default_count
 
+(* --metrics FILE: dump one JSON line per loop (name, bounds, achieved
+   II, steps, table 4 counters) so suite-wide regressions in IIs /
+   budget / time become diffable artifacts. *)
+let metrics_file =
+  let rec find i =
+    if i + 1 >= Array.length Sys.argv then None
+    else if Sys.argv.(i) = "--metrics" then Some Sys.argv.(i + 1)
+    else find (i + 1)
+  in
+  find 1
+
 let section title =
   Printf.printf "\n%s\n%s\n%s\n\n" (String.make 72 '=') title (String.make 72 '=')
 
@@ -54,6 +65,7 @@ type record = {
   steps_total : int;
   nontrivial_sccs : int;  (* components with > 1 node *)
   scc_sizes : int list;  (* recurrence components incl. self-loops *)
+  counters : Counters.t;
 }
 
 let measure_case ~budget_ratio (case : Suite.case) =
@@ -93,7 +105,41 @@ let measure_case ~budget_ratio (case : Suite.case) =
     steps_total = out.Ims.steps_total;
     nontrivial_sccs;
     scc_sizes;
+    counters;
   }
+
+let dump_metrics file records =
+  let open Ims_obs in
+  let line r =
+    Json.Obj
+      ([
+         ("name", Json.String r.case.Suite.name);
+         ("n", Json.Int r.n);
+         ("resmii", Json.Int r.mii.Mii.resmii);
+         ("recmii", Json.Int r.mii.Mii.recmii);
+         ("mii", Json.Int r.mii.Mii.mii);
+         ("ii", Json.Int r.ii);
+         ("sl", Json.Int r.sl);
+         ("min_sl", Json.Int r.min_sl);
+         ("steps_final", Json.Int r.steps_final);
+         ("steps_total", Json.Int r.steps_total);
+         ("nontrivial_sccs", Json.Int r.nontrivial_sccs);
+         ("entry_freq", Json.Int r.case.Suite.entry_freq);
+         ("loop_freq", Json.Int r.case.Suite.loop_freq);
+       ]
+      @ List.map
+          (fun (k, v) -> ("counters." ^ k, Json.Int v))
+          (Counters.to_assoc r.counters))
+  in
+  let oc = open_out file in
+  List.iter
+    (fun r ->
+      output_string oc (Json.to_string (line r));
+      output_char oc '\n')
+    records;
+  close_out oc;
+  Printf.printf "\nper-loop metrics written to %s (%d lines)\n" file
+    (List.length records)
 
 (* The production scheme of sections 2.2/3: MII via the ResMII-seeded
    search (no exact RecMII), then iterative scheduling — used for the
@@ -1113,6 +1159,7 @@ let () =
   table2 ();
   let cases = Suite.cases ~machine ~count:suite_count () in
   let records = List.map (measure_case ~budget_ratio:6.0) cases in
+  Option.iter (fun file -> dump_metrics file records) metrics_file;
   table3 records;
   headline records;
   figure6 cases;

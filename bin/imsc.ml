@@ -17,6 +17,7 @@ open Cmdliner
 open Ims_machine
 open Ims_ir
 open Ims_workloads
+open Ims_obs
 
 (* --- shared options ------------------------------------------------------- *)
 
@@ -281,22 +282,120 @@ let preprocess ddg ~unroll ~interleave ~speculate =
   end
   else ddg
 
-let schedule_with ~scheduler ~budget_ratio ddg =
+let schedule_with ~scheduler ~budget_ratio ?(trace = Trace.null) ddg =
   match scheduler with
-  | "ims" -> Ims_core.Ims.modulo_schedule ~budget_ratio ddg
+  | "ims" -> Ims_core.Ims.modulo_schedule ~budget_ratio ~trace ddg
   | "slack" -> Ims_core.Slack.modulo_schedule ~budget_ratio ddg
   | "sms" -> Ims_core.Sms.modulo_schedule ~max_delta_ii:64 ddg
   | other ->
       failwith (Printf.sprintf "unknown scheduler %S (ims|slack|sms)" other)
 
+(* --- observability -------------------------------------------------------- *)
+
+let trace_file_arg =
+  let doc =
+    "Write the structured event trace (scheduler decisions and phase \
+     spans) to $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let trace_format_arg =
+  let doc =
+    "Trace format: jsonl (one event per line) or chrome (trace_event \
+     JSON for chrome://tracing / Perfetto)."
+  in
+  Arg.(value & opt string "jsonl" & info [ "trace-format" ] ~docv:"FMT" ~doc)
+
+let metrics_file_arg =
+  let doc =
+    "Write the metrics registry (table 4 counters, phase timings, \
+     schedule statistics) as JSON to $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
+let explain_arg =
+  let doc =
+    "Print a per-operation narrative of the scheduling run: each \
+     place/force decision with its Estart window, and every eviction."
+  in
+  Arg.(value & flag & info [ "explain" ] ~doc)
+
+let write_file file contents =
+  match open_out file with
+  | exception Sys_error msg -> failwith msg
+  | oc ->
+      output_string oc contents;
+      close_out oc
+
+let write_trace_file tr ~file ~format =
+  let events = Trace.events tr in
+  match format with
+  | "jsonl" -> write_file file (Export.jsonl_string events)
+  | "chrome" -> write_file file (Export.chrome_string events)
+  | other ->
+      failwith (Printf.sprintf "unknown trace format %S (jsonl|chrome)" other)
+
+(* The downstream stages run (quietly) under their own spans so a trace
+   covers the whole doc/ARCHITECTURE.md pipeline, not just the
+   scheduler; any stage a given loop does not support is skipped. *)
+let observe_back_end tr metrics s =
+  let attempt name f =
+    Trace.with_span tr name (fun () ->
+        match f () with exception Invalid_argument _ -> () | () -> ())
+  in
+  attempt "simulate" (fun () ->
+      match Ims_pipeline.Simulator.run ~trip:50 s with
+      | Ok sim ->
+          Metrics.set_int
+            (Metrics.gauge metrics "sim.cycles")
+            sim.Ims_pipeline.Simulator.completion;
+          Metrics.set_int
+            (Metrics.gauge metrics "sim.peak_in_flight")
+            sim.Ims_pipeline.Simulator.peak_in_flight
+      | Error es ->
+          Metrics.incr
+            ~by:(List.length es)
+            (Metrics.counter metrics "sim.errors"));
+  attempt "interp" (fun () ->
+      match Ims_pipeline.Interp.check ~metrics s with
+      | Ok () -> ()
+      | Error _ -> Metrics.incr (Metrics.counter metrics "interp.divergences"));
+  attempt "mve" (fun () ->
+      let mve = Ims_pipeline.Mve.expand s in
+      Metrics.set_int
+        (Metrics.gauge metrics "mve.unroll")
+        mve.Ims_pipeline.Mve.unroll);
+  attempt "rotreg" (fun () ->
+      let alloc = Ims_pipeline.Rotreg.allocate s in
+      Metrics.set_int
+        (Metrics.gauge metrics "rotreg.file_size")
+        alloc.Ims_pipeline.Rotreg.file_size);
+  attempt "codegen" (fun () ->
+      Metrics.set_int
+        (Metrics.gauge metrics "codegen.rotating_ops")
+        (Ims_pipeline.Codegen.code_size Ims_pipeline.Codegen.Rotating s))
+
 let cmd_schedule =
-  let run model name budget scheduler unroll interleave speculate compact gantt =
+  let run model name budget scheduler unroll interleave speculate compact gantt
+      trace_file trace_format metrics_file explain =
     wrap (fun () ->
+        let observing =
+          trace_file <> None || metrics_file <> None || explain
+        in
+        let tr = if observing then Trace.create () else Trace.null in
+        let metrics = Metrics.create () in
         let machine = machine_of model in
         let ddg =
-          preprocess (resolve_loop machine name) ~unroll ~interleave ~speculate
+          Trace.with_span tr "build" (fun () -> resolve_loop machine name)
         in
-        let out = schedule_with ~scheduler ~budget_ratio:budget ddg in
+        let ddg =
+          Trace.with_span tr "preprocess" (fun () ->
+              preprocess ddg ~unroll ~interleave ~speculate)
+        in
+        let out =
+          Trace.with_span tr "schedule" (fun () ->
+              schedule_with ~scheduler ~budget_ratio:budget ~trace:tr ddg)
+        in
         let m = out.Ims_core.Ims.mii in
         Format.printf "MII %d (res %d, rec %d); achieved II %d in %d attempt(s)@."
           m.Ims_mii.Mii.mii m.Ims_mii.Mii.resmii m.Ims_mii.Mii.recmii
@@ -306,31 +405,71 @@ let cmd_schedule =
         | Some s ->
             let s =
               if not compact then s
-              else begin
-                let r = Ims_pipeline.Compact.improve s in
-                Format.printf
-                  "compaction: %d moves, total lifetime %d -> %d@."
-                  r.Ims_pipeline.Compact.moves
-                  r.Ims_pipeline.Compact.lifetime_before
-                  r.Ims_pipeline.Compact.lifetime_after;
-                r.Ims_pipeline.Compact.schedule
-              end
+              else
+                Trace.with_span tr "compact" (fun () ->
+                    let r = Ims_pipeline.Compact.improve s in
+                    Format.printf
+                      "compaction: %d moves, total lifetime %d -> %d@."
+                      r.Ims_pipeline.Compact.moves
+                      r.Ims_pipeline.Compact.lifetime_before
+                      r.Ims_pipeline.Compact.lifetime_after;
+                    r.Ims_pipeline.Compact.schedule)
             in
             Format.printf "%a@." Ims_core.Schedule.pp s;
             if gantt then Format.printf "%a@." Ims_core.Schedule.pp_gantt s;
-            (match Ims_core.Schedule.verify s with
-            | Ok () -> Format.printf "verified: legal@."
-            | Error es -> List.iter (Format.printf "VERIFY: %s@.") es);
+            Trace.with_span tr "verify" (fun () ->
+                match Ims_core.Schedule.verify s with
+                | Ok () -> Format.printf "verified: legal@."
+                | Error es -> List.iter (Format.printf "VERIFY: %s@.") es);
             Format.printf
               "scheduling steps: %d at the final II (%d total; %.2f per op)@."
               out.Ims_core.Ims.steps_final out.Ims_core.Ims.steps_total
               (float_of_int out.Ims_core.Ims.steps_final
-              /. float_of_int (Ddg.n_total ddg)))
+              /. float_of_int (Ddg.n_total ddg));
+            if observing then begin
+              observe_back_end tr metrics s;
+              Metrics.set_int (Metrics.gauge metrics "schedule.ii")
+                out.Ims_core.Ims.ii;
+              Metrics.set_int (Metrics.gauge metrics "schedule.mii")
+                m.Ims_mii.Mii.mii;
+              Metrics.set_int (Metrics.gauge metrics "schedule.attempts")
+                out.Ims_core.Ims.attempts;
+              Metrics.set_int (Metrics.gauge metrics "schedule.length")
+                (Ims_core.Schedule.length s);
+              Metrics.set_int (Metrics.gauge metrics "schedule.steps_final")
+                out.Ims_core.Ims.steps_final;
+              Metrics.set_int (Metrics.gauge metrics "schedule.steps_total")
+                out.Ims_core.Ims.steps_total;
+              Metrics.set_int (Metrics.gauge metrics "loop.n_real")
+                (Ddg.n_real ddg);
+              Ims_mii.Counters.record metrics out.Ims_core.Ims.counters;
+              (match trace_file with
+              | Some file -> write_trace_file tr ~file ~format:trace_format
+              | None -> ());
+              (match metrics_file with
+              | Some file ->
+                  (* Span wall times go in last: they are the one
+                     non-deterministic part of the registry. *)
+                  Trace.record_span_times tr metrics;
+                  write_file file (Json.to_string (Metrics.to_json metrics) ^ "\n")
+              | None -> ());
+              if explain then begin
+                let op_name i =
+                  let o = Ddg.op ddg i in
+                  if i = Ddg.start then "START"
+                  else if i = Ddg.stop ddg then "STOP"
+                  else Printf.sprintf "op %d (%s)" i o.Op.opcode
+                in
+                Format.printf "@.=== schedule narrative ===@.";
+                Explain.pp ~op_name Format.std_formatter (Trace.events tr)
+              end
+            end)
   in
   Cmd.v (Cmd.info "schedule" ~doc:"Iteratively modulo schedule a loop")
     Term.(
       const run $ machine_arg $ loop_arg $ budget_arg $ scheduler_arg
-      $ unroll_arg $ interleave_arg $ speculate_arg $ compact_arg $ gantt_arg)
+      $ unroll_arg $ interleave_arg $ speculate_arg $ compact_arg $ gantt_arg
+      $ trace_file_arg $ trace_format_arg $ metrics_file_arg $ explain_arg)
 
 (* --- codegen ------------------------------------------------------------------ *)
 

@@ -1,6 +1,7 @@
 open Ims_machine
 open Ims_ir
 open Ims_mii
+open Ims_obs
 
 type outcome = {
   schedule : Schedule.t option;
@@ -29,6 +30,7 @@ type state = {
   alternatives : Opcode.alternative array array;  (* per op id *)
   mutable unscheduled : int list;  (* kept unsorted; selection scans *)
   counters : Counters.t option;
+  trace : Trace.t;
 }
 
 let bump_estart st k =
@@ -123,18 +125,27 @@ let commit st op ~t ~k =
         d.dst <> op
         && st.time.(d.dst) >= 0
         && st.time.(d.dst) < t + d.delay - (st.ii * d.distance)
-      then unschedule st d.dst)
+      then begin
+        Trace.evict st.trace ~op:d.dst ~by:op ~time:st.time.(d.dst)
+          ~reason:Event.Dependence;
+        unschedule st d.dst
+      end)
     st.ddg.Ddg.succs.(op)
 
 (* Forced placement (section 3.4): displace every operation that
    conflicts with any alternative at [t], then commit with the first
    alternative that fits. *)
-let force_commit st op ~t =
+let force_commit st op ~t ~estart =
   let tables =
     Array.to_list st.alternatives.(op)
     |> List.map (fun (a : Opcode.alternative) -> a.Opcode.table)
   in
-  List.iter (unschedule st) (Mrt.conflicting_ops st.mrt tables ~time:t);
+  List.iter
+    (fun victim ->
+      Trace.evict st.trace ~op:victim ~by:op ~time:st.time.(victim)
+        ~reason:Event.Resource;
+      unschedule st victim)
+    (Mrt.conflicting_ops st.mrt tables ~time:t);
   let rec first_fit k =
     if k >= Array.length st.alternatives.(op) then
       invalid_arg "Ims.force_commit: no alternative fits after displacement"
@@ -142,9 +153,12 @@ let force_commit st op ~t =
       k
     else first_fit (k + 1)
   in
-  commit st op ~t ~k:(first_fit 0)
+  let k = first_fit 0 in
+  Trace.place st.trace ~op ~time:t ~alt:k ~estart ~forced:true;
+  commit st op ~t ~k
 
-let iterative_schedule ?counters ?(priority = Height_r) ddg ~ii ~budget =
+let iterative_schedule ?counters ?(trace = Trace.null) ?(priority = Height_r)
+    ddg ~ii ~budget =
   let n = Ddg.n_total ddg in
   let machine = ddg.Ddg.machine in
   let height =
@@ -170,6 +184,7 @@ let iterative_schedule ?counters ?(priority = Height_r) ddg ~ii ~budget =
             Array.of_list opcode.Opcode.alternatives);
       unscheduled = List.init (n - 1) (fun i -> i + 1);
       counters;
+      trace;
     }
   in
   let budget = ref budget in
@@ -193,8 +208,10 @@ let iterative_schedule ?counters ?(priority = Height_r) ddg ~ii ~budget =
         let min_time = estart in
         let max_time = min_time + ii - 1 in
         (match find_time_slot st op ~min_time ~max_time with
-        | `Free (t, k) -> commit st op ~t ~k
-        | `Forced t -> force_commit st op ~t);
+        | `Free (t, k) ->
+            Trace.place trace ~op ~time:t ~alt:k ~estart ~forced:false;
+            commit st op ~t ~k
+        | `Forced t -> force_commit st op ~t ~estart);
         decr budget;
         step ()
   done;
@@ -204,14 +221,17 @@ let iterative_schedule ?counters ?(priority = Height_r) ddg ~ii ~budget =
     in
     Some (Schedule.make ddg ~ii ~entries)
   end
-  else None
+  else begin
+    Trace.budget_exhausted trace ~ii ~unplaced:(List.length st.unscheduled);
+    None
+  end
 
 let modulo_schedule ?(budget_ratio = default_budget_ratio)
-    ?(max_delta_ii = 1000) ?counters ?priority ddg =
+    ?(max_delta_ii = 1000) ?counters ?(trace = Trace.null) ?priority ddg =
   let counters =
     match counters with Some c -> c | None -> Counters.create ()
   in
-  let mii = Mii.compute ~counters ddg in
+  let mii = Trace.with_span trace "mii" (fun () -> Mii.compute ~counters ~trace ddg) in
   let n = Ddg.n_total ddg in
   let budget =
     max 1 (int_of_float (budget_ratio *. float_of_int n))
@@ -229,9 +249,11 @@ let modulo_schedule ?(budget_ratio = default_budget_ratio)
       }
     else begin
       let before = counters.Counters.sched_steps in
-      match iterative_schedule ~counters ?priority ddg ~ii ~budget with
+      Trace.ii_start trace ~ii ~attempt:(tried + 1) ~budget;
+      match iterative_schedule ~counters ~trace ?priority ddg ~ii ~budget with
       | Some schedule ->
           let steps_final = counters.Counters.sched_steps - before in
+          Trace.ii_end trace ~ii ~scheduled:true ~steps:steps_final;
           counters.Counters.sched_steps_final <-
             counters.Counters.sched_steps_final + steps_final;
           {
@@ -243,7 +265,10 @@ let modulo_schedule ?(budget_ratio = default_budget_ratio)
             steps_final;
             counters;
           }
-      | None -> attempt (ii + 1) (tried + 1)
+      | None ->
+          Trace.ii_end trace ~ii ~scheduled:false
+            ~steps:(counters.Counters.sched_steps - before);
+          attempt (ii + 1) (tried + 1)
     end
   in
   attempt mii.Mii.mii 0

@@ -35,18 +35,26 @@ type priority = Height_r | Acyclic_height | Source_order | Reverse_order
 
 val iterative_schedule :
   ?counters:Counters.t ->
+  ?trace:Ims_obs.Trace.t ->
   ?priority:priority ->
   Ddg.t ->
   ii:int ->
   budget:int ->
   Schedule.t option
 (** One candidate II (figure 3).  Returns [None] when the budget runs out
-    with operations still unscheduled. *)
+    with operations still unscheduled.
+
+    [trace] (default disabled) receives one structured event per
+    scheduler decision: [place]/[force] with the Estart, chosen slot and
+    alternative; [evict] for every displacement (dependence-violating
+    successor or forced-placement victim); [budget_exhausted] on
+    failure.  A disabled trace costs one branch per decision. *)
 
 val modulo_schedule :
   ?budget_ratio:float ->
   ?max_delta_ii:int ->
   ?counters:Counters.t ->
+  ?trace:Ims_obs.Trace.t ->
   ?priority:priority ->
   Ddg.t ->
   outcome

@@ -23,6 +23,17 @@ let create () =
     sched_steps_final = 0;
   }
 
+let reset t =
+  t.scc_steps <- 0;
+  t.resmii_steps <- 0;
+  t.mindist_inner <- 0;
+  t.mindist_calls <- 0;
+  t.heightr_inner <- 0;
+  t.estart_inner <- 0;
+  t.findslot_inner <- 0;
+  t.sched_steps <- 0;
+  t.sched_steps_final <- 0
+
 let add acc c =
   acc.scc_steps <- acc.scc_steps + c.scc_steps;
   acc.resmii_steps <- acc.resmii_steps + c.resmii_steps;
@@ -34,9 +45,44 @@ let add acc c =
   acc.sched_steps <- acc.sched_steps + c.sched_steps;
   acc.sched_steps_final <- acc.sched_steps_final + c.sched_steps_final
 
+(* The single source of truth for field names and order: [pp] and the
+   metrics adapter both read this list, so they can never disagree. *)
+let to_assoc t =
+  [
+    ("scc", t.scc_steps);
+    ("resmii", t.resmii_steps);
+    ("mindist", t.mindist_inner);
+    ("mindist_calls", t.mindist_calls);
+    ("heightr", t.heightr_inner);
+    ("estart", t.estart_inner);
+    ("findslot", t.findslot_inner);
+    ("sched", t.sched_steps);
+    ("sched_final", t.sched_steps_final);
+  ]
+
 let pp ppf t =
-  Format.fprintf ppf
-    "scc=%d resmii=%d mindist=%d(x%d) heightr=%d estart=%d findslot=%d \
-     sched=%d(final %d)"
-    t.scc_steps t.resmii_steps t.mindist_inner t.mindist_calls t.heightr_inner
-    t.estart_inner t.findslot_inner t.sched_steps t.sched_steps_final
+  match to_assoc t with
+  | [
+   ("scc", scc);
+   ("resmii", resmii);
+   ("mindist", mindist);
+   ("mindist_calls", mindist_calls);
+   ("heightr", heightr);
+   ("estart", estart);
+   ("findslot", findslot);
+   ("sched", sched);
+   ("sched_final", sched_final);
+  ] ->
+      Format.fprintf ppf
+        "scc=%d resmii=%d mindist=%d(x%d) heightr=%d estart=%d findslot=%d \
+         sched=%d(final %d)"
+        scc resmii mindist mindist_calls heightr estart findslot sched
+        sched_final
+  | _ -> assert false
+
+let record m t =
+  List.iter
+    (fun (name, v) ->
+      Ims_obs.Metrics.incr ~by:v
+        (Ims_obs.Metrics.counter m ("counters." ^ name)))
+    (to_assoc t)

@@ -3,7 +3,13 @@
     Each counter records how many times the innermost loop of one
     sub-activity executed; the benchmark harness regresses them against
     the number of operations N to reproduce the paper's empirical
-    complexity fits. *)
+    complexity fits.
+
+    This record predates the general {!Ims_obs.Metrics} registry and is
+    kept as-is so that table 4 reproduction stays untouched; {!record}
+    bridges it into a registry under the ["counters."] namespace, and
+    {!to_assoc} is the single source of truth for its field names (both
+    {!pp} and {!record} read it). *)
 
 type t = {
   mutable scc_steps : int;  (** SCC identification: vertices+edges touched. *)
@@ -21,7 +27,18 @@ type t = {
 }
 
 val create : unit -> t
+
+val reset : t -> unit
+(** Zeroes every field, so one record can be reused across loops. *)
+
 val add : t -> t -> unit
 (** [add acc c] accumulates [c] into [acc]. *)
+
+val to_assoc : t -> (string * int) list
+(** [(field name, value)] in declaration order — the names {!pp} prints
+    and {!record} registers. *)
+
+val record : Ims_obs.Metrics.t -> t -> unit
+(** Adds every field into the registry as counter ["counters.NAME"]. *)
 
 val pp : Format.formatter -> t -> unit

@@ -1,15 +1,24 @@
 open Ims_ir
+open Ims_obs
 
 type t = { resmii : int; recmii : int; mii : int }
 
-let compute ?counters ddg =
-  let resmii = Resmii.compute ?counters ddg in
-  let recmii = Recmii.by_mindist ?counters ddg in
+let compute ?counters ?(trace = Trace.null) ddg =
+  let resmii =
+    Trace.with_span trace "mii.resmii" (fun () -> Resmii.compute ?counters ddg)
+  in
+  let recmii =
+    Trace.with_span trace "mii.recmii" (fun () ->
+        Recmii.by_mindist ?counters ddg)
+  in
   { resmii; recmii; mii = max resmii recmii }
 
-let compute_fast ?counters ddg =
-  let resmii = Resmii.compute ?counters ddg in
-  Recmii.mii_from ?counters ddg ~resmii
+let compute_fast ?counters ?(trace = Trace.null) ddg =
+  let resmii =
+    Trace.with_span trace "mii.resmii" (fun () -> Resmii.compute ?counters ddg)
+  in
+  Trace.with_span trace "mii.recmii" (fun () ->
+      Recmii.mii_from ?counters ddg ~resmii)
 
 let schedule_length_lower_bound ddg ~ii ~acyclic_length =
   let md = Mindist.full ddg ~ii in

@@ -13,9 +13,12 @@ type t = {
   mii : int;  (** [max resmii recmii]. *)
 }
 
-val compute : ?counters:Counters.t -> Ddg.t -> t
+val compute : ?counters:Counters.t -> ?trace:Ims_obs.Trace.t -> Ddg.t -> t
+(** [trace] (default disabled) brackets the two bound computations in
+    ["mii.resmii"] / ["mii.recmii"] spans. *)
 
-val compute_fast : ?counters:Counters.t -> Ddg.t -> int
+val compute_fast :
+  ?counters:Counters.t -> ?trace:Ims_obs.Trace.t -> Ddg.t -> int
 (** The production scheme: computes only the MII, seeding the recurrence
     search at ResMII so that vectorizable loops never pay for a second
     MinDist pass.  Equals [(compute ddg).mii]. *)

@@ -1,0 +1,60 @@
+type evict_reason = Dependence | Resource
+
+type payload =
+  | Span_begin of { name : string }
+  | Span_end of { name : string }
+  | Instant of { name : string }
+  | Place of { op : int; time : int; alt : int; estart : int; forced : bool }
+  | Evict of { op : int; by : int; time : int; reason : evict_reason }
+  | Ii_start of { ii : int; attempt : int; budget : int }
+  | Ii_end of { ii : int; scheduled : bool; steps : int }
+  | Budget_exhausted of { ii : int; unplaced : int }
+
+type t = { seq : int; payload : payload }
+
+let name = function
+  | Span_begin _ -> "span_begin"
+  | Span_end _ -> "span_end"
+  | Instant _ -> "instant"
+  | Place { forced = false; _ } -> "place"
+  | Place { forced = true; _ } -> "force"
+  | Evict _ -> "evict"
+  | Ii_start _ -> "ii_start"
+  | Ii_end _ -> "ii_end"
+  | Budget_exhausted _ -> "budget_exhausted"
+
+let args = function
+  | Span_begin { name } | Span_end { name } | Instant { name } ->
+      [ ("name", Json.String name) ]
+  | Place { op; time; alt; estart; forced = _ } ->
+      [
+        ("op", Json.Int op);
+        ("time", Json.Int time);
+        ("alt", Json.Int alt);
+        ("estart", Json.Int estart);
+      ]
+  | Evict { op; by; time; reason } ->
+      [
+        ("op", Json.Int op);
+        ("by", Json.Int by);
+        ("time", Json.Int time);
+        ( "reason",
+          Json.String
+            (match reason with
+            | Dependence -> "dependence"
+            | Resource -> "resource") );
+      ]
+  | Ii_start { ii; attempt; budget } ->
+      [
+        ("ii", Json.Int ii);
+        ("attempt", Json.Int attempt);
+        ("budget", Json.Int budget);
+      ]
+  | Ii_end { ii; scheduled; steps } ->
+      [
+        ("ii", Json.Int ii);
+        ("scheduled", Json.Bool scheduled);
+        ("steps", Json.Int steps);
+      ]
+  | Budget_exhausted { ii; unplaced } ->
+      [ ("ii", Json.Int ii); ("unplaced", Json.Int unplaced) ]

@@ -1,0 +1,39 @@
+(** The structured-event vocabulary of the scheduler trace.
+
+    Every observable decision of the compilation pipeline is one of
+    these payloads, stamped with a monotonically increasing sequence
+    number by the {!Trace} that buffers it.  Timestamps in exported
+    traces are {e logical} (the sequence number), which is what makes
+    two runs on the same input byte-identical; wall-clock phase timings
+    live in {!Trace.span_times}, outside the event stream. *)
+
+type evict_reason =
+  | Dependence  (** A predecessor moved under the operation (figure 3). *)
+  | Resource  (** Displaced by a forced placement (section 3.4). *)
+
+type payload =
+  | Span_begin of { name : string }  (** A pipeline phase opens. *)
+  | Span_end of { name : string }
+  | Instant of { name : string }  (** A point annotation. *)
+  | Place of { op : int; time : int; alt : int; estart : int; forced : bool }
+      (** Operation [op] committed to slot [time] on alternative [alt];
+          [estart] is the Estart that opened its search window.  With
+          [forced] the slot was taken by displacement (the event is
+          exported as ["force"], otherwise ["place"]). *)
+  | Evict of { op : int; by : int; time : int; reason : evict_reason }
+      (** [op] was unscheduled from slot [time] on behalf of [by]. *)
+  | Ii_start of { ii : int; attempt : int; budget : int }
+      (** IterativeSchedule begins at candidate [ii]. *)
+  | Ii_end of { ii : int; scheduled : bool; steps : int }
+  | Budget_exhausted of { ii : int; unplaced : int }
+      (** The budget ran out with [unplaced] operations unscheduled —
+          always followed by [Ii_end { scheduled = false; _ }]. *)
+
+type t = { seq : int; payload : payload }
+
+val name : payload -> string
+(** The export name: ["span_begin"], ["place"], ["force"], ["evict"],
+    ["ii_start"], ... *)
+
+val args : payload -> (string * Json.t) list
+(** The payload's fields, in a fixed order, for exporters. *)

@@ -1,0 +1,34 @@
+let pp ?(op_name = fun i -> Printf.sprintf "op %d" i) ppf events =
+  let depth = ref 0 in
+  let indent () = String.make (2 * !depth) ' ' in
+  let line fmt = Format.fprintf ppf ("%s" ^^ fmt ^^ "@.") (indent ()) in
+  List.iter
+    (fun (e : Event.t) ->
+      match e.payload with
+      | Event.Span_begin { name } ->
+          line "[%s]" name;
+          incr depth
+      | Event.Span_end _ -> if !depth > 0 then decr depth
+      | Event.Instant { name } -> line "note: %s" name
+      | Event.Ii_start { ii; attempt; budget } ->
+          line "trying II=%d (attempt %d, budget %d steps)" ii attempt budget
+      | Event.Ii_end { ii; scheduled; steps } ->
+          if scheduled then line "II=%d scheduled in %d steps" ii steps
+          else line "II=%d failed after %d steps" ii steps
+      | Event.Budget_exhausted { ii; unplaced } ->
+          line "budget exhausted at II=%d with %d operations unplaced" ii
+            unplaced
+      | Event.Place { op; time; alt; estart; forced } ->
+          if forced then
+            line "force %s into t=%d (alt %d, Estart %d)" (op_name op) time alt
+              estart
+          else
+            line "place %s at t=%d (alt %d, Estart %d)" (op_name op) time alt
+              estart
+      | Event.Evict { op; by; time; reason } ->
+          line "  evict %s from t=%d (%s conflict with %s)" (op_name op) time
+            (match reason with
+            | Event.Dependence -> "dependence"
+            | Event.Resource -> "resource")
+            (op_name by))
+    events

@@ -1,0 +1,9 @@
+(** A human-readable narrative of one scheduling run, rendered from the
+    event trace — each line is one figure-3 decision: which operation
+    was picked, where its Estart window opened, whether it took a free
+    slot or forced its way in, and whom it displaced.
+
+    [op_name] maps operation ids to display names (typically the opcode
+    and tag from the {!Ims_ir.Ddg.t}); it defaults to ["op N"]. *)
+
+val pp : ?op_name:(int -> string) -> Format.formatter -> Event.t list -> unit

@@ -1,0 +1,49 @@
+let jsonl buf events =
+  List.iter
+    (fun (e : Event.t) ->
+      Json.to_buffer buf
+        (Json.Obj
+           (("seq", Json.Int e.seq)
+           :: ("event", Json.String (Event.name e.payload))
+           :: Event.args e.payload));
+      Buffer.add_char buf '\n')
+    events
+
+let chrome_event (e : Event.t) =
+  let common name ph =
+    [
+      ("name", Json.String name);
+      ("ph", Json.String ph);
+      ("ts", Json.Int e.seq);
+      ("pid", Json.Int 1);
+      ("tid", Json.Int 1);
+    ]
+  in
+  match e.payload with
+  | Event.Span_begin { name } -> Json.Obj (common name "B" @ [ ("cat", Json.String "phase") ])
+  | Event.Span_end { name } -> Json.Obj (common name "E" @ [ ("cat", Json.String "phase") ])
+  | payload ->
+      Json.Obj
+        (common (Event.name payload) "i"
+        @ [
+            ("cat", Json.String "sched");
+            ("s", Json.String "t");
+            ("args", Json.Obj (Event.args payload));
+          ])
+
+let chrome buf events =
+  Buffer.add_string buf "{\"traceEvents\":[";
+  List.iteri
+    (fun i e ->
+      Buffer.add_string buf (if i = 0 then "\n" else ",\n");
+      Json.to_buffer buf (chrome_event e))
+    events;
+  Buffer.add_string buf "\n],\"displayTimeUnit\":\"ms\"}\n"
+
+let with_buffer f events =
+  let buf = Buffer.create 4096 in
+  f buf events;
+  Buffer.contents buf
+
+let jsonl_string = with_buffer jsonl
+let chrome_string = with_buffer chrome

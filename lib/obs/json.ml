@@ -1,0 +1,230 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+let escape buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let rec to_buffer buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f ->
+      if Float.is_finite f then
+        (* %.12g is stable, compact, and ample for metric values. *)
+        Buffer.add_string buf (Printf.sprintf "%.12g" f)
+      else Buffer.add_string buf "null"
+  | String s -> escape buf s
+  | List xs ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char buf ',';
+          to_buffer buf x)
+        xs;
+      Buffer.add_char buf ']'
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          escape buf k;
+          Buffer.add_char buf ':';
+          to_buffer buf v)
+        fields;
+      Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  to_buffer buf v;
+  Buffer.contents buf
+
+(* --- parsing ------------------------------------------------------------- *)
+
+exception Bad of string
+
+let of_string s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let fail msg = raise (Bad (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %c" c)
+  in
+  let literal word value =
+    if !pos + String.length word <= n && String.sub s !pos (String.length word) = word
+    then begin
+      pos := !pos + String.length word;
+      value
+    end
+    else fail (Printf.sprintf "expected %s" word)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+          advance ();
+          match peek () with
+          | Some '"' -> Buffer.add_char buf '"'; advance (); go ()
+          | Some '\\' -> Buffer.add_char buf '\\'; advance (); go ()
+          | Some '/' -> Buffer.add_char buf '/'; advance (); go ()
+          | Some 'n' -> Buffer.add_char buf '\n'; advance (); go ()
+          | Some 'r' -> Buffer.add_char buf '\r'; advance (); go ()
+          | Some 't' -> Buffer.add_char buf '\t'; advance (); go ()
+          | Some 'b' -> Buffer.add_char buf '\b'; advance (); go ()
+          | Some 'f' -> Buffer.add_char buf '\012'; advance (); go ()
+          | Some 'u' ->
+              advance ();
+              if !pos + 4 > n then fail "truncated \\u escape";
+              let code = int_of_string ("0x" ^ String.sub s !pos 4) in
+              pos := !pos + 4;
+              (* Escapes this module emits are all < 0x80; decode the
+                 rest as best-effort UTF-8. *)
+              if code < 0x80 then Buffer.add_char buf (Char.chr code)
+              else if code < 0x800 then begin
+                Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+                Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+              end
+              else begin
+                Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+                Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+                Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+              end;
+              go ()
+          | _ -> fail "bad escape")
+      | Some c ->
+          Buffer.add_char buf c;
+          advance ();
+          go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_float = ref false in
+    let rec go () =
+      match peek () with
+      | Some ('0' .. '9' | '-' | '+') ->
+          advance ();
+          go ()
+      | Some ('.' | 'e' | 'E') ->
+          is_float := true;
+          advance ();
+          go ()
+      | _ -> ()
+    in
+    go ();
+    let text = String.sub s start (!pos - start) in
+    if !is_float then
+      match float_of_string_opt text with
+      | Some f -> Float f
+      | None -> fail "bad number"
+    else
+      match int_of_string_opt text with
+      | Some i -> Int i
+      | None -> fail "bad number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some 'n' -> literal "null" Null
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some '"' -> String (parse_string ())
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          List []
+        end
+        else begin
+          let rec elems acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                elems (v :: acc)
+            | Some ']' ->
+                advance ();
+                List.rev (v :: acc)
+            | _ -> fail "expected , or ]"
+          in
+          List (elems [])
+        end
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let field () =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            (k, v)
+          in
+          let rec fields acc =
+            let f = field () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                fields (f :: acc)
+            | Some '}' ->
+                advance ();
+                List.rev (f :: acc)
+            | _ -> fail "expected , or }"
+          in
+          Obj (fields [])
+        end
+    | Some c -> fail (Printf.sprintf "unexpected character %c" c)
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+  with
+  | v -> Ok v
+  | exception Bad msg -> Error msg

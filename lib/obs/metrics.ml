@@ -1,0 +1,112 @@
+type counter = { mutable c : int }
+type gauge = { mutable g : float }
+
+type histogram = {
+  mutable count : int;
+  mutable sum : float;
+  mutable lo : float;
+  mutable hi : float;
+}
+
+type value =
+  | Counter of int
+  | Gauge of float
+  | Histogram of { count : int; sum : float; min : float; max : float }
+
+type instrument = C of counter | G of gauge | H of histogram
+
+type t = { tbl : (string, instrument) Hashtbl.t }
+
+let create () = { tbl = Hashtbl.create 32 }
+
+let kind_name = function C _ -> "counter" | G _ -> "gauge" | H _ -> "histogram"
+
+let register t name make match_kind wanted =
+  match Hashtbl.find_opt t.tbl name with
+  | Some i -> (
+      match match_kind i with
+      | Some x -> x
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Metrics: %S is a %s, not a %s" name (kind_name i)
+               wanted))
+  | None ->
+      let x = make () in
+      x
+
+let counter t name =
+  register t name
+    (fun () ->
+      let c = { c = 0 } in
+      Hashtbl.add t.tbl name (C c);
+      c)
+    (function C c -> Some c | _ -> None)
+    "counter"
+
+let incr ?(by = 1) c = c.c <- c.c + by
+let counter_value c = c.c
+
+let gauge t name =
+  register t name
+    (fun () ->
+      let g = { g = 0.0 } in
+      Hashtbl.add t.tbl name (G g);
+      g)
+    (function G g -> Some g | _ -> None)
+    "gauge"
+
+let set g v = g.g <- v
+let set_int g v = g.g <- float_of_int v
+
+let histogram t name =
+  register t name
+    (fun () ->
+      let h = { count = 0; sum = 0.0; lo = infinity; hi = neg_infinity } in
+      Hashtbl.add t.tbl name (H h);
+      h)
+    (function H h -> Some h | _ -> None)
+    "histogram"
+
+let observe h v =
+  h.count <- h.count + 1;
+  h.sum <- h.sum +. v;
+  if v < h.lo then h.lo <- v;
+  if v > h.hi then h.hi <- v
+
+let to_assoc t =
+  Hashtbl.fold
+    (fun name i acc ->
+      let v =
+        match i with
+        | C c -> Counter c.c
+        | G g -> Gauge g.g
+        | H h -> Histogram { count = h.count; sum = h.sum; min = h.lo; max = h.hi }
+      in
+      (name, v) :: acc)
+    t.tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let value_to_json = function
+  | Counter n -> Json.Int n
+  | Gauge g -> if Float.is_integer g && Float.abs g < 1e15 then Json.Int (int_of_float g) else Json.Float g
+  | Histogram { count; sum; min; max } ->
+      Json.Obj
+        [
+          ("count", Json.Int count);
+          ("sum", Json.Float sum);
+          ("min", Json.Float min);
+          ("max", Json.Float max);
+        ]
+
+let to_json t = Json.Obj (List.map (fun (k, v) -> (k, value_to_json v)) (to_assoc t))
+
+let pp ppf t =
+  List.iter
+    (fun (name, v) ->
+      match v with
+      | Counter n -> Format.fprintf ppf "%s = %d@." name n
+      | Gauge g -> Format.fprintf ppf "%s = %g@." name g
+      | Histogram { count; sum; min; max } ->
+          Format.fprintf ppf "%s = {count %d; sum %g; min %g; max %g}@." name
+            count sum min max)
+    (to_assoc t)

@@ -1,0 +1,73 @@
+type t = {
+  enabled : bool;
+  mutable rev_events : Event.t list;
+  mutable next_seq : int;
+  timer : unit -> float;
+  spans : (string, int * float) Hashtbl.t;  (** completed count, total s *)
+}
+
+let null =
+  {
+    enabled = false;
+    rev_events = [];
+    next_seq = 0;
+    timer = (fun () -> 0.0);
+    spans = Hashtbl.create 1;
+  }
+
+let create ?(timer = Sys.time) () =
+  { enabled = true; rev_events = []; next_seq = 0; timer; spans = Hashtbl.create 16 }
+
+let enabled t = t.enabled
+
+let emit t payload =
+  if t.enabled then begin
+    t.rev_events <- { Event.seq = t.next_seq; payload } :: t.rev_events;
+    t.next_seq <- t.next_seq + 1
+  end
+
+let place t ~op ~time ~alt ~estart ~forced =
+  if t.enabled then emit t (Event.Place { op; time; alt; estart; forced })
+
+let evict t ~op ~by ~time ~reason =
+  if t.enabled then emit t (Event.Evict { op; by; time; reason })
+
+let ii_start t ~ii ~attempt ~budget =
+  if t.enabled then emit t (Event.Ii_start { ii; attempt; budget })
+
+let ii_end t ~ii ~scheduled ~steps =
+  if t.enabled then emit t (Event.Ii_end { ii; scheduled; steps })
+
+let budget_exhausted t ~ii ~unplaced =
+  if t.enabled then emit t (Event.Budget_exhausted { ii; unplaced })
+
+let instant t name = if t.enabled then emit t (Event.Instant { name })
+
+let with_span t name f =
+  if not t.enabled then f ()
+  else begin
+    emit t (Event.Span_begin { name });
+    let t0 = t.timer () in
+    Fun.protect
+      ~finally:(fun () ->
+        let dt = t.timer () -. t0 in
+        let count, total =
+          Option.value ~default:(0, 0.0) (Hashtbl.find_opt t.spans name)
+        in
+        Hashtbl.replace t.spans name (count + 1, total +. dt);
+        emit t (Event.Span_end { name }))
+      f
+  end
+
+let events t = List.rev t.rev_events
+
+let span_times t =
+  Hashtbl.fold (fun name v acc -> (name, v) :: acc) t.spans []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let record_span_times t m =
+  List.iter
+    (fun (name, (count, total)) ->
+      Metrics.incr ~by:count (Metrics.counter m ("span." ^ name ^ ".count"));
+      Metrics.set (Metrics.gauge m ("span." ^ name ^ ".seconds")) total)
+    (span_times t)

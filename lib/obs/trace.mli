@@ -1,0 +1,64 @@
+(** The event sink threaded through the pipeline.
+
+    A trace is either {!null} — permanently disabled, every emission a
+    single branch with no allocation — or an in-memory buffer created by
+    {!create}.  Library code takes a [Trace.t] (defaulting to [null])
+    and calls the typed emitters; the allocation of the event payload
+    happens {e after} the enabled check, so a disabled trace costs one
+    load and one conditional per call site and nothing else.
+
+    {!with_span} additionally accumulates wall-clock time per phase name
+    into a side table ({!span_times}); those timings never enter the
+    event stream, which is what keeps exported traces byte-identical
+    across runs (events carry logical sequence numbers only). *)
+
+type t
+
+val null : t
+(** The no-op sink: [enabled null = false]; emissions do nothing,
+    [events null = []]. *)
+
+val create : ?timer:(unit -> float) -> unit -> t
+(** An enabled trace buffering events in memory.  [timer] (seconds,
+    monotone non-decreasing) feeds span timing; it defaults to
+    [Sys.time] — the stdlib's process-CPU clock, which keeps this
+    library dependency-free.  Inject a wall clock here if preferred. *)
+
+val enabled : t -> bool
+
+val emit : t -> Event.payload -> unit
+(** Appends (when enabled).  Prefer the typed emitters below on hot
+    paths: they perform the enabled check {e before} allocating the
+    payload. *)
+
+(** {2 Typed emitters} *)
+
+val place :
+  t -> op:int -> time:int -> alt:int -> estart:int -> forced:bool -> unit
+
+val evict : t -> op:int -> by:int -> time:int -> reason:Event.evict_reason -> unit
+val ii_start : t -> ii:int -> attempt:int -> budget:int -> unit
+val ii_end : t -> ii:int -> scheduled:bool -> steps:int -> unit
+val budget_exhausted : t -> ii:int -> unplaced:int -> unit
+val instant : t -> string -> unit
+
+(** {2 Spans} *)
+
+val with_span : t -> string -> (unit -> 'a) -> 'a
+(** [with_span t name f] brackets [f] with [Span_begin]/[Span_end]
+    events (the end event is emitted even if [f] raises) and adds the
+    elapsed timer reading to the phase table.  On a disabled trace it is
+    exactly [f ()]. *)
+
+(** {2 Readout} *)
+
+val events : t -> Event.t list
+(** In emission order. *)
+
+val span_times : t -> (string * (int * float)) list
+(** Per phase name: (number of completed spans, total seconds), sorted
+    by name. *)
+
+val record_span_times : t -> Metrics.t -> unit
+(** Adds each phase's wall time as gauge ["span.NAME.seconds"] and its
+    count as counter ["span.NAME.count"]. *)

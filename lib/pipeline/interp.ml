@@ -417,7 +417,10 @@ let run_pipelined_with_exit ?(seed = 42) sched ~exit_op ~max_trip =
   let trip = if exit_iter = max_trip then max_trip else exit_iter + 1 in
   (outcome_of ~seed ~trip ddg instances mem, exit_iter)
 
-let check ?(seed = 42) ?trip sched =
+let check ?(seed = 42) ?metrics ?trip sched =
+  let replays =
+    Option.map (fun m -> Ims_obs.Metrics.counter m "interp.replays") metrics
+  in
   let ddg = sched.Schedule.ddg in
   if not (supported ddg) then Ok ()
   else begin
@@ -439,6 +442,7 @@ let check ?(seed = 42) ?trip sched =
             match acc with
             | Error _ -> acc
             | Ok () ->
+                Option.iter Ims_obs.Metrics.incr replays;
                 let b = run sched ~trip in
                 if equivalent reference b then Ok ()
                 else

@@ -45,11 +45,17 @@ val run_pipelined : ?seed:int -> Schedule.t -> trip:int -> outcome
 val equivalent : outcome -> outcome -> bool
 (** Bit-exact agreement (NaN equal to NaN). *)
 
-val check : ?seed:int -> ?trip:int -> Schedule.t -> (unit, string) result
+val check :
+  ?seed:int ->
+  ?metrics:Ims_obs.Metrics.t ->
+  ?trip:int ->
+  Schedule.t ->
+  (unit, string) result
 (** Sequential execution against all three overlapped replays — issue
     order, finite MVE registers, and the physical rotating file — for a
     supported loop ([trip] defaults to 3 * stages + 5); [Ok] for
-    unsupported loops (nothing to disprove). *)
+    unsupported loops (nothing to disprove).  [metrics] counts each
+    replay actually performed under ["interp.replays"]. *)
 
 val run_mve : ?seed:int -> Schedule.t -> trip:int -> outcome
 (** Replay through the {e finite} register set of the MVE schema: each

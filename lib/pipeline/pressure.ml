@@ -23,7 +23,7 @@ let attempt ~budget_ratio ddg ~ii =
       Some (compacted, Rotreg.allocate compacted)
 
 let schedule ?(budget_ratio = Ims.default_budget_ratio) ?(max_retries = 64)
-    ddg ~max_rotating =
+    ?(trace = Ims_obs.Trace.null) ddg ~max_rotating =
   let unconstrained = Ims.modulo_schedule ~budget_ratio ddg in
   match unconstrained.Ims.schedule with
   | None -> Error "pressure: the loop does not schedule at all"
@@ -35,7 +35,10 @@ let schedule ?(budget_ratio = Ims.default_budget_ratio) ?(max_retries = 64)
             (Printf.sprintf
                "pressure: %d rotating registers do not suffice within II %d"
                max_rotating ii)
-        else
+        else begin
+          if retries > 0 then
+            Ims_obs.Trace.instant trace
+              (Printf.sprintf "pressure.retry ii=%d" ii);
           match attempt ~budget_ratio ddg ~ii with
           | None -> search (ii + 1) (retries + 1)
           | Some (sched, alloc) ->
@@ -49,6 +52,7 @@ let schedule ?(budget_ratio = Ims.default_budget_ratio) ?(max_retries = 64)
                     retries;
                   }
               else search (ii + 1) (retries + 1)
+        end
       in
       search base_ii 0
 

@@ -26,11 +26,13 @@ type result = {
 val schedule :
   ?budget_ratio:float ->
   ?max_retries:int ->
+  ?trace:Ims_obs.Trace.t ->
   Ddg.t ->
   max_rotating:int ->
   (result, string) Result.t
 (** [Error] if no II within [max_retries] (default 64) of the
-    unconstrained one fits the file. *)
+    unconstrained one fits the file.  Each retry at a raised II emits a
+    ["pressure.retry ii=K"] instant event on [trace]. *)
 
 val demand_profile : Ddg.t -> ii_range:int * int -> (int * int) list
 (** [(ii, rotating registers after compaction)] over an II range — how

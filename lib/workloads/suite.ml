@@ -5,7 +5,9 @@ type case = { name : string; ddg : Ddg.t; entry_freq : int; loop_freq : int }
 
 let default_count = 1327
 
-let cases ?machine ?(count = default_count) ?(seed = 1994) () =
+let cases ?machine ?(count = default_count) ?(seed = 1994)
+    ?(trace = Ims_obs.Trace.null) () =
+  Ims_obs.Trace.with_span trace "suite.generate" @@ fun () ->
   let machine =
     match machine with Some m -> m | None -> Machine.cydra5 ()
   in

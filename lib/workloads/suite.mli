@@ -21,10 +21,17 @@ type case = {
 val default_count : int
 (** 1327. *)
 
-val cases : ?machine:Machine.t -> ?count:int -> ?seed:int -> unit -> case list
+val cases :
+  ?machine:Machine.t ->
+  ?count:int ->
+  ?seed:int ->
+  ?trace:Ims_obs.Trace.t ->
+  unit ->
+  case list
 (** Deterministic given [seed] (default 1994).  [machine] defaults to the
     Cydra 5; [count] scales the synthetic part (the LFK loops are always
-    included and count towards it). *)
+    included and count towards it).  [trace] brackets generation in a
+    ["suite.generate"] span. *)
 
 val execution_time : case -> sl:int -> ii:int -> int
 (** The paper's section 4.3 formula:

@@ -9,5 +9,6 @@ let () =
       Test_pipeline.tests;
       Test_workloads.tests;
       Test_stats.tests;
+      Test_obs.tests;
       Test_integration.tests;
     ]
