@@ -15,6 +15,8 @@
 
    Run with: dune exec bench/main.exe            (full 1327-loop suite)
              dune exec bench/main.exe -- --quick (300 loops, no bechamel)
+             ... --jobs N   (fan the per-loop work out over N domains;
+                             stdout is byte-identical for every N)
 
    Absolute numbers differ from the paper (its loops came from the Cydra 5
    Fortran compiler; ours are the LFK translations plus a calibrated
@@ -28,19 +30,68 @@ open Ims_core
 open Ims_stats
 open Ims_workloads
 
-let quick = Array.exists (fun a -> a = "--quick") Sys.argv
+(* --metrics FILE dumps one JSON line per loop (name, bounds, achieved
+   II, steps, table 4 counters) so suite-wide regressions in IIs /
+   budget / time become diffable artifacts.  Unknown flags and flags
+   missing their value are hard errors — a silently ignored
+   "--metrics" as the last argument cost real debugging time once. *)
+type opts = { quick : bool; jobs : int; metrics_file : string option }
+
+let opts =
+  let usage_exit msg =
+    Printf.eprintf "bench: %s\n" msg;
+    prerr_endline
+      "usage: dune exec bench/main.exe -- [--quick] [--jobs N] [--metrics FILE]";
+    exit 2
+  in
+  let quick = ref false in
+  let jobs = ref (Ims_exec.Exec.default_jobs ()) in
+  let metrics = ref None in
+  let argc = Array.length Sys.argv in
+  let value flag i =
+    if i + 1 >= argc then usage_exit (flag ^ " needs a value")
+    else Sys.argv.(i + 1)
+  in
+  let rec scan i =
+    if i < argc then
+      match Sys.argv.(i) with
+      | "--quick" ->
+          quick := true;
+          scan (i + 1)
+      | "--jobs" ->
+          let v = value "--jobs" i in
+          (match int_of_string_opt v with
+          | Some n when n >= 1 -> jobs := n
+          | _ ->
+              usage_exit
+                (Printf.sprintf "--jobs expects a positive integer, got %S" v));
+          scan (i + 2)
+      | "--metrics" ->
+          metrics := Some (value "--metrics" i);
+          scan (i + 2)
+      | other -> usage_exit (Printf.sprintf "unknown argument %S" other)
+  in
+  scan 1;
+  { quick = !quick; jobs = !jobs; metrics_file = !metrics }
+
+let quick = opts.quick
+let jobs = opts.jobs
+let metrics_file = opts.metrics_file
 let suite_count = if quick then 300 else Suite.default_count
 
-(* --metrics FILE: dump one JSON line per loop (name, bounds, achieved
-   II, steps, table 4 counters) so suite-wide regressions in IIs /
-   budget / time become diffable artifacts. *)
-let metrics_file =
-  let rec find i =
-    if i + 1 >= Array.length Sys.argv then None
-    else if Sys.argv.(i) = "--metrics" then Some Sys.argv.(i + 1)
-    else find (i + 1)
-  in
-  find 1
+(* Parallel map over independent loops: input order preserved, so every
+   table below is byte-identical at any --jobs.  Phase wall-clock goes
+   to stderr, keeping stdout deterministic. *)
+let pmap f xs = Ims_exec.Exec.map_exn ~jobs f xs
+
+let timed name f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  Printf.eprintf "[bench] %-18s %6.2fs  (%d job%s)\n%!" name
+    (Unix.gettimeofday () -. t0)
+    jobs
+    (if jobs = 1 then "" else "s");
+  r
 
 let section title =
   Printf.printf "\n%s\n%s\n%s\n\n" (String.make 72 '=') title (String.make 72 '=')
@@ -382,28 +433,44 @@ let figure6 cases =
   let rows =
     List.map
       (fun budget_ratio ->
+        (* One independent job per loop; the fold below runs in case
+           order, so the float accumulation order (and hence the bytes
+           printed) matches the serial sweep exactly. *)
+        let per_case =
+          pmap
+            (fun (case : Suite.case) ->
+              let s, ii, mii, counters =
+                schedule_production ~budget_ratio case
+              in
+              let actual, lower =
+                if case.Suite.loop_freq > 0 then begin
+                  let acyclic = List_sched.schedule_length case.Suite.ddg in
+                  let sl_lb =
+                    Mii.schedule_length_lower_bound case.Suite.ddg ~ii:mii
+                      ~acyclic_length:acyclic
+                  in
+                  ( float_of_int
+                      (Suite.execution_time case ~sl:(Schedule.length s) ~ii),
+                    float_of_int (Suite.execution_time case ~sl:sl_lb ~ii:mii)
+                  )
+                end
+                else (0.0, 0.0)
+              in
+              ( counters.Counters.sched_steps,
+                Ddg.n_total case.Suite.ddg,
+                actual,
+                lower ))
+            cases
+        in
         let steps = ref 0 and ops = ref 0 in
         let actual = ref 0.0 and lower = ref 0.0 in
         List.iter
-          (fun (case : Suite.case) ->
-            let s, ii, mii, counters = schedule_production ~budget_ratio case in
-            steps := !steps + counters.Counters.sched_steps;
-            ops := !ops + Ddg.n_total case.Suite.ddg;
-            if case.Suite.loop_freq > 0 then begin
-              let acyclic = List_sched.schedule_length case.Suite.ddg in
-              let sl_lb =
-                Mii.schedule_length_lower_bound case.Suite.ddg ~ii:mii
-                  ~acyclic_length:acyclic
-              in
-              actual :=
-                !actual
-                +. float_of_int
-                     (Suite.execution_time case ~sl:(Schedule.length s) ~ii);
-              lower :=
-                !lower
-                +. float_of_int (Suite.execution_time case ~sl:sl_lb ~ii:mii)
-            end)
-          cases;
+          (fun (s, o, a, l) ->
+            steps := !steps + s;
+            ops := !ops + o;
+            actual := !actual +. a;
+            lower := !lower +. l)
+          per_case;
         let dilation = 100.0 *. ((!actual /. !lower) -. 1.0) in
         let inefficiency = float_of_int !steps /. float_of_int !ops in
         (budget_ratio, dilation, inefficiency))
@@ -431,7 +498,7 @@ let table4 cases =
   section "TABLE 4 — computational complexity: worst case vs empirical LMS fits";
   (* Counters from the production scheme at the recommended BudgetRatio. *)
   let points =
-    List.map
+    pmap
       (fun (case : Suite.case) ->
         let _, _, _, counters = schedule_production ~budget_ratio:2.0 case in
         (float_of_int (Ddg.n_real case.Suite.ddg), case, counters))
@@ -571,9 +638,11 @@ let ablation_recmii cases =
   let t_circuits = Sys.time () -. t0 in
   Printf.printf "loops: %d; elementary circuits enumerated: %d (%d over limit)\n"
     (List.length subset) !circuits !bailed;
-  Printf.printf "MinDist search:       %.3f s (%d inner-loop steps)\n" t_mindist
+  Printf.printf "MinDist search:       %d inner-loop steps\n"
     counters.Counters.mindist_inner;
-  Printf.printf "circuit enumeration:  %.3f s\n" t_circuits;
+  (* Wall clock goes to stderr: stdout stays byte-identical across runs. *)
+  Printf.eprintf "[bench] recmii ablation: mindist %.3fs, circuits %.3fs\n%!"
+    t_mindist t_circuits;
   print_endline "both compute the same RecMII (cross-checked in the test suite)."
 
 let ablation_delay_model () =
@@ -1157,13 +1226,19 @@ let () =
   figure1 ();
   table1 ();
   table2 ();
-  let cases = Suite.cases ~machine ~count:suite_count () in
-  let records = List.map (measure_case ~budget_ratio:6.0) cases in
+  let cases =
+    timed "suite.generate" (fun () ->
+        Suite.cases ~machine ~count:suite_count ~jobs ())
+  in
+  let records =
+    timed "measure (table 3)" (fun () ->
+        pmap (measure_case ~budget_ratio:6.0) cases)
+  in
   Option.iter (fun file -> dump_metrics file records) metrics_file;
   table3 records;
   headline records;
-  figure6 cases;
-  table4 cases;
+  timed "figure 6 sweep" (fun () -> figure6 cases);
+  timed "table 4 fits" (fun () -> table4 cases);
   section "ABLATIONS — design choices called out in DESIGN.md";
   ablation_priorities cases;
   ablation_recmii cases;

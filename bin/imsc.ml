@@ -532,6 +532,120 @@ let cmd_simulate =
   Cmd.v (Cmd.info "simulate" ~doc:"Run a pipelined loop on the checker")
     Term.(const run $ machine_arg $ loop_arg $ trip_arg)
 
+(* --- batch ---------------------------------------------------------------------- *)
+
+(* Schedule every loop dump in the given files/directories across
+   domains (Ims_exec).  One JSONL line per loop, in input order — byte
+   identical at any --jobs; casualties (parse errors, budget
+   exhaustion, timeouts) are contained per loop and summarised on
+   stderr, and the exit code reports them. *)
+let cmd_batch =
+  let paths_arg =
+    let doc =
+      "Loop dumps (the textual format of 'imsc export') or directories \
+       of them."
+    in
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"PATH" ~doc)
+  in
+  let jobs_arg =
+    let doc =
+      "Worker domains (default: the runtime's recommended domain count)."
+    in
+    Arg.(
+      value
+      & opt int (Ims_exec.Exec.default_jobs ())
+      & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+  in
+  let timeout_arg =
+    let doc =
+      "Soft per-loop wall-clock limit in seconds: an overrunning loop \
+       still completes (domains cannot be preempted) but is reported as \
+       timed_out instead of ok."
+    in
+    Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"S" ~doc)
+  in
+  let report_arg =
+    let doc = "Write the per-loop JSONL report to $(docv) (default stdout)." in
+    Arg.(value & opt (some string) None & info [ "report" ] ~docv:"FILE" ~doc)
+  in
+  let run model paths jobs budget timeout report =
+    wrap (fun () ->
+        let machine = machine_of model in
+        let inputs =
+          List.concat_map
+            (fun path ->
+              if Sys.file_exists path && Sys.is_directory path then
+                Sys.readdir path |> Array.to_list |> List.sort compare
+                |> List.filter_map (fun f ->
+                       let full = Filename.concat path f in
+                       if Sys.is_directory full then None else Some (f, full))
+              else if Sys.file_exists path then
+                [ (Filename.basename path, path) ]
+              else
+                failwith
+                  (Printf.sprintf "batch: no such file or directory %S" path))
+            paths
+        in
+        if inputs = [] then failwith "batch: no loop dumps found";
+        let schedule_one (shard : Ims_exec.Shard.t) (_, path) =
+          let ddg = Loop_parse.parse_file machine path in
+          let out =
+            Ims_core.Ims.modulo_schedule ~budget_ratio:budget
+              ~counters:shard.Ims_exec.Shard.counters
+              ~trace:shard.Ims_exec.Shard.trace ddg
+          in
+          match out.Ims_core.Ims.schedule with
+          | None -> failwith "no schedule found within budget"
+          | Some s -> (out, Ims_core.Schedule.length s, Ddg.n_real ddg)
+        in
+        let outcomes, merged, stats =
+          Ims_exec.Exec.run ~jobs ?timeout ~timer:Unix.gettimeofday
+            ~f:schedule_one inputs
+        in
+        let lines =
+          List.map2
+            (fun (name, _) outcome ->
+              Ims_exec.Report.line ~name
+                ~fields:(fun (out, sl, n) ->
+                  let m = out.Ims_core.Ims.mii in
+                  [
+                    ("n", Json.Int n);
+                    ("resmii", Json.Int m.Ims_mii.Mii.resmii);
+                    ("recmii", Json.Int m.Ims_mii.Mii.recmii);
+                    ("mii", Json.Int m.Ims_mii.Mii.mii);
+                    ("ii", Json.Int out.Ims_core.Ims.ii);
+                    ("sl", Json.Int sl);
+                    ("attempts", Json.Int out.Ims_core.Ims.attempts);
+                    ("steps_final", Json.Int out.Ims_core.Ims.steps_final);
+                    ("steps_total", Json.Int out.Ims_core.Ims.steps_total);
+                  ])
+                outcome)
+            inputs outcomes
+        in
+        (match report with
+        | Some file -> Ims_exec.Report.write_jsonl file lines
+        | None -> print_string (Ims_exec.Report.jsonl_string lines));
+        Printf.eprintf "imsc batch: %s\n" (Ims_exec.Exec.summary stats);
+        Format.eprintf "merged counters: %a@." Ims_mii.Counters.pp
+          merged.Ims_exec.Shard.counters;
+        List.iter2
+          (fun (name, _) o ->
+            if not (Ims_exec.Outcome.is_done o) then
+              Printf.eprintf "  %s: %s\n" name (Ims_exec.Outcome.describe o))
+          inputs outcomes;
+        if
+          stats.Ims_exec.Exec.failed > 0 || stats.Ims_exec.Exec.timed_out > 0
+        then failwith "batch completed with casualties (see report)")
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:
+         "Schedule every loop in the given dumps in parallel and emit a \
+          per-loop JSONL report")
+    Term.(
+      const run $ machine_arg $ paths_arg $ jobs_arg $ budget_arg $ timeout_arg
+      $ report_arg)
+
 (* --- suite ---------------------------------------------------------------------- *)
 
 let cmd_suite =
@@ -573,4 +687,5 @@ let () =
           [
             cmd_machine; cmd_list; cmd_show; cmd_export; cmd_report; cmd_dot;
             cmd_mii; cmd_schedule; cmd_codegen; cmd_simulate; cmd_suite;
+            cmd_batch;
           ]))

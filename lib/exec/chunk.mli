@@ -1,0 +1,19 @@
+(** Chunk sizing for the self-scheduling work queue.
+
+    A fixed chunk is predictable but either too coarse (stragglers: one
+    worker stuck with the last big chunk while the rest idle) or too
+    fine (contention on the queue head).  The {e guided} policy takes
+    [remaining / (divisor * workers)] — big chunks while there is plenty
+    of work, shrinking toward [min_chunk] near the tail, so a long-tail
+    job (the 160-operation synthetic loops) arriving late cannot
+    serialize the run behind it. *)
+
+type policy =
+  | Fixed of int  (** Every grab takes (up to) this many jobs. *)
+  | Guided of { min_chunk : int; divisor : int }
+
+val default : policy
+(** [Guided { min_chunk = 1; divisor = 2 }]. *)
+
+val size : policy -> workers:int -> remaining:int -> int
+(** Never exceeds [remaining]; at least 1 when work remains. *)

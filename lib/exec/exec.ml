@@ -1,0 +1,88 @@
+type stats = {
+  jobs : int;
+  ok : int;
+  failed : int;
+  timed_out : int;
+  workers : int;
+  chunks : int;
+  elapsed : float;
+}
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+let run ?jobs ?timeout ?(policy = Chunk.default) ?(observe = false)
+    ?(timer = Sys.time) ~f inputs =
+  let inputs = Array.of_list inputs in
+  let n = Array.length inputs in
+  let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
+  let workers = max 1 (min jobs n) in
+  let shards = Array.init n (fun _ -> Shard.create ~observe ()) in
+  let results = Array.make n None in
+  let body i =
+    let t0 = timer () in
+    let outcome =
+      match f shards.(i) inputs.(i) with
+      | v -> (
+          match timeout with
+          | Some limit ->
+              let elapsed = timer () -. t0 in
+              if elapsed > limit then Outcome.Timed_out { elapsed; limit }
+              else Outcome.Done v
+          | None -> Outcome.Done v)
+      | exception e ->
+          Outcome.Failed
+            {
+              Outcome.exn = Printexc.to_string e;
+              backtrace = Printexc.get_backtrace ();
+            }
+    in
+    results.(i) <- Some outcome
+  in
+  let t_run = timer () in
+  let queue = Work_queue.create ~policy ~workers ~length:n in
+  Pool.parallel_for ~workers ~queue body;
+  let elapsed = timer () -. t_run in
+  let outcomes =
+    Array.to_list
+      (Array.map
+         (function
+           | Some o -> o
+           | None -> assert false (* the barrier guarantees every slot *))
+         results)
+  in
+  let count p = List.length (List.filter p outcomes) in
+  let stats =
+    {
+      jobs = n;
+      ok = count Outcome.is_done;
+      failed = count (function Outcome.Failed _ -> true | _ -> false);
+      timed_out = count (function Outcome.Timed_out _ -> true | _ -> false);
+      workers;
+      chunks = Work_queue.chunks_taken queue;
+      elapsed;
+    }
+  in
+  (outcomes, Shard.merge (Array.to_list shards), stats)
+
+let map ?jobs ?timeout ?policy f inputs =
+  let outcomes, _, _ =
+    run ?jobs ?timeout ?policy ~f:(fun _shard x -> f x) inputs
+  in
+  outcomes
+
+let map_exn ?jobs ?policy f inputs =
+  List.map Outcome.get_exn (map ?jobs ?policy f inputs)
+
+let casualties outcomes =
+  List.filter (fun o -> not (Outcome.is_done o)) outcomes
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "%d job%s: %d ok, %d failed, %d timed out; %d worker%s, %d chunk%s" s.jobs
+    (if s.jobs = 1 then "" else "s")
+    s.ok s.failed s.timed_out s.workers
+    (if s.workers = 1 then "" else "s")
+    s.chunks
+    (if s.chunks = 1 then "" else "s")
+
+let summary s = Format.asprintf "%a" pp_stats s

@@ -1,0 +1,82 @@
+(** The batch execution engine: run independent jobs across domains.
+
+    The contract, in order of importance:
+
+    {b Determinism.}  [run ~f inputs] returns outcomes in input order,
+    each slot written exactly once by whichever worker drew that index,
+    and merges telemetry shards in job order — so output order {e and}
+    content are byte-identical to a serial run regardless of worker
+    count or interleaving.  (A [~timeout] is the one opt-in exception:
+    whether a borderline job crosses its wall-clock deadline is
+    inherently racy.)
+
+    {b Fault containment.}  Each job runs under its own handler; an
+    exception becomes {!Outcome.Failed} for that job alone and every
+    other job still runs.  The {!stats} record carries the run-level
+    casualty summary.
+
+    {b Self-scheduling.}  Jobs are drawn from a chunked atomic queue
+    ({!Work_queue}) under a guided policy ({!Chunk}), so a long-tail job
+    cannot serialize the run behind a static partition.
+
+    The engine is synchronous: [run] is itself the barrier. *)
+
+type stats = {
+  jobs : int;
+  ok : int;
+  failed : int;
+  timed_out : int;
+  workers : int;  (** Actually used: [min jobs (length inputs)], >= 1. *)
+  chunks : int;  (** Queue grabs — an indicator of scheduling granularity. *)
+  elapsed : float;  (** Of the whole batch, by the injected timer. *)
+}
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()]. *)
+
+val run :
+  ?jobs:int ->
+  ?timeout:float ->
+  ?policy:Chunk.policy ->
+  ?observe:bool ->
+  ?timer:(unit -> float) ->
+  f:(Shard.t -> 'a -> 'b) ->
+  'a list ->
+  'b Outcome.t list * Shard.t * stats
+(** [run ~f inputs] applies [f shard input] to every input and returns
+    (outcomes in input order, merged telemetry shard, casualty stats).
+
+    [jobs] defaults to {!default_jobs}; [1] runs inline on the calling
+    domain (no spawn).  [timeout] is a {e soft} per-job wall-clock limit
+    in seconds: domains cannot be preempted, so an overrunning job still
+    completes, but its value is discarded as {!Outcome.Timed_out} — the
+    limit bounds what a run will {e report}, not what a hung job can
+    consume.  [observe] gives each job's shard a live trace sink
+    (default: [Trace.null]).  [timer] (default [Sys.time]) feeds both
+    the per-job deadline check and [stats.elapsed]; inject a wall clock
+    (e.g. [Unix.gettimeofday]) for meaningful timings under
+    parallelism — [Sys.time] is process-CPU time summed over domains. *)
+
+val map :
+  ?jobs:int ->
+  ?timeout:float ->
+  ?policy:Chunk.policy ->
+  ('a -> 'b) ->
+  'a list ->
+  'b Outcome.t list
+(** {!run} without telemetry: just the outcomes, in input order. *)
+
+val map_exn :
+  ?jobs:int -> ?policy:Chunk.policy -> ('a -> 'b) -> 'a list -> 'b list
+(** Parallel [List.map] with fail-fast reporting: every job runs to the
+    barrier (containment still holds mid-run), then the first non-[Done]
+    outcome raises [Failure].  The drop-in replacement for a serial
+    [List.map] whose exceptions were fatal anyway. *)
+
+val casualties : 'a Outcome.t list -> 'a Outcome.t list
+(** The non-[Done] outcomes, in job order. *)
+
+val pp_stats : Format.formatter -> stats -> unit
+(** ["N jobs: N ok, N failed, N timed out; N workers, N chunks"]. *)
+
+val summary : stats -> string

@@ -1,0 +1,33 @@
+type error = { exn : string; backtrace : string }
+
+type 'a t =
+  | Done of 'a
+  | Failed of error
+  | Timed_out of { elapsed : float; limit : float }
+
+let done_ = function Done v -> Some v | Failed _ | Timed_out _ -> None
+let is_done = function Done _ -> true | Failed _ | Timed_out _ -> false
+
+let map f = function
+  | Done v -> Done (f v)
+  | Failed e -> Failed e
+  | Timed_out t -> Timed_out t
+
+let get_exn = function
+  | Done v -> v
+  | Failed e -> failwith ("job failed: " ^ e.exn)
+  | Timed_out { elapsed; limit } ->
+      failwith
+        (Printf.sprintf "job timed out: %.3fs over the %.3fs limit" elapsed
+           limit)
+
+let status = function
+  | Done _ -> "ok"
+  | Failed _ -> "failed"
+  | Timed_out _ -> "timed_out"
+
+let describe = function
+  | Done _ -> "ok"
+  | Failed e -> "failed: " ^ e.exn
+  | Timed_out { elapsed; limit } ->
+      Printf.sprintf "timed out after %.3fs (limit %.3fs)" elapsed limit

@@ -1,0 +1,33 @@
+(** The result of one job in a batch run.
+
+    Fault containment is by value, not by unwinding: an exception inside
+    a job becomes {!Failed} (with the printed exception and its
+    backtrace), a job that overran its soft deadline becomes
+    {!Timed_out}, and in both cases every other job still runs to
+    completion.  The engine never re-raises on its own — callers that
+    want fail-fast semantics opt in through {!Exec.map_exn} or
+    {!get_exn}. *)
+
+type error = { exn : string; backtrace : string }
+
+type 'a t =
+  | Done of 'a
+  | Failed of error
+  | Timed_out of { elapsed : float; limit : float }
+      (** The job {e completed} — OCaml domains cannot be safely
+          preempted — but took [elapsed] seconds against a [limit]-second
+          budget, so its value is discarded and reported as a casualty. *)
+
+val done_ : 'a t -> 'a option
+val is_done : 'a t -> bool
+val map : ('a -> 'b) -> 'a t -> 'b t
+
+val get_exn : 'a t -> 'a
+(** @raise Failure on [Failed] and [Timed_out]. *)
+
+val status : 'a t -> string
+(** ["ok"], ["failed"] or ["timed_out"] — the stable tag exported in
+    JSONL reports. *)
+
+val describe : 'a t -> string
+(** One human-readable line, e.g. ["failed: Failure(\"no schedule\")"]. *)

@@ -1,0 +1,16 @@
+(** The domain fan-out/join around a work queue.
+
+    [parallel_for ~workers ~queue body] runs [body i] once for every
+    index the queue hands out, on [workers] domains ([workers - 1]
+    spawned; the calling domain participates as the last worker), and
+    returns only after every domain has joined — the barrier after which
+    per-job results and telemetry shards are safe to read from the
+    caller.
+
+    [body] must confine its writes to slots it owns (its index): the
+    engine above stores each job's outcome at [results.(i)], so no two
+    domains ever race on a cell.  [body] should not raise — {!Exec}
+    wraps every job in its own handler — but if it does, the exception
+    propagates after all domains have joined. *)
+
+val parallel_for : workers:int -> queue:Work_queue.t -> (int -> unit) -> unit

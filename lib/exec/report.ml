@@ -1,0 +1,20 @@
+open Ims_obs
+
+let line ~name ~fields outcome =
+  let status = ("status", Json.String (Outcome.status outcome)) in
+  let rest =
+    match outcome with
+    | Outcome.Done v -> fields v
+    | Outcome.Failed e -> [ ("error", Json.String e.Outcome.exn) ]
+    | Outcome.Timed_out { elapsed; limit } ->
+        [ ("elapsed_s", Json.Float elapsed); ("limit_s", Json.Float limit) ]
+  in
+  Json.Obj (("name", Json.String name) :: status :: rest)
+
+let jsonl_string lines =
+  String.concat "" (List.map (fun j -> Json.to_string j ^ "\n") lines)
+
+let write_jsonl file lines =
+  let oc = open_out file in
+  output_string oc (jsonl_string lines);
+  close_out oc

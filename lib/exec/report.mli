@@ -1,0 +1,21 @@
+(** Per-job JSONL reporting for batch runs.
+
+    One JSON object per job, in job order: [{"name": ..., "status":
+    "ok" | "failed" | "timed_out", ...}].  Successful jobs carry the
+    caller's [fields]; failures carry the exception text; timeouts
+    carry the measured and allowed seconds.  Nothing non-deterministic
+    is emitted for successful jobs, so two runs at different [--jobs]
+    produce byte-identical reports. *)
+
+open Ims_obs
+
+val line :
+  name:string ->
+  fields:('a -> (string * Json.t) list) ->
+  'a Outcome.t ->
+  Json.t
+
+val jsonl_string : Json.t list -> string
+(** One line per object, each ["\n"]-terminated. *)
+
+val write_jsonl : string -> Json.t list -> unit

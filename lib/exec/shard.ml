@@ -1,0 +1,16 @@
+open Ims_obs
+open Ims_mii
+
+type t = { trace : Trace.t; counters : Counters.t }
+
+let create ?(observe = false) () =
+  {
+    trace = (if observe then Trace.create () else Trace.null);
+    counters = Counters.create ();
+  }
+
+let merge shards =
+  let observed = List.exists (fun s -> Trace.enabled s.trace) shards in
+  let trace = if observed then Trace.create () else Trace.null in
+  List.iter (fun s -> Trace.absorb trace s.trace) shards;
+  { trace; counters = Counters.merge (List.map (fun s -> s.counters) shards) }

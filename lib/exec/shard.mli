@@ -1,0 +1,29 @@
+(** Per-job observability shards.
+
+    The telemetry layer's sinks ({!Ims_obs.Trace.t},
+    {!Ims_mii.Counters.t}) are single-writer mutable buffers; sharing
+    one across domains would race.  So the engine hands every job its
+    own shard — owned exclusively by whichever worker runs that job —
+    and, after the barrier, {!merge} folds the shards {e in job order}:
+    traces are absorbed with their sequence numbers re-stamped
+    ({!Ims_obs.Trace.absorb}) and counters are summed
+    ({!Ims_mii.Counters.merge}).
+
+    Because the merge order is the job order, never the (racy)
+    completion order, the merged trace and counters are byte-identical
+    to what a serial run over the same jobs would have produced — this
+    is what keeps [--trace] and [--metrics] exports stable under
+    [--jobs N]. *)
+
+type t = {
+  trace : Ims_obs.Trace.t;  (** [Trace.null] unless observing. *)
+  counters : Ims_mii.Counters.t;
+}
+
+val create : ?observe:bool -> unit -> t
+(** A fresh shard; [observe] (default false) allocates a real trace
+    sink instead of [Trace.null]. *)
+
+val merge : t list -> t
+(** Fold shards in list order into one shard with a contiguous,
+    renumbered event stream and summed counters. *)

@@ -1,0 +1,19 @@
+(** A lock-free self-scheduling index queue over [0 .. length-1].
+
+    Workers repeatedly {!take} a half-open index range; the head is a
+    single [Atomic.t] advanced by compare-and-set, so the only shared
+    mutable word is the cursor.  Which worker gets which chunk is
+    non-deterministic; the set of indices handed out is always exactly
+    [0 .. length-1], each exactly once — determinism of the overall run
+    comes from writing results by index, not from the assignment. *)
+
+type t
+
+val create : policy:Chunk.policy -> workers:int -> length:int -> t
+
+val take : t -> (int * int) option
+(** The next [(lo, hi)] with [lo < hi], or [None] when the queue is
+    drained.  Chunk sizes follow the policy's guided schedule. *)
+
+val chunks_taken : t -> int
+val length : t -> int

@@ -60,6 +60,31 @@ let to_assoc t =
     ("sched_final", t.sched_steps_final);
   ]
 
+(* Merging goes through [to_assoc] rather than the record fields so the
+   three readers of the field list (pp, record, merge) can never drift. *)
+let merge ts =
+  let sums = Hashtbl.create 16 in
+  List.iter
+    (fun t ->
+      List.iter
+        (fun (name, v) ->
+          Hashtbl.replace sums name
+            (v + Option.value ~default:0 (Hashtbl.find_opt sums name)))
+        (to_assoc t))
+    ts;
+  let get name = Option.value ~default:0 (Hashtbl.find_opt sums name) in
+  {
+    scc_steps = get "scc";
+    resmii_steps = get "resmii";
+    mindist_inner = get "mindist";
+    mindist_calls = get "mindist_calls";
+    heightr_inner = get "heightr";
+    estart_inner = get "estart";
+    findslot_inner = get "findslot";
+    sched_steps = get "sched";
+    sched_steps_final = get "sched_final";
+  }
+
 let pp ppf t =
   match to_assoc t with
   | [

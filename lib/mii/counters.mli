@@ -34,6 +34,11 @@ val reset : t -> unit
 val add : t -> t -> unit
 (** [add acc c] accumulates [c] into [acc]. *)
 
+val merge : t list -> t
+(** A fresh record holding the field-wise sum — the reduction step for
+    per-worker counter shards after a parallel run.  Built on
+    {!to_assoc}, so it tracks the field list automatically. *)
+
 val to_assoc : t -> (string * int) list
 (** [(field name, value)] in declaration order — the names {!pp} prints
     and {!record} registers. *)

@@ -61,6 +61,18 @@ let with_span t name f =
 
 let events t = List.rev t.rev_events
 
+let absorb dst src =
+  if dst.enabled then begin
+    List.iter (fun (e : Event.t) -> emit dst e.Event.payload) (List.rev src.rev_events);
+    Hashtbl.iter
+      (fun name (count, total) ->
+        let count0, total0 =
+          Option.value ~default:(0, 0.0) (Hashtbl.find_opt dst.spans name)
+        in
+        Hashtbl.replace dst.spans name (count0 + count, total0 +. total))
+      src.spans
+  end
+
 let span_times t =
   Hashtbl.fold (fun name v acc -> (name, v) :: acc) t.spans []
   |> List.sort (fun (a, _) (b, _) -> compare a b)

@@ -55,6 +55,18 @@ val with_span : t -> string -> (unit -> 'a) -> 'a
 val events : t -> Event.t list
 (** In emission order. *)
 
+val absorb : t -> t -> unit
+(** [absorb dst src] appends [src]'s events to [dst], re-stamping each
+    with [dst]'s next sequence numbers, and folds [src]'s span table
+    (counts and wall time) into [dst]'s.  A no-op when [dst] is
+    disabled; [src] is left untouched.
+
+    This is the merge step of sharded tracing: give each worker (or
+    job) its own sink, then absorb the shards into one trace {e in a
+    deterministic order} — the renumbering makes the merged stream
+    byte-identical to the one a serial run would have produced, no
+    matter how the shards' emissions interleaved in real time. *)
+
 val span_times : t -> (string * (int * float)) list
 (** Per phase name: (number of completed spans, total seconds), sorted
     by name. *)

@@ -5,7 +5,7 @@ type case = { name : string; ddg : Ddg.t; entry_freq : int; loop_freq : int }
 
 let default_count = 1327
 
-let cases ?machine ?(count = default_count) ?(seed = 1994)
+let cases ?machine ?(count = default_count) ?(seed = 1994) ?(jobs = 1)
     ?(trace = Ims_obs.Trace.null) () =
   Ims_obs.Trace.with_span trace "suite.generate" @@ fun () ->
   let machine =
@@ -29,7 +29,7 @@ let cases ?machine ?(count = default_count) ?(seed = 1994)
     List.map
       (fun (name, ddg, (p : Synthetic.profile)) ->
         { name; ddg; entry_freq = p.entry_freq; loop_freq = p.loop_freq })
-      (Synthetic.batch machine ~seed ~count:n_synthetic)
+      (Synthetic.batch ~jobs machine ~seed ~count:n_synthetic)
   in
   lfk @ synthetic
 

@@ -25,12 +25,15 @@ val cases :
   ?machine:Machine.t ->
   ?count:int ->
   ?seed:int ->
+  ?jobs:int ->
   ?trace:Ims_obs.Trace.t ->
   unit ->
   case list
-(** Deterministic given [seed] (default 1994).  [machine] defaults to the
-    Cydra 5; [count] scales the synthetic part (the LFK loops are always
-    included and count towards it).  [trace] brackets generation in a
+(** Deterministic given [seed] (default 1994) — including under
+    [jobs > 1], which fans synthetic generation out per-seed across
+    domains ({!Synthetic.batch}).  [machine] defaults to the Cydra 5;
+    [count] scales the synthetic part (the LFK loops are always included
+    and count towards it).  [trace] brackets generation in a
     ["suite.generate"] span. *)
 
 val execution_time : case -> sl:int -> ii:int -> int

@@ -159,10 +159,16 @@ let generate_profile rng =
     { entry_freq; loop_freq = entry_freq * trip }
   end
 
-let batch machine ~seed ~count =
-  let rng = Random.State.make [| seed |] in
-  List.init count (fun i ->
-      let name = Printf.sprintf "syn%04d" (i + 1) in
-      let ddg = generate machine rng in
-      let profile = generate_profile rng in
-      (name, ddg, profile))
+(* Each loop draws from its own RNG keyed by (seed, index), so loop i is
+   the same loop no matter how many others are generated, in what order,
+   or on which domain — the property that makes the batch safely
+   parallel and the suite stable under [count] changes. *)
+let one machine ~seed i =
+  let rng = Random.State.make [| seed; i + 1 |] in
+  let name = Printf.sprintf "syn%04d" (i + 1) in
+  let ddg = generate machine rng in
+  let profile = generate_profile rng in
+  (name, ddg, profile)
+
+let batch ?(jobs = 1) machine ~seed ~count =
+  Ims_exec.Exec.map_exn ~jobs (one machine ~seed) (List.init count Fun.id)

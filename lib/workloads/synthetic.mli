@@ -28,5 +28,10 @@ val generate_profile : Random.State.t -> profile
 (** A synthetic execution profile: roughly 45% of loops execute (597 of
     the paper's 1327 did), with long-tailed trip counts. *)
 
-val batch : Machine.t -> seed:int -> count:int -> (string * Ddg.t * profile) list
-(** [count] named loops, ["syn0001"...]. *)
+val batch :
+  ?jobs:int -> Machine.t -> seed:int -> count:int ->
+  (string * Ddg.t * profile) list
+(** [count] named loops, ["syn0001"...].  Loop [i] is generated from its
+    own RNG keyed by [(seed, i)], so the result is identical for any
+    [jobs] (default 1) and any [count] covering [i]; generation fans out
+    over [jobs] domains via {!Ims_exec.Exec}. *)

@@ -10,5 +10,6 @@ let () =
       Test_workloads.tests;
       Test_stats.tests;
       Test_obs.tests;
+      Test_exec.tests;
       Test_integration.tests;
     ]
