@@ -123,13 +123,22 @@ let measure_case ~budget_ratio (case : Suite.case) =
   let ddg = case.Suite.ddg in
   let counters = Counters.create () in
   let out = Ims.modulo_schedule ~budget_ratio ~counters ddg in
-  let sl =
+  let sl, ii =
     match out.Ims.schedule with
-    | Some s -> Schedule.length s
-    | None -> failwith ("bench: no schedule for " ^ case.Suite.name)
+    | Some s -> (Schedule.length s, out.Ims.ii)
+    | None ->
+        (* Budget exhaustion on one loop degrades it to the (checked)
+           acyclic list schedule instead of aborting the whole suite. *)
+        let h = Ims_check.Fallback.harden ddg out in
+        let s = h.Ims_check.Fallback.schedule in
+        Printf.eprintf "[bench] %s degraded: %s\n%!" case.Suite.name
+          (match h.Ims_check.Fallback.degraded with
+          | Some r -> Ims_check.Fallback.describe r
+          | None -> "unexpectedly rescued");
+        (Schedule.length s, s.Schedule.ii)
   in
   let acyclic = List_sched.schedule_length ddg in
-  let sl_lb = Mii.schedule_length_lower_bound ddg ~ii:out.Ims.ii ~acyclic_length:acyclic in
+  let sl_lb = Mii.schedule_length_lower_bound ddg ~ii ~acyclic_length:acyclic in
   let min_sl =
     Mii.schedule_length_lower_bound ddg ~ii:out.Ims.mii.Mii.mii
       ~acyclic_length:acyclic
@@ -148,7 +157,7 @@ let measure_case ~budget_ratio (case : Suite.case) =
     case;
     n = Ddg.n_real ddg;
     mii = out.Ims.mii;
-    ii = out.Ims.ii;
+    ii;
     sl;
     sl_lb;
     min_sl;

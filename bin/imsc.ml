@@ -48,6 +48,13 @@ let budget_arg =
   let doc = "BudgetRatio: scheduling steps allowed per operation." in
   Arg.(value & opt float 2.0 & info [ "b"; "budget-ratio" ] ~docv:"R" ~doc)
 
+let max_delta_ii_arg =
+  let doc =
+    "Give up the II search this far above the MII (0 tries only the MII \
+     itself); exhaustion degrades to the acyclic list schedule."
+  in
+  Arg.(value & opt int 1000 & info [ "max-delta-ii" ] ~docv:"D" ~doc)
+
 let resolve_loop machine name =
   if List.mem name Lfk.names then Lfk.build machine name
   else if List.mem name Kernels.names then Kernels.build machine name
@@ -60,11 +67,11 @@ let resolve_loop machine name =
       (Printf.sprintf
          "unknown loop %S: not a kernel name, syn:SEED, or readable file" name)
 
-let wrap f =
-  try
-    f ();
-    0
-  with
+(* Exit protocol: 0 ok, 1 failed, 2 completed but degraded (a fallback
+   list schedule was substituted for a modulo schedule) — so CI can gate
+   on "no silent degradation" separately from hard failure. *)
+let wrap_code f =
+  try f () with
   | Failure msg | Invalid_argument msg ->
       Printf.eprintf "imsc: %s\n" msg;
       1
@@ -77,6 +84,11 @@ let wrap f =
   | Machine_parse.Parse_error (line, msg) ->
       Printf.eprintf "imsc: machine description, line %d: %s\n" line msg;
       1
+
+let wrap f =
+  wrap_code (fun () ->
+      f ();
+      0)
 
 (* --- machine --------------------------------------------------------------- *)
 
@@ -282,11 +294,13 @@ let preprocess ddg ~unroll ~interleave ~speculate =
   end
   else ddg
 
-let schedule_with ~scheduler ~budget_ratio ?(trace = Trace.null) ddg =
+let schedule_with ~scheduler ~budget_ratio ?(max_delta_ii = 1000)
+    ?(trace = Trace.null) ddg =
   match scheduler with
-  | "ims" -> Ims_core.Ims.modulo_schedule ~budget_ratio ~trace ddg
-  | "slack" -> Ims_core.Slack.modulo_schedule ~budget_ratio ddg
-  | "sms" -> Ims_core.Sms.modulo_schedule ~max_delta_ii:64 ddg
+  | "ims" ->
+      Ims_core.Ims.modulo_schedule ~budget_ratio ~max_delta_ii ~trace ddg
+  | "slack" -> Ims_core.Slack.modulo_schedule ~budget_ratio ~max_delta_ii ddg
+  | "sms" -> Ims_core.Sms.modulo_schedule ~max_delta_ii:(min 64 max_delta_ii) ddg
   | other ->
       failwith (Printf.sprintf "unknown scheduler %S (ims|slack|sms)" other)
 
@@ -376,9 +390,9 @@ let observe_back_end tr metrics s =
         (Ims_pipeline.Codegen.code_size Ims_pipeline.Codegen.Rotating s))
 
 let cmd_schedule =
-  let run model name budget scheduler unroll interleave speculate compact gantt
-      trace_file trace_format metrics_file explain =
-    wrap (fun () ->
+  let run model name budget max_delta_ii scheduler unroll interleave speculate
+      compact gantt trace_file trace_format metrics_file explain =
+    wrap_code (fun () ->
         let observing =
           trace_file <> None || metrics_file <> None || explain
         in
@@ -394,18 +408,19 @@ let cmd_schedule =
         in
         let out =
           Trace.with_span tr "schedule" (fun () ->
-              schedule_with ~scheduler ~budget_ratio:budget ~trace:tr ddg)
+              schedule_with ~scheduler ~budget_ratio:budget ~max_delta_ii
+                ~trace:tr ddg)
         in
         let m = out.Ims_core.Ims.mii in
         Format.printf "MII %d (res %d, rec %d); achieved II %d in %d attempt(s)@."
           m.Ims_mii.Mii.mii m.Ims_mii.Mii.resmii m.Ims_mii.Mii.recmii
           out.Ims_core.Ims.ii out.Ims_core.Ims.attempts;
-        match out.Ims_core.Ims.schedule with
-        | None -> failwith "no schedule found (raise --budget-ratio?)"
-        | Some s ->
-            let s =
-              if not compact then s
-              else
+        (* Compact before judging, so the checker stack covers the
+           schedule actually printed. *)
+        let out =
+          match out.Ims_core.Ims.schedule with
+          | Some s when compact ->
+              let s =
                 Trace.with_span tr "compact" (fun () ->
                     let r = Ims_pipeline.Compact.improve s in
                     Format.printf
@@ -414,22 +429,33 @@ let cmd_schedule =
                       r.Ims_pipeline.Compact.lifetime_before
                       r.Ims_pipeline.Compact.lifetime_after;
                     r.Ims_pipeline.Compact.schedule)
-            in
-            Format.printf "%a@." Ims_core.Schedule.pp s;
-            if gantt then Format.printf "%a@." Ims_core.Schedule.pp_gantt s;
-            Trace.with_span tr "verify" (fun () ->
-                match Ims_core.Schedule.verify s with
-                | Ok () -> Format.printf "verified: legal@."
-                | Error es -> List.iter (Format.printf "VERIFY: %s@.") es);
+              in
+              { out with Ims_core.Ims.schedule = Some s }
+          | _ -> out
+        in
+        let h = Ims_check.Fallback.harden ~trace:tr ~metrics ddg out in
+        let s = h.Ims_check.Fallback.schedule in
+        (match h.Ims_check.Fallback.degraded with
+        | None -> ()
+        | Some reason ->
+            Format.printf "DEGRADED: %s@."
+              (Ims_check.Fallback.describe reason);
             Format.printf
-              "scheduling steps: %d at the final II (%d total; %.2f per op)@."
-              out.Ims_core.Ims.steps_final out.Ims_core.Ims.steps_total
-              (float_of_int out.Ims_core.Ims.steps_final
-              /. float_of_int (Ddg.n_total ddg));
-            if observing then begin
+              "fallback: acyclic list schedule, II %d, no pipelining@."
+              s.Ims_core.Schedule.ii);
+        Format.printf "%a@." Ims_core.Schedule.pp s;
+        if gantt then Format.printf "%a@." Ims_core.Schedule.pp_gantt s;
+        Format.printf "checkers: %s@."
+          (Ims_check.Check.summary h.Ims_check.Fallback.verdict);
+        Format.printf
+          "scheduling steps: %d at the final II (%d total; %.2f per op)@."
+          out.Ims_core.Ims.steps_final out.Ims_core.Ims.steps_total
+          (float_of_int out.Ims_core.Ims.steps_final
+          /. float_of_int (Ddg.n_total ddg));
+        (if observing then begin
               observe_back_end tr metrics s;
               Metrics.set_int (Metrics.gauge metrics "schedule.ii")
-                out.Ims_core.Ims.ii;
+                s.Ims_core.Schedule.ii;
               Metrics.set_int (Metrics.gauge metrics "schedule.mii")
                 m.Ims_mii.Mii.mii;
               Metrics.set_int (Metrics.gauge metrics "schedule.attempts")
@@ -463,13 +489,15 @@ let cmd_schedule =
                 Format.printf "@.=== schedule narrative ===@.";
                 Explain.pp ~op_name Format.std_formatter (Trace.events tr)
               end
-            end)
+        end);
+        match h.Ims_check.Fallback.degraded with None -> 0 | Some _ -> 2)
   in
   Cmd.v (Cmd.info "schedule" ~doc:"Iteratively modulo schedule a loop")
     Term.(
-      const run $ machine_arg $ loop_arg $ budget_arg $ scheduler_arg
-      $ unroll_arg $ interleave_arg $ speculate_arg $ compact_arg $ gantt_arg
-      $ trace_file_arg $ trace_format_arg $ metrics_file_arg $ explain_arg)
+      const run $ machine_arg $ loop_arg $ budget_arg $ max_delta_ii_arg
+      $ scheduler_arg $ unroll_arg $ interleave_arg $ speculate_arg
+      $ compact_arg $ gantt_arg $ trace_file_arg $ trace_format_arg
+      $ metrics_file_arg $ explain_arg)
 
 (* --- codegen ------------------------------------------------------------------ *)
 
@@ -568,8 +596,8 @@ let cmd_batch =
     let doc = "Write the per-loop JSONL report to $(docv) (default stdout)." in
     Arg.(value & opt (some string) None & info [ "report" ] ~docv:"FILE" ~doc)
   in
-  let run model paths jobs budget timeout report =
-    wrap (fun () ->
+  let run model paths jobs budget max_delta_ii timeout report =
+    wrap_code (fun () ->
         let machine = machine_of model in
         let inputs =
           List.concat_map
@@ -588,15 +616,19 @@ let cmd_batch =
         in
         if inputs = [] then failwith "batch: no loop dumps found";
         let schedule_one (shard : Ims_exec.Shard.t) (_, path) =
+          (* A parse error propagates and becomes this loop's Failed
+             outcome (with file and line via the registered printer); a
+             scheduling casualty degrades to the list schedule. *)
           let ddg = Loop_parse.parse_file machine path in
-          let out =
-            Ims_core.Ims.modulo_schedule ~budget_ratio:budget
+          let h =
+            Ims_check.Fallback.modulo_schedule_or_fallback
+              ~budget_ratio:budget ~max_delta_ii
               ~counters:shard.Ims_exec.Shard.counters
               ~trace:shard.Ims_exec.Shard.trace ddg
           in
-          match out.Ims_core.Ims.schedule with
-          | None -> failwith "no schedule found within budget"
-          | Some s -> (out, Ims_core.Schedule.length s, Ddg.n_real ddg)
+          ( h,
+            Ims_core.Schedule.length h.Ims_check.Fallback.schedule,
+            Ddg.n_real ddg )
         in
         let outcomes, merged, stats =
           Ims_exec.Exec.run ~jobs ?timeout ~timer:Unix.gettimeofday
@@ -606,19 +638,37 @@ let cmd_batch =
           List.map2
             (fun (name, _) outcome ->
               Ims_exec.Report.line ~name
-                ~fields:(fun (out, sl, n) ->
-                  let m = out.Ims_core.Ims.mii in
-                  [
-                    ("n", Json.Int n);
-                    ("resmii", Json.Int m.Ims_mii.Mii.resmii);
-                    ("recmii", Json.Int m.Ims_mii.Mii.recmii);
-                    ("mii", Json.Int m.Ims_mii.Mii.mii);
-                    ("ii", Json.Int out.Ims_core.Ims.ii);
-                    ("sl", Json.Int sl);
-                    ("attempts", Json.Int out.Ims_core.Ims.attempts);
-                    ("steps_final", Json.Int out.Ims_core.Ims.steps_final);
-                    ("steps_total", Json.Int out.Ims_core.Ims.steps_total);
-                  ])
+                ~fields:(fun ((h : Ims_check.Fallback.t), sl, n) ->
+                  let ims_fields =
+                    match h.Ims_check.Fallback.ims with
+                    | None -> []
+                    | Some out ->
+                        let m = out.Ims_core.Ims.mii in
+                        [
+                          ("resmii", Json.Int m.Ims_mii.Mii.resmii);
+                          ("recmii", Json.Int m.Ims_mii.Mii.recmii);
+                          ("mii", Json.Int m.Ims_mii.Mii.mii);
+                          ("attempts", Json.Int out.Ims_core.Ims.attempts);
+                          ("steps_final", Json.Int out.Ims_core.Ims.steps_final);
+                          ("steps_total", Json.Int out.Ims_core.Ims.steps_total);
+                        ]
+                  in
+                  let degraded_fields =
+                    match h.Ims_check.Fallback.degraded with
+                    | None -> [ ("degraded", Json.Bool false) ]
+                    | Some r ->
+                        [
+                          ("degraded", Json.Bool true);
+                          ( "reason",
+                            Json.String (Ims_check.Fallback.reason_kind r) );
+                        ]
+                  in
+                  (("n", Json.Int n)
+                   :: ( "ii",
+                        Json.Int
+                          h.Ims_check.Fallback.schedule.Ims_core.Schedule.ii )
+                   :: ("sl", Json.Int sl) :: ims_fields)
+                  @ degraded_fields)
                 outcome)
             inputs outcomes
         in
@@ -633,9 +683,28 @@ let cmd_batch =
             if not (Ims_exec.Outcome.is_done o) then
               Printf.eprintf "  %s: %s\n" name (Ims_exec.Outcome.describe o))
           inputs outcomes;
-        if
-          stats.Ims_exec.Exec.failed > 0 || stats.Ims_exec.Exec.timed_out > 0
-        then failwith "batch completed with casualties (see report)")
+        let degraded =
+          List.fold_left
+            (fun acc o ->
+              match o with
+              | Ims_exec.Outcome.Done ((h : Ims_check.Fallback.t), _, _)
+                when h.Ims_check.Fallback.degraded <> None ->
+                  acc + 1
+              | _ -> acc)
+            0 outcomes
+        in
+        if stats.Ims_exec.Exec.failed > 0 || stats.Ims_exec.Exec.timed_out > 0
+        then begin
+          Printf.eprintf "imsc batch: completed with casualties (see report)\n";
+          1
+        end
+        else if degraded > 0 then begin
+          Printf.eprintf
+            "imsc batch: %d loop(s) degraded to the acyclic list schedule\n"
+            degraded;
+          2
+        end
+        else 0)
   in
   Cmd.v
     (Cmd.info "batch"
@@ -643,8 +712,8 @@ let cmd_batch =
          "Schedule every loop in the given dumps in parallel and emit a \
           per-loop JSONL report")
     Term.(
-      const run $ machine_arg $ paths_arg $ jobs_arg $ budget_arg $ timeout_arg
-      $ report_arg)
+      const run $ machine_arg $ paths_arg $ jobs_arg $ budget_arg
+      $ max_delta_ii_arg $ timeout_arg $ report_arg)
 
 (* --- suite ---------------------------------------------------------------------- *)
 
@@ -676,6 +745,143 @@ let cmd_suite =
     (Cmd.info "suite" ~doc:"Schedule the whole suite and report optimality")
     Term.(const run $ machine_arg $ count_arg $ budget_arg $ scheduler_arg)
 
+(* --- check ------------------------------------------------------------------ *)
+
+(* The defense-in-depth commands: run the unified checker stack on one
+   loop, or turn the validators on themselves with seeded fault
+   injection (mutation testing of the checkers). *)
+let cmd_check =
+  let cmd_check_loop =
+    let run model name budget max_delta_ii =
+      wrap_code (fun () ->
+          let machine = machine_of model in
+          let ddg = resolve_loop machine name in
+          let h =
+            Ims_check.Fallback.modulo_schedule_or_fallback
+              ~budget_ratio:budget ~max_delta_ii ddg
+          in
+          let s = h.Ims_check.Fallback.schedule in
+          Format.printf "II %d, SL %d%s@." s.Ims_core.Schedule.ii
+            (Ims_core.Schedule.length s)
+            (match h.Ims_check.Fallback.degraded with
+            | None -> ""
+            | Some r ->
+                Printf.sprintf " (DEGRADED: %s)" (Ims_check.Fallback.describe r));
+          let failures = h.Ims_check.Fallback.verdict.Ims_check.Check.failures in
+          List.iter
+            (fun c ->
+              match
+                List.find_opt
+                  (fun (f : Ims_check.Check.failure) ->
+                    f.Ims_check.Check.checker = c)
+                  failures
+              with
+              | None ->
+                  Format.printf "  %-10s ok@." (Ims_check.Check.checker_name c)
+              | Some f ->
+                  List.iter
+                    (Format.printf "  %-10s FAIL %s@."
+                       (Ims_check.Check.checker_name c))
+                    f.Ims_check.Check.diagnostics)
+            Ims_check.Check.all_checkers;
+          match h.Ims_check.Fallback.degraded with
+          | None -> 0
+          | Some _ -> 2)
+    in
+    Cmd.v
+      (Cmd.info "loop"
+         ~doc:"Schedule one loop and run the full checker stack on it")
+      Term.(
+        const run $ machine_arg $ loop_arg $ budget_arg $ max_delta_ii_arg)
+  in
+  let cmd_check_mutate =
+    let seed_arg =
+      let doc = "Seed of the deterministic mutant streams." in
+      Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc)
+    in
+    let per_loop_arg =
+      let doc = "Mutants generated per class per loop." in
+      Arg.(value & opt int 5 & info [ "per-loop" ] ~docv:"N" ~doc)
+    in
+    let loops_arg =
+      let doc =
+        "Loops to mutate (kernel names, syn:SEED, or files); default the \
+         27 Livermore kernels."
+      in
+      Arg.(value & pos_all string [] & info [] ~docv:"LOOP" ~doc)
+    in
+    let run model seed per_loop budget loops =
+      wrap_code (fun () ->
+          let machine = machine_of model in
+          let loops = if loops = [] then Lfk.names else loops in
+          let results =
+            List.concat
+              (List.mapi
+                 (fun salt name ->
+                   Ims_check.Mutate.sweep ~seed ~salt ~per_class:per_loop
+                     ~budget_ratio:budget
+                     (resolve_loop machine name))
+                 loops)
+          in
+          let pct k m =
+            if m = 0 then "-"
+            else Printf.sprintf "%.0f%%" (100.0 *. float_of_int k /. float_of_int m)
+          in
+          let rows =
+            List.map
+              (fun (st : Ims_check.Mutate.class_stats) ->
+                [
+                  Ims_check.Mutate.class_name st.Ims_check.Mutate.cls;
+                  string_of_int st.Ims_check.Mutate.mutants;
+                  string_of_int st.Ims_check.Mutate.killed;
+                  string_of_int st.Ims_check.Mutate.expected_hits;
+                  pct st.Ims_check.Mutate.killed st.Ims_check.Mutate.mutants;
+                  (if Ims_check.Mutate.must_kill st.Ims_check.Mutate.cls then
+                     "yes"
+                   else "no");
+                ])
+              (Ims_check.Mutate.aggregate results)
+          in
+          Printf.printf "%d loops, %d mutants (seed %d, %d per class per loop)\n"
+            (List.length loops) (List.length results) seed per_loop;
+          print_string
+            (Ims_stats.Text_table.render
+               ~headers:
+                 [
+                   "class"; "mutants"; "killed"; "by designated"; "kill rate";
+                   "must-kill";
+                 ]
+               rows);
+          match Ims_check.Mutate.escapees results with
+          | [] ->
+              print_endline
+                "all must-kill mutants caught by their designated checkers";
+              0
+          | es ->
+              List.iter
+                (fun (r : Ims_check.Mutate.result_) ->
+                  Printf.printf "ESCAPED %s: %s\n"
+                    (Ims_check.Mutate.class_name r.Ims_check.Mutate.cls)
+                    r.Ims_check.Mutate.description)
+                es;
+              Printf.printf "%d must-kill mutant(s) escaped the checker stack\n"
+                (List.length es);
+              1)
+    in
+    Cmd.v
+      (Cmd.info "mutate"
+         ~doc:
+           "Inject seeded faults at every pipeline layer and report the \
+            per-class checker kill rate")
+      Term.(
+        const run $ machine_arg $ seed_arg $ per_loop_arg $ budget_arg
+        $ loops_arg)
+  in
+  Cmd.group
+    (Cmd.info "check"
+       ~doc:"The verification stack: checker verdicts and fault injection")
+    [ cmd_check_loop; cmd_check_mutate ]
+
 let () =
   let info =
     Cmd.info "imsc" ~version:"1.0"
@@ -687,5 +893,5 @@ let () =
           [
             cmd_machine; cmd_list; cmd_show; cmd_export; cmd_report; cmd_dot;
             cmd_mii; cmd_schedule; cmd_codegen; cmd_simulate; cmd_suite;
-            cmd_batch;
+            cmd_batch; cmd_check;
           ]))

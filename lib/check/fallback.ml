@@ -1,0 +1,87 @@
+open Ims_core
+open Ims_obs
+
+type reason =
+  | Budget_exhausted of { max_ii : int; attempts : int }
+  | Checker_failed of Check.verdict
+  | Scheduler_crashed of string
+
+type t = {
+  schedule : Schedule.t;
+  verdict : Check.verdict;
+  degraded : reason option;
+  ims : Ims.outcome option;
+}
+
+let reason_kind = function
+  | Budget_exhausted _ -> "budget_exhausted"
+  | Checker_failed _ -> "checker_failed"
+  | Scheduler_crashed _ -> "scheduler_crashed"
+
+let describe = function
+  | Budget_exhausted { max_ii; attempts } ->
+      Printf.sprintf
+        "budget exhausted: no modulo schedule up to II %d in %d attempt(s)"
+        max_ii attempts
+  | Checker_failed v -> "checker failed: " ^ Check.summary v
+  | Scheduler_crashed msg -> "scheduler crashed: " ^ msg
+
+let degrade ?trip ?seed ~trace ?metrics ddg ~reason ~ims =
+  Trace.with_span trace "fallback" (fun () ->
+      let wide =
+        try List_sched.schedule ddg
+        with Invalid_argument msg ->
+          failwith ("fallback list scheduling failed: " ^ msg)
+      in
+      (* The list scheduler returns ii = horizon (legal by a mile).
+         II = SL is the honest "no pipelining" presentation, but at that
+         II a trailing reservation may wrap around the kernel into an
+         occupied slot — so tighten only if the whole stack agrees. *)
+      let tightened =
+        let sl = max 1 (Schedule.length wide) in
+        if sl >= wide.Schedule.ii then None
+        else
+          let tight =
+            Schedule.with_entries wide ~ii:sl
+              (Array.copy wide.Schedule.entries)
+          in
+          let v = Check.all ?trip ?seed ~trace ?metrics tight in
+          if Check.passed v then Some (tight, v) else None
+      in
+      let schedule, verdict =
+        match tightened with
+        | Some sv -> sv
+        | None -> (wide, Check.all ?trip ?seed ~trace ?metrics wide)
+      in
+      Trace.instant trace ("fallback.degraded: " ^ reason_kind reason);
+      (match metrics with
+      | Some m -> Metrics.incr (Metrics.counter m "fallback.degraded")
+      | None -> ());
+      { schedule; verdict; degraded = Some reason; ims })
+
+let harden ?trip ?seed ?(trace = Trace.null) ?metrics ddg (out : Ims.outcome) =
+  match out.Ims.schedule with
+  | None ->
+      degrade ?trip ?seed ~trace ?metrics ddg
+        ~reason:
+          (Budget_exhausted { max_ii = out.Ims.ii; attempts = out.Ims.attempts })
+        ~ims:(Some out)
+  | Some s ->
+      let v = Check.all ?trip ?seed ~trace ?metrics s in
+      if Check.passed v then
+        { schedule = s; verdict = v; degraded = None; ims = Some out }
+      else
+        degrade ?trip ?seed ~trace ?metrics ddg ~reason:(Checker_failed v)
+          ~ims:(Some out)
+
+let modulo_schedule_or_fallback ?budget_ratio ?max_delta_ii ?counters
+    ?(trace = Trace.null) ?metrics ?priority ?trip ?seed ddg =
+  match
+    Ims.modulo_schedule ?budget_ratio ?max_delta_ii ?counters ~trace ?priority
+      ddg
+  with
+  | exception e ->
+      degrade ?trip ?seed ~trace ?metrics ddg
+        ~reason:(Scheduler_crashed (Printexc.to_string e))
+        ~ims:None
+  | out -> harden ?trip ?seed ~trace ?metrics ddg out

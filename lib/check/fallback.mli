@@ -1,0 +1,74 @@
+(** Graceful degradation: modulo schedule if possible, prove it, and
+    otherwise fall back to the acyclic list schedule.
+
+    The degradation ladder (doc/ARCHITECTURE.md):
+
+    + run the iterative modulo scheduler — a crash is contained;
+    + run the full checker stack ({!Check.all}) on its schedule;
+    + on budget exhaustion at the II cap, a checker objection, or a
+      scheduler crash, fall back to {!Ims_core.List_sched}: no
+      pipelining, II = schedule length, correctness by construction —
+      and run the checker stack on {e that} too.
+
+    The result always carries a schedule and a verdict; [degraded]
+    records why pipelining was given up, and callers map it to exit
+    code 2 (degraded) as opposed to 1 (failed).  The driver never
+    raises on scheduler or checker trouble; only a loop the list
+    scheduler itself cannot place (a malformed graph) still escapes, as
+    [Failure]. *)
+
+open Ims_ir
+open Ims_core
+open Ims_mii
+open Ims_obs
+
+type reason =
+  | Budget_exhausted of { max_ii : int; attempts : int }
+      (** Every candidate II up to [max_ii] failed within budget. *)
+  | Checker_failed of Check.verdict
+      (** The scheduler produced a schedule the stack rejects — a
+          scheduler bug surfaced as degradation, not as wrong code. *)
+  | Scheduler_crashed of string
+      (** The scheduler raised; the printed exception. *)
+
+type t = {
+  schedule : Schedule.t;  (** Modulo schedule, or the fallback. *)
+  verdict : Check.verdict;  (** {!Check.all} on [schedule]. *)
+  degraded : reason option;  (** [None]: pipelined and fully checked. *)
+  ims : Ims.outcome option;
+      (** The scheduler outcome, when it returned at all (statistics
+          remain reportable even for degraded runs). *)
+}
+
+val reason_kind : reason -> string
+(** Stable tag for reports: ["budget_exhausted"], ["checker_failed"],
+    ["scheduler_crashed"]. *)
+
+val describe : reason -> string
+(** One human-readable line. *)
+
+val harden :
+  ?trip:int ->
+  ?seed:int ->
+  ?trace:Trace.t ->
+  ?metrics:Metrics.t ->
+  Ddg.t ->
+  Ims.outcome ->
+  t
+(** Judge an already-computed scheduler outcome (any of the three
+    schedulers — they share the outcome shape) and degrade if needed. *)
+
+val modulo_schedule_or_fallback :
+  ?budget_ratio:float ->
+  ?max_delta_ii:int ->
+  ?counters:Counters.t ->
+  ?trace:Trace.t ->
+  ?metrics:Metrics.t ->
+  ?priority:Ims.priority ->
+  ?trip:int ->
+  ?seed:int ->
+  Ddg.t ->
+  t
+(** {!Ims_core.Ims.modulo_schedule} under the full ladder: crash
+    containment, checker stack, fallback.  The scheduler options are
+    forwarded verbatim; [trip] and [seed] go to the checkers. *)

@@ -1,0 +1,139 @@
+open Ims_machine
+open Ims_ir
+open Ims_core
+
+(* Diagnostics accumulate in reverse; every entry point reverses once at
+   the end. *)
+
+let machine (m : Machine.t) =
+  let diags = ref [] in
+  let bad fmt = Format.kasprintf (fun s -> diags := s :: !diags) fmt in
+  Array.iteri
+    (fun i (r : Resource.t) ->
+      if r.Resource.id <> i then
+        bad "resource %S: id %d stored at array index %d" r.Resource.name
+          r.Resource.id i;
+      if r.Resource.count < 1 then
+        bad "resource %S: multiplicity %d is not positive" r.Resource.name
+          r.Resource.count)
+    m.Machine.resources;
+  let n_res = Machine.num_resources m in
+  List.iter
+    (fun name ->
+      let oc = Machine.opcode m name in
+      if oc.Opcode.latency < 0 then
+        bad "opcode %S: negative latency %d" name oc.Opcode.latency;
+      if oc.Opcode.alternatives = [] then
+        bad "opcode %S: no alternatives" name;
+      List.iteri
+        (fun k (a : Opcode.alternative) ->
+          (* Demand per (resource, cycle) of this single alternative: if
+             it already exceeds the multiplicity, no schedule could ever
+             issue the opcode on this unit. *)
+          let demand = Hashtbl.create 8 in
+          List.iter
+            (fun (u : Reservation.usage) ->
+              if u.Reservation.resource < 0 || u.Reservation.resource >= n_res
+              then
+                bad "opcode %S alternative %d: usage of unknown resource %d"
+                  name k u.Reservation.resource
+              else if u.Reservation.at < 0 then
+                bad "opcode %S alternative %d: usage at negative cycle %d"
+                  name k u.Reservation.at
+              else begin
+                let key = (u.Reservation.resource, u.Reservation.at) in
+                let n =
+                  1 + Option.value ~default:0 (Hashtbl.find_opt demand key)
+                in
+                Hashtbl.replace demand key n;
+                let r = m.Machine.resources.(u.Reservation.resource) in
+                if n = r.Resource.count + 1 then
+                  bad
+                    "opcode %S alternative %d: table demands more than %d \
+                     copies of %s at relative cycle %d"
+                    name k r.Resource.count r.Resource.name u.Reservation.at
+              end)
+            a.Opcode.table.Reservation.usages)
+        oc.Opcode.alternatives)
+    (Machine.opcode_names m);
+  List.rev !diags
+
+let ddg (g : Ddg.t) =
+  let diags = ref [] in
+  let bad fmt = Format.kasprintf (fun s -> diags := s :: !diags) fmt in
+  let n = Ddg.n_total g in
+  if n < 2 then bad "graph has %d vertices; START and STOP are required" n;
+  Array.iteri
+    (fun i (o : Op.t) ->
+      if o.Op.id <> i then bad "op at index %d carries id %d" i o.Op.id)
+    g.Ddg.ops;
+  if n >= 1 && not (Op.is_pseudo g.Ddg.ops.(0)) then
+    bad "vertex 0 is not the START pseudo-operation";
+  if n >= 2 && not (Op.is_pseudo g.Ddg.ops.(n - 1)) then
+    bad "vertex %d is not the STOP pseudo-operation" (n - 1);
+  List.iter
+    (fun i ->
+      let o = Ddg.op g i in
+      (match Machine.opcode g.Ddg.machine o.Op.opcode with
+      | exception Machine.Unknown_opcode _ ->
+          bad "op %d: opcode %S is not in machine %S" i o.Op.opcode
+            g.Ddg.machine.Machine.name
+      | _ -> ());
+      List.iter
+        (fun (s : Op.operand) ->
+          if s.Op.distance < 0 then
+            bad "op %d: negative operand distance on v%d" i s.Op.reg)
+        o.Op.srcs)
+    (Ddg.real_ids g);
+  let succ_edges = ref 0 and pred_edges = ref 0 in
+  Array.iteri
+    (fun v es ->
+      List.iter
+        (fun (d : Dep.t) ->
+          incr succ_edges;
+          if d.Dep.src <> v then
+            bad "edge %d->%d filed under source vertex %d" d.Dep.src d.Dep.dst
+              v;
+          if d.Dep.dst < 0 || d.Dep.dst >= n then
+            bad "edge %d->%d: destination out of range" d.Dep.src d.Dep.dst;
+          if d.Dep.distance < 0 then
+            bad "edge %d->%d: negative distance %d" d.Dep.src d.Dep.dst
+              d.Dep.distance)
+        es)
+    g.Ddg.succs;
+  Array.iteri
+    (fun v es ->
+      List.iter
+        (fun (d : Dep.t) ->
+          incr pred_edges;
+          if d.Dep.dst <> v then
+            bad "incoming edge %d->%d filed under destination vertex %d"
+              d.Dep.src d.Dep.dst v;
+          if d.Dep.src < 0 || d.Dep.src >= n then
+            bad "edge %d->%d: source out of range" d.Dep.src d.Dep.dst)
+        es)
+    g.Ddg.preds;
+  if !succ_edges <> !pred_edges then
+    bad "successor/predecessor mirrors disagree: %d vs %d edges" !succ_edges
+      !pred_edges;
+  List.rev !diags
+
+let schedule (s : Schedule.t) =
+  let g = s.Schedule.ddg in
+  let diags = ref [] in
+  let bad fmt = Format.kasprintf (fun s -> diags := s :: !diags) fmt in
+  if s.Schedule.ii < 1 then bad "II %d is not positive" s.Schedule.ii;
+  Array.iteri
+    (fun i (e : Schedule.entry) ->
+      if e.Schedule.time < 0 then
+        bad "op %d scheduled at negative time %d" i e.Schedule.time;
+      if i < Array.length g.Ddg.ops then
+        match Machine.opcode g.Ddg.machine g.Ddg.ops.(i).Op.opcode with
+        | exception Machine.Unknown_opcode _ -> () (* reported by the ddg lint *)
+        | oc ->
+            let na = Opcode.num_alternatives oc in
+            if e.Schedule.alt < 0 || e.Schedule.alt >= na then
+              bad "op %d: alternative %d out of range (opcode %S has %d)" i
+                e.Schedule.alt g.Ddg.ops.(i).Op.opcode na)
+    s.Schedule.entries;
+  machine g.Ddg.machine @ ddg g @ List.rev !diags

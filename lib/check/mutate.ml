@@ -1,0 +1,387 @@
+open Ims_machine
+open Ims_ir
+open Ims_core
+open Ims_pipeline
+
+type cls =
+  | Drop_edge
+  | Weaken_edge
+  | Shift_op
+  | Swap_slots
+  | Lower_resource
+  | Inflate_reservation
+  | Wrong_stage
+
+let classes =
+  [
+    Drop_edge; Weaken_edge; Shift_op; Swap_slots; Lower_resource;
+    Inflate_reservation; Wrong_stage;
+  ]
+
+let class_name = function
+  | Drop_edge -> "drop-edge"
+  | Weaken_edge -> "weaken-edge"
+  | Shift_op -> "shift-op"
+  | Swap_slots -> "swap-slots"
+  | Lower_resource -> "lower-resource"
+  | Inflate_reservation -> "inflate-reservation"
+  | Wrong_stage -> "wrong-stage"
+
+let class_index c =
+  let rec go i = function
+    | [] -> assert false
+    | c' :: rest -> if c' = c then i else go (i + 1) rest
+  in
+  go 0 classes
+
+let must_kill = function
+  | Shift_op | Lower_resource | Inflate_reservation | Wrong_stage -> true
+  | Drop_edge | Weaken_edge | Swap_slots -> false
+
+let expected = function
+  | Drop_edge | Weaken_edge -> [ Check.Verify; Check.Simulator; Check.Interp ]
+  | Shift_op -> [ Check.Verify ]
+  | Swap_slots -> [ Check.Verify; Check.Simulator; Check.Interp ]
+  | Lower_resource -> [ Check.Verify; Check.Simulator ]
+  | Inflate_reservation -> [ Check.Lint; Check.Verify; Check.Simulator ]
+  | Wrong_stage -> [ Check.Interp ]
+
+type result_ = {
+  cls : cls;
+  description : string;
+  killed_by : Check.checker list;
+  expected_hit : bool;
+}
+
+type class_stats = {
+  cls : cls;
+  mutants : int;
+  killed : int;
+  expected_hits : int;
+}
+
+(* A mutant is either a corrupted schedule judged by the whole stack, or
+   a corrupted MVE expansion judged by the interpreter replay (the one
+   artifact Check.all cannot reach from a Schedule.t alone). *)
+type artifact =
+  | Corrupt_schedule of Schedule.t
+  | Corrupt_mve of Mve.t * Schedule.t
+
+let pick rng = function
+  | [] -> invalid_arg "Mutate.pick: empty"
+  | xs -> List.nth xs (Random.State.int rng (List.length xs))
+
+(* Edges with a real source, excluding self-loops (shifting both
+   endpoints together leaves a self-edge's slack unchanged). *)
+let shiftable_edges (g : Ddg.t) =
+  List.concat_map
+    (fun v ->
+      List.filter (fun (d : Dep.t) -> d.Dep.dst <> d.Dep.src) g.Ddg.succs.(v))
+    (Ddg.real_ids g)
+
+let real_real_edges (g : Ddg.t) =
+  let stop = Ddg.stop g in
+  List.concat_map
+    (fun v ->
+      List.filter
+        (fun (d : Dep.t) -> d.Dep.dst <> stop && d.Dep.dst <> Ddg.start)
+        g.Ddg.succs.(v))
+    (Ddg.real_ids g)
+
+let same_edge (a : Dep.t) (b : Dep.t) =
+  a.Dep.src = b.Dep.src && a.Dep.dst = b.Dep.dst && a.Dep.kind = b.Dep.kind
+  && a.Dep.distance = b.Dep.distance && a.Dep.delay = b.Dep.delay
+
+let edge_slack s (d : Dep.t) =
+  Schedule.time s d.Dep.dst - Schedule.time s d.Dep.src
+  - (d.Dep.delay - (s.Schedule.ii * d.Dep.distance))
+
+(* Clone a machine through the builder, optionally lowering a
+   multiplicity and/or patching one reservation table.  Resources are
+   re-declared in id order, so ids are stable and the mutated machine
+   drops into the original graph via [Ddg.map_machine]. *)
+let rebuild_machine (m : Machine.t) ~count_of ~patch =
+  let b = Machine.builder m.Machine.name in
+  Array.iter
+    (fun (r : Resource.t) ->
+      ignore (Machine.add_resource b r.Resource.name ~count:(count_of r)))
+    m.Machine.resources;
+  List.iter
+    (fun name ->
+      let oc = Machine.opcode m name in
+      let alternatives =
+        List.mapi
+          (fun k (a : Opcode.alternative) ->
+            let usages =
+              List.map
+                (fun (u : Reservation.usage) ->
+                  (u.Reservation.resource, u.Reservation.at))
+                a.Opcode.table.Reservation.usages
+            in
+            (a.Opcode.unit_name, patch name k usages))
+          oc.Opcode.alternatives
+      in
+      Machine.add_opcode b ~name ~latency:oc.Opcode.latency ~alternatives)
+    (Machine.opcode_names m);
+  Machine.finish b
+
+(* --- the seven corruptions ----------------------------------------- *)
+
+let shift_op ~rng ddg s =
+  match shiftable_edges ddg with
+  | [] -> None
+  | edges ->
+      let d = pick rng edges in
+      let delta = edge_slack s d + 1 + Random.State.int rng s.Schedule.ii in
+      let entries = Array.copy s.Schedule.entries in
+      entries.(d.Dep.src) <-
+        {
+          entries.(d.Dep.src) with
+          Schedule.time = entries.(d.Dep.src).Schedule.time + delta;
+        };
+      Some
+        ( Printf.sprintf "op %d shifted +%d cycles across edge %d->%d"
+            d.Dep.src delta d.Dep.src d.Dep.dst,
+          Corrupt_schedule (Schedule.with_entries s entries) )
+
+let swap_slots ~rng ddg s =
+  let ids = Array.of_list (Ddg.real_ids ddg) in
+  if Array.length ids < 2 then None
+  else
+    let rec go tries =
+      if tries = 0 then None
+      else
+        let a = ids.(Random.State.int rng (Array.length ids)) in
+        let b = ids.(Random.State.int rng (Array.length ids)) in
+        if a <> b && s.Schedule.entries.(a) <> s.Schedule.entries.(b) then
+          Some (a, b)
+        else go (tries - 1)
+    in
+    Option.map
+      (fun (a, b) ->
+        let entries = Array.copy s.Schedule.entries in
+        let ea = entries.(a) in
+        entries.(a) <- entries.(b);
+        entries.(b) <- ea;
+        ( Printf.sprintf "kernel slots of ops %d and %d swapped" a b,
+          Corrupt_schedule (Schedule.with_entries s entries) ))
+      (go 20)
+
+let reschedule_onto ~budget_ratio orig mutated =
+  match (Ims.modulo_schedule ~budget_ratio mutated).Ims.schedule with
+  | None -> None
+  | Some s' ->
+      (* The mutated graph's times, judged against the original graph's
+         constraints. *)
+      Some
+        (Schedule.with_entries s' ~ddg:orig (Array.copy s'.Schedule.entries))
+
+let drop_edge ~rng ~budget_ratio ddg _s =
+  match real_real_edges ddg with
+  | [] -> None
+  | edges ->
+      let d = pick rng edges in
+      let mutated = Ddg.filter_edges ddg (fun e -> not (same_edge e d)) in
+      Option.map
+        (fun sched ->
+          ( Printf.sprintf "%s edge %d->%d (distance %d, delay %d) dropped"
+              (Dep.kind_to_string d.Dep.kind) d.Dep.src d.Dep.dst
+              d.Dep.distance d.Dep.delay,
+            Corrupt_schedule sched ))
+        (reschedule_onto ~budget_ratio ddg mutated)
+
+let weaken_edge ~rng ~budget_ratio ddg _s =
+  match real_real_edges ddg with
+  | [] -> None
+  | edges ->
+      let d = pick rng edges in
+      let k = 1 + Random.State.int rng 3 in
+      let ops = List.map (Ddg.op ddg) (Ddg.real_ids ddg) in
+      let deps =
+        List.map
+          (fun e ->
+            if same_edge e d then { e with Dep.delay = e.Dep.delay - k }
+            else e)
+          edges
+      in
+      let mutated = Ddg.make ddg.Ddg.machine ~model:ddg.Ddg.model ops deps in
+      Option.map
+        (fun sched ->
+          ( Printf.sprintf "edge %d->%d delay weakened %d -> %d" d.Dep.src
+              d.Dep.dst d.Dep.delay (d.Dep.delay - k),
+            Corrupt_schedule sched ))
+        (reschedule_onto ~budget_ratio ddg mutated)
+
+(* Modulo-slot demand per resource: which (resource, slot) cells the
+   schedule fills to capacity.  Lowering such a resource's multiplicity
+   is guaranteed oversubscription. *)
+let occupancy ddg s =
+  let m = ddg.Ddg.machine in
+  let ii = s.Schedule.ii in
+  let occ = Array.make_matrix (Machine.num_resources m) ii 0 in
+  List.iter
+    (fun i ->
+      let t = Schedule.time s i in
+      List.iter
+        (fun (u : Reservation.usage) ->
+          let slot = (t + u.Reservation.at) mod ii in
+          occ.(u.Reservation.resource).(slot) <-
+            occ.(u.Reservation.resource).(slot) + 1)
+        (Schedule.reservation s i).Reservation.usages)
+    (Ddg.real_ids ddg);
+  occ
+
+let lower_resource ~rng ddg s =
+  let m = ddg.Ddg.machine in
+  let occ = occupancy ddg s in
+  let candidates =
+    Array.to_list m.Machine.resources
+    |> List.filter (fun (r : Resource.t) ->
+           r.Resource.count >= 2
+           && Array.exists (fun o -> o >= r.Resource.count) occ.(r.Resource.id))
+  in
+  match candidates with
+  | [] -> None
+  | _ ->
+      let victim = pick rng candidates in
+      let machine' =
+        rebuild_machine m
+          ~count_of:(fun r ->
+            if r.Resource.id = victim.Resource.id then r.Resource.count - 1
+            else r.Resource.count)
+          ~patch:(fun _ _ usages -> usages)
+      in
+      Some
+        ( Printf.sprintf "resource %s multiplicity lowered %d -> %d"
+            victim.Resource.name victim.Resource.count
+            (victim.Resource.count - 1),
+          Corrupt_schedule
+            (Schedule.with_entries s
+               ~ddg:(Ddg.map_machine ddg machine')
+               (Array.copy s.Schedule.entries)) )
+
+let inflate_reservation ~rng ddg s =
+  let m = ddg.Ddg.machine in
+  let ids =
+    List.filter
+      (fun i -> not (Reservation.is_empty (Schedule.reservation s i)))
+      (Ddg.real_ids ddg)
+  in
+  match ids with
+  | [] -> None
+  | _ ->
+      let i = pick rng ids in
+      let o = Ddg.op ddg i in
+      let alt_k = Schedule.alt s i in
+      let u = pick rng (Schedule.reservation s i).Reservation.usages in
+      let cap = m.Machine.resources.(u.Reservation.resource).Resource.count in
+      (* [cap] extra copies of one existing usage: the single instance
+         now demands cap + 1 of that resource in that cycle. *)
+      let extra =
+        List.init cap (fun _ -> (u.Reservation.resource, u.Reservation.at))
+      in
+      let machine' =
+        rebuild_machine m
+          ~count_of:(fun r -> r.Resource.count)
+          ~patch:(fun name k usages ->
+            if name = o.Op.opcode && k = alt_k then usages @ extra else usages)
+      in
+      Some
+        ( Printf.sprintf
+            "reservation table of %S (alternative %d) inflated: +%d uses of \
+             %s at relative cycle %d"
+            o.Op.opcode alt_k cap
+            m.Machine.resources.(u.Reservation.resource).Resource.name
+            u.Reservation.at,
+          Corrupt_schedule
+            (Schedule.with_entries s
+               ~ddg:(Ddg.map_machine ddg machine')
+               (Array.copy s.Schedule.entries)) )
+
+let wrong_stage ddg s =
+  if not (Interp.supported ddg) then None
+  else
+    let mve = Mve.expand s in
+    if mve.Mve.unroll < 2 then None
+    else
+      Some
+        ( Printf.sprintf "MVE kernel unroll mis-numbered %d -> %d"
+            mve.Mve.unroll (mve.Mve.unroll - 1),
+          Corrupt_mve ({ mve with Mve.unroll = mve.Mve.unroll - 1 }, s) )
+
+(* --- judging -------------------------------------------------------- *)
+
+let judge ~seed artifact =
+  match artifact with
+  | Corrupt_schedule sched -> Check.killed_by (Check.all ~seed sched)
+  | Corrupt_mve (mve, sched) ->
+      let trip = (3 * Schedule.stage_count sched) + 5 in
+      let killed =
+        match Interp.run_mve ~seed ~mve sched ~trip with
+        | exception _ -> true
+        | b ->
+            not
+              (Interp.equivalent
+                 (Interp.run_sequential ~seed sched.Schedule.ddg ~trip)
+                 b)
+      in
+      if killed then [ Check.Interp ] else []
+
+let sweep ?(seed = 42) ?(salt = 0) ?(per_class = 5)
+    ?(budget_ratio = Ims.default_budget_ratio) ddg =
+  match (Ims.modulo_schedule ~budget_ratio ddg).Ims.schedule with
+  | None -> []
+  | Some s ->
+      List.concat_map
+        (fun c ->
+          (* Deterministic corruptions are generated once; randomized
+             ones get an independent seeded stream per (class, k). *)
+          let count = match c with Wrong_stage -> 1 | _ -> per_class in
+          List.filter_map
+            (fun k ->
+              let rng =
+                Random.State.make [| seed; salt; class_index c; k |]
+              in
+              let made =
+                match c with
+                | Drop_edge -> drop_edge ~rng ~budget_ratio ddg s
+                | Weaken_edge -> weaken_edge ~rng ~budget_ratio ddg s
+                | Shift_op -> shift_op ~rng ddg s
+                | Swap_slots -> swap_slots ~rng ddg s
+                | Lower_resource -> lower_resource ~rng ddg s
+                | Inflate_reservation -> inflate_reservation ~rng ddg s
+                | Wrong_stage -> wrong_stage ddg s
+              in
+              Option.map
+                (fun (description, artifact) ->
+                  let killed_by = judge ~seed artifact in
+                  let exp_ = expected c in
+                  {
+                    cls = c;
+                    description;
+                    killed_by;
+                    expected_hit =
+                      List.exists (fun ch -> List.mem ch exp_) killed_by;
+                  })
+                made)
+            (List.init count Fun.id))
+        classes
+
+let aggregate results =
+  List.map
+    (fun c ->
+      let rs = List.filter (fun (r : result_) -> r.cls = c) results in
+      {
+        cls = c;
+        mutants = List.length rs;
+        killed =
+          List.length (List.filter (fun (r : result_) -> r.killed_by <> []) rs);
+        expected_hits =
+          List.length (List.filter (fun (r : result_) -> r.expected_hit) rs);
+      })
+    classes
+
+let escapees results =
+  List.filter
+    (fun (r : result_) -> must_kill r.cls && not r.expected_hit)
+    results

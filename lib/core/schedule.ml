@@ -9,6 +9,12 @@ let make ddg ~ii ~entries =
     invalid_arg "Schedule.make: entry count mismatch";
   { ddg; ii; entries }
 
+let with_entries t ?ddg ?ii entries =
+  make
+    (Option.value ~default:t.ddg ddg)
+    ~ii:(Option.value ~default:t.ii ii)
+    ~entries
+
 let time t i = t.entries.(i).time
 let alt t i = t.entries.(i).alt
 let length t = time t (Ddg.stop t.ddg)

@@ -21,6 +21,15 @@ type t = private {
 val make : Ddg.t -> ii:int -> entries:entry array -> t
 (** @raise Invalid_argument if the entry count does not match. *)
 
+val with_entries : t -> ?ddg:Ddg.t -> ?ii:int -> entry array -> t
+(** A copy of the schedule with the given entries, optionally rebased
+    onto another graph (same operation count) or II.  No legality is
+    implied — this is the seam the fault-injection engine uses to
+    attach corrupted entries, and the fallback driver uses to re-time a
+    list schedule; {!verify} and the rest of the checker stack are the
+    judges.
+    @raise Invalid_argument if the entry count does not match. *)
+
 val time : t -> int -> int
 val alt : t -> int -> int
 

@@ -88,7 +88,18 @@ let parse_file path =
   let len = in_channel_length ic in
   let text = really_input_string ic len in
   close_in ic;
-  parse text
+  (* Errors from a description file carry its path, so a bad --machine
+     argument dies with one line naming the file, never a backtrace. *)
+  try parse text
+  with Parse_error (line, msg) ->
+    raise (Parse_error (line, Printf.sprintf "%s: %s" path msg))
+
+let () =
+  Printexc.register_printer (function
+    | Parse_error (line, msg) ->
+        Some
+          (Printf.sprintf "machine description error at line %d: %s" line msg)
+    | _ -> None)
 
 let dump (m : Machine.t) =
   let buf = Buffer.create 512 in

@@ -238,9 +238,9 @@ let replay_finite ?(seed = 42) sched ~trip ~write ~read ~snapshot =
   in
   { memory; finals }
 
-let run_mve ?(seed = 42) sched ~trip =
+let run_mve ?(seed = 42) ?mve sched ~trip =
   let ddg = sched.Schedule.ddg in
-  let mve = Mve.expand sched in
+  let mve = match mve with Some m -> m | None -> Mve.expand sched in
   let k = mve.Mve.unroll in
   let cells : (string, float) Hashtbl.t = Hashtbl.create 64 in
   let defined = Hashtbl.create 32 in
@@ -433,7 +433,7 @@ let check ?(seed = 42) ?metrics ?trip sched =
         let modes =
           [
             ("overlapped issue order", run_pipelined ?seed:(Some seed));
-            ("finite MVE registers", run_mve ?seed:(Some seed));
+            ("finite MVE registers", fun sched ~trip -> run_mve ~seed sched ~trip);
             ("physical rotating file", run_rotating ?seed:(Some seed));
           ]
         in

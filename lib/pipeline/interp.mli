@@ -57,13 +57,19 @@ val check :
     unsupported loops (nothing to disprove).  [metrics] counts each
     replay actually performed under ["interp.replays"]. *)
 
-val run_mve : ?seed:int -> Schedule.t -> trip:int -> outcome
+val run_mve : ?seed:int -> ?mve:Mve.t -> Schedule.t -> trip:int -> outcome
 (** Replay through the {e finite} register set of the MVE schema: each
     loop variant has exactly [Mve] unroll-factor cells, written and read
     through {!Mve.rename}'s instance arithmetic.  If the kernel-unroll
     factor were too small, a value would be clobbered before its last
     reader and the outcome would diverge from {!run_sequential} — this
     is the semantic check of modulo variable expansion.
+
+    [mve] (default [Mve.expand sched]) substitutes a different
+    expansion — the fault-injection hook: replaying through a
+    deliberately mis-numbered expansion (e.g. one stage too few) must
+    diverge, which is how the mutation engine proves this checker is
+    alive.
     @raise Invalid_argument if the loop is not {!supported}. *)
 
 val run_rotating : ?seed:int -> Schedule.t -> trip:int -> outcome

@@ -137,4 +137,17 @@ let parse_file machine path =
   let len = in_channel_length ic in
   let text = really_input_string ic len in
   close_in ic;
-  parse machine text
+  (* Batch reports and top-level handlers need to name the culprit, so
+     errors from a file carry its path in the message. *)
+  try parse machine text
+  with Parse_error (line, msg) ->
+    raise (Parse_error (line, Printf.sprintf "%s: %s" path msg))
+
+(* Even an escaping Parse_error (e.g. printed by the batch engine's
+   fault containment, or an uncaught exception's last words) renders as
+   line + message instead of an opaque constructor. *)
+let () =
+  Printexc.register_printer (function
+    | Parse_error (line, msg) ->
+        Some (Printf.sprintf "loop parse error at line %d: %s" line msg)
+    | _ -> None)

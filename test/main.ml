@@ -10,6 +10,7 @@ let () =
       Test_workloads.tests;
       Test_stats.tests;
       Test_obs.tests;
+      Test_check.tests;
       Test_exec.tests;
       Test_integration.tests;
     ]

@@ -192,6 +192,60 @@ let test_simulator_catches_bad_schedule () =
   | Ok _ -> Alcotest.fail "simulator accepted a bogus schedule"
   | Error es -> Alcotest.(check bool) "errors reported" true (es <> [])
 
+(* Hand-built wrecks on the simple VLIW pin down the exact diagnostics
+   the rest of the checker stack (and its users) matches on. *)
+
+let broken_schedule_of ops ~times =
+  let vliw = Machine.simple_vliw () in
+  let ddg = Ddg.make vliw ops [] in
+  let entries =
+    Array.init (Ddg.n_total ddg) (fun i ->
+        let time =
+          if i = 0 then 0
+          else if i = Ddg.stop ddg then 4
+          else List.nth times (i - 1)
+        in
+        { Schedule.time; alt = 0 })
+  in
+  Schedule.make ddg ~ii:4 ~entries
+
+let test_simulator_reports_early_read () =
+  (* The load (latency 2) writes v1 at cycle 0; the add reads it at
+     cycle 1, one cycle before write-back. *)
+  let s =
+    broken_schedule_of ~times:[ 0; 1 ]
+      [
+        { Op.id = 1; opcode = "load"; dsts = [ 1 ]; srcs = []; pred = None;
+          imm = None; tag = "v1 = load" };
+        { Op.id = 2; opcode = "add"; dsts = [ 2 ]; srcs = [ Op.cur 1 ];
+          pred = None; imm = None; tag = "v2 = add v1" };
+      ]
+  in
+  match Simulator.run ~trip:1 s with
+  | Ok _ -> Alcotest.fail "simulator accepted a premature read"
+  | Error es ->
+      Alcotest.(check (list string)) "exact diagnostic"
+        [ "op 2 iter 0 reads v1[0] at cycle 1 but it is ready only at 2" ]
+        es
+
+let test_simulator_reports_oversubscription () =
+  (* Two loads in the same cycle on the single MEM port. *)
+  let s =
+    broken_schedule_of ~times:[ 0; 0 ]
+      [
+        { Op.id = 1; opcode = "load"; dsts = [ 1 ]; srcs = []; pred = None;
+          imm = None; tag = "v1 = load" };
+        { Op.id = 2; opcode = "load"; dsts = [ 2 ]; srcs = []; pred = None;
+          imm = None; tag = "v2 = load" };
+      ]
+  in
+  match Simulator.run ~trip:1 s with
+  | Ok _ -> Alcotest.fail "simulator accepted an oversubscribed port"
+  | Error es ->
+      Alcotest.(check (list string)) "exact diagnostic"
+        [ "resource MEM oversubscribed at cycle 0" ]
+        es
+
 let test_simulator_utilization_sane () =
   let s = schedule_of (dot_product ()) in
   match Simulator.run ~trip:30 s with
@@ -873,6 +927,10 @@ let tests =
       Alcotest.test_case "simulator: overlap" `Quick test_simulator_overlap;
       Alcotest.test_case "simulator: catches bad schedule" `Quick
         test_simulator_catches_bad_schedule;
+      Alcotest.test_case "simulator: early-read diagnostic" `Quick
+        test_simulator_reports_early_read;
+      Alcotest.test_case "simulator: oversubscription diagnostic" `Quick
+        test_simulator_reports_oversubscription;
       Alcotest.test_case "simulator: utilization" `Quick
         test_simulator_utilization_sane;
       QCheck_alcotest.to_alcotest prop_pipeline_end_to_end;

@@ -221,6 +221,32 @@ let test_parse_errors () =
   bad "memdep flow 1 99" "dangling memdep accepted";
   bad "x = copy y when p q" "two predicates accepted"
 
+let test_parse_file_error_names_file () =
+  (* Errors escaping a file parse carry the path, and the registered
+     printer renders the exception as one line instead of an opaque
+     constructor — batch reports and top-level handlers rely on both. *)
+  let path = Filename.temp_file "ims_bad" ".loop" in
+  let oc = open_out path in
+  output_string oc "x = load a\ny =\n";
+  close_out oc;
+  let cleanup () = Sys.remove path in
+  Fun.protect ~finally:cleanup (fun () ->
+      match Loop_parse.parse_file machine path with
+      | _ -> Alcotest.fail "malformed file accepted"
+      | exception (Loop_parse.Parse_error (line, msg) as e) ->
+          Alcotest.(check int) "line of the bad operation" 2 line;
+          let contains hay needle =
+            let lh = String.length hay and ln = String.length needle in
+            let rec go i =
+              i + ln <= lh && (String.sub hay i ln = needle || go (i + 1))
+            in
+            go 0
+          in
+          Alcotest.(check bool) "message names the file" true
+            (contains msg path);
+          Alcotest.(check bool) "printer renders line + message" true
+            (contains (Printexc.to_string e) "loop parse error at line 2"))
+
 let test_parse_comments_and_blanks () =
   let text = "\n# comment only\n; another\nx = load a\n\n" in
   Alcotest.(check int) "one op" 1 (Ddg.n_real (Loop_parse.parse machine text))
@@ -531,6 +557,8 @@ let tests =
       Alcotest.test_case "parse: predication" `Quick test_parse_predication;
       Alcotest.test_case "parse: memdep" `Quick test_parse_memdep;
       Alcotest.test_case "parse: errors" `Quick test_parse_errors;
+      Alcotest.test_case "parse: file errors name the file" `Quick
+        test_parse_file_error_names_file;
       Alcotest.test_case "parse: comments" `Quick test_parse_comments_and_blanks;
       Alcotest.test_case "parse: roundtrip" `Quick test_parse_roundtrip_schedules;
     ]
