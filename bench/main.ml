@@ -35,18 +35,25 @@ open Ims_workloads
    budget / time become diffable artifacts.  Unknown flags and flags
    missing their value are hard errors — a silently ignored
    "--metrics" as the last argument cost real debugging time once. *)
-type opts = { quick : bool; jobs : int; metrics_file : string option }
+type opts = {
+  quick : bool;
+  jobs : int;
+  metrics_file : string option;
+  bench_json : string option;
+}
 
 let opts =
   let usage_exit msg =
     Printf.eprintf "bench: %s\n" msg;
     prerr_endline
-      "usage: dune exec bench/main.exe -- [--quick] [--jobs N] [--metrics FILE]";
+      "usage: dune exec bench/main.exe -- [--quick] [--jobs N] [--metrics \
+       FILE] [--bench-json FILE]";
     exit 2
   in
   let quick = ref false in
   let jobs = ref (Ims_exec.Exec.default_jobs ()) in
   let metrics = ref None in
+  let bench_json = ref None in
   let argc = Array.length Sys.argv in
   let value flag i =
     if i + 1 >= argc then usage_exit (flag ^ " needs a value")
@@ -69,14 +76,23 @@ let opts =
       | "--metrics" ->
           metrics := Some (value "--metrics" i);
           scan (i + 2)
+      | "--bench-json" ->
+          bench_json := Some (value "--bench-json" i);
+          scan (i + 2)
       | other -> usage_exit (Printf.sprintf "unknown argument %S" other)
   in
   scan 1;
-  { quick = !quick; jobs = !jobs; metrics_file = !metrics }
+  {
+    quick = !quick;
+    jobs = !jobs;
+    metrics_file = !metrics;
+    bench_json = !bench_json;
+  }
 
 let quick = opts.quick
 let jobs = opts.jobs
 let metrics_file = opts.metrics_file
+let bench_json_file = opts.bench_json
 let suite_count = if quick then 300 else Suite.default_count
 
 (* Parallel map over independent loops: input order preserved, so every
@@ -84,12 +100,16 @@ let suite_count = if quick then 300 else Suite.default_count
    to stderr, keeping stdout deterministic. *)
 let pmap f xs = Ims_exec.Exec.map_exn ~jobs f xs
 
+(* Per-phase wall clock, accumulated for --bench-json (phase order is
+   the execution order).  Stderr only — stdout stays deterministic. *)
+let phase_log : (string * float) list ref = ref []
+
 let timed name f =
   let t0 = Unix.gettimeofday () in
   let r = f () in
-  Printf.eprintf "[bench] %-18s %6.2fs  (%d job%s)\n%!" name
-    (Unix.gettimeofday () -. t0)
-    jobs
+  let dt = Unix.gettimeofday () -. t0 in
+  phase_log := (name, dt) :: !phase_log;
+  Printf.eprintf "[bench] %-18s %6.2fs  (%d job%s)\n%!" name dt jobs
     (if jobs = 1 then "" else "s");
   r
 
@@ -201,6 +221,51 @@ let dump_metrics file records =
   Printf.printf "\nper-loop metrics written to %s (%d lines)\n" file
     (List.length records)
 
+(* --bench-json FILE writes one JSON object for the whole run: phase
+   wall-clock timings, the suite-total table 4 counters, and the
+   achieved-II histogram — the trajectory point a perf regression is
+   judged against (see BENCH_4.json at the repo root). *)
+let dump_bench_json file records =
+  let open Ims_obs in
+  let phases =
+    List.rev_map
+      (fun (name, dt) ->
+        Json.Obj [ ("name", Json.String name); ("seconds", Json.Float dt) ])
+      !phase_log
+  in
+  let totals = Counters.merge (List.map (fun r -> r.counters) records) in
+  let hist = Hashtbl.create 16 in
+  List.iter
+    (fun r ->
+      Hashtbl.replace hist r.ii
+        (1 + Option.value ~default:0 (Hashtbl.find_opt hist r.ii)))
+    records;
+  let ii_histogram =
+    Hashtbl.fold (fun ii count acc -> (ii, count) :: acc) hist []
+    |> List.sort compare
+    |> List.map (fun (ii, count) ->
+           Json.Obj [ ("ii", Json.Int ii); ("loops", Json.Int count) ])
+  in
+  let json =
+    Json.Obj
+      [
+        ("suite_count", Json.Int (List.length records));
+        ("quick", Json.Bool quick);
+        ("jobs", Json.Int jobs);
+        ("phases", Json.List phases);
+        ( "counters",
+          Json.Obj
+            (List.map (fun (k, v) -> (k, Json.Int v)) (Counters.to_assoc totals))
+        );
+        ("ii_histogram", Json.List ii_histogram);
+      ]
+  in
+  let oc = open_out file in
+  output_string oc (Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.eprintf "[bench] run summary written to %s\n%!" file
+
 (* The production scheme of sections 2.2/3: MII via the ResMII-seeded
    search (no exact RecMII), then iterative scheduling — used for the
    figure 6 sweep and the table 4 complexity fits so the counters match
@@ -211,8 +276,9 @@ let schedule_production ~budget_ratio (case : Suite.case) =
   let mii = Mii.compute_fast ~counters ddg in
   let n_total = Ddg.n_total ddg in
   let budget = max 1 (int_of_float (budget_ratio *. float_of_int n_total)) in
+  let prep = Ims.prepare ddg in
   let rec attempt ii =
-    match Ims.iterative_schedule ~counters ddg ~ii ~budget with
+    match Ims.iterative_schedule ~counters ~prep ddg ~ii ~budget with
     | Some s -> (s, ii)
     | None ->
         if ii > mii + 1000 then failwith "bench: production scheme diverged";
@@ -1264,4 +1330,5 @@ let () =
   extension_register_pressure ();
   extension_kernel_family ();
   if not quick then bechamel ();
+  Option.iter (fun file -> dump_bench_json file records) bench_json_file;
   section "DONE"

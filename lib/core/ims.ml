@@ -17,6 +17,19 @@ let default_budget_ratio = 2.0
 
 type priority = Height_r | Acyclic_height | Source_order | Reverse_order
 
+type prep = {
+  p_alternatives : Opcode.alternative array array;
+  p_order : int list;  (* Priority.plan, for Height_r relaxation *)
+  p_height : int array;  (* scratch for Priority.heights *)
+}
+
+let prepare ddg =
+  {
+    p_alternatives = Prep.alternatives ddg;
+    p_order = Priority.plan ddg;
+    p_height = Array.make (Ddg.n_total ddg) 0;
+  }
+
 (* State for one IterativeSchedule invocation. *)
 type state = {
   ddg : Ddg.t;
@@ -27,8 +40,10 @@ type state = {
   prev_time : int array;
   never_scheduled : bool array;
   alt : int array;
-  alternatives : Opcode.alternative array array;  (* per op id *)
-  mutable unscheduled : int list;  (* kept unsorted; selection scans *)
+  ctabs : Mrt.ctable array array;  (* compiled alternatives, per op id *)
+  by_rank : int array;  (* ops sorted by (height desc, id asc) *)
+  rank_of : int array;  (* inverse of by_rank *)
+  ready : Ready.t;  (* pending ranks; min = pick of the old O(n) scan *)
   counters : Counters.t option;
   trace : Trace.t;
 }
@@ -43,21 +58,13 @@ let bump_findslot st k =
   | Some c -> c.Counters.findslot_inner <- c.Counters.findslot_inner + k
   | None -> ()
 
+(* The (height desc, id asc) selection of figure 3, as the minimum
+   present rank of the indexed ready-set: [by_rank] is a total order by
+   exactly that pair, so the least present rank is the operation the
+   former linear scan over the unscheduled list would have picked. *)
 let highest_priority_operation st =
-  match st.unscheduled with
-  | [] -> None
-  | first :: rest ->
-      let best =
-        List.fold_left
-          (fun best v ->
-            if
-              st.height.(v) > st.height.(best)
-              || (st.height.(v) = st.height.(best) && v < best)
-            then v
-            else best)
-          first rest
-      in
-      Some best
+  let r = Ready.min_rank st.ready in
+  if r < 0 then None else Some st.by_rank.(r)
 
 (* Figure 5b: earliest start as constrained by currently scheduled
    predecessors only. *)
@@ -73,11 +80,11 @@ let calculate_early_start st op =
    the alternative that fits; dependence conflicts with successors are
    deliberately ignored here. *)
 let find_time_slot st op ~min_time ~max_time =
-  let alternatives = st.alternatives.(op) in
+  let ctabs = st.ctabs.(op) in
   let fits_at t =
     let rec go k =
-      if k >= Array.length alternatives then None
-      else if Mrt.fits st.mrt alternatives.(k).Opcode.table ~time:t then Some k
+      if k >= Array.length ctabs then None
+      else if Mrt.fits_c st.mrt ctabs.(k) ~time:t then Some k
       else go (k + 1)
     in
     go 0
@@ -103,22 +110,20 @@ let find_time_slot st op ~min_time ~max_time =
 
 let unschedule st op =
   if st.time.(op) >= 0 then begin
-    Mrt.release st.mrt ~op
-      st.alternatives.(op).(st.alt.(op)).Opcode.table
-      ~time:st.time.(op);
+    Mrt.release_c st.mrt ~op st.ctabs.(op).(st.alt.(op)) ~time:st.time.(op);
     st.time.(op) <- -1;
-    st.unscheduled <- op :: st.unscheduled
+    Ready.add st.ready st.rank_of.(op)
   end
 
 (* Schedule [op] at [t] with alternative [k] (already known to fit), then
    displace every scheduled successor whose dependence is now violated. *)
 let commit st op ~t ~k =
-  Mrt.reserve st.mrt ~op st.alternatives.(op).(k).Opcode.table ~time:t;
+  Mrt.reserve_c st.mrt ~op st.ctabs.(op).(k) ~time:t;
   st.time.(op) <- t;
   st.prev_time.(op) <- t;
   st.alt.(op) <- k;
   st.never_scheduled.(op) <- false;
-  st.unscheduled <- List.filter (fun v -> v <> op) st.unscheduled;
+  Ready.remove st.ready st.rank_of.(op);
   List.iter
     (fun (d : Dep.t) ->
       if
@@ -136,21 +141,16 @@ let commit st op ~t ~k =
    conflicts with any alternative at [t], then commit with the first
    alternative that fits. *)
 let force_commit st op ~t ~estart =
-  let tables =
-    Array.to_list st.alternatives.(op)
-    |> List.map (fun (a : Opcode.alternative) -> a.Opcode.table)
-  in
   List.iter
     (fun victim ->
       Trace.evict st.trace ~op:victim ~by:op ~time:st.time.(victim)
         ~reason:Event.Resource;
       unschedule st victim)
-    (Mrt.conflicting_ops st.mrt tables ~time:t);
+    (Mrt.conflicting_ops_c st.mrt st.ctabs.(op) ~time:t);
   let rec first_fit k =
-    if k >= Array.length st.alternatives.(op) then
+    if k >= Array.length st.ctabs.(op) then
       invalid_arg "Ims.force_commit: no alternative fits after displacement"
-    else if Mrt.fits st.mrt st.alternatives.(op).(k).Opcode.table ~time:t then
-      k
+    else if Mrt.fits_c st.mrt st.ctabs.(op).(k) ~time:t then k
     else first_fit (k + 1)
   in
   let k = first_fit 0 in
@@ -158,16 +158,31 @@ let force_commit st op ~t ~estart =
   commit st op ~t ~k
 
 let iterative_schedule ?counters ?(trace = Trace.null) ?(priority = Height_r)
-    ddg ~ii ~budget =
+    ?prep ddg ~ii ~budget =
   let n = Ddg.n_total ddg in
   let machine = ddg.Ddg.machine in
+  let prep = match prep with Some p -> p | None -> prepare ddg in
   let height =
     match priority with
-    | Height_r -> Priority.heights ?counters ddg ~ii
+    | Height_r ->
+        Priority.heights ?counters ~order:prep.p_order ~buf:prep.p_height ddg
+          ~ii
     | Acyclic_height -> Priority.acyclic_heights ddg
     | Source_order -> Array.init n (fun i -> n - i)
     | Reverse_order -> Array.init n (fun i -> i)
   in
+  let by_rank = Array.init n Fun.id in
+  Array.sort
+    (fun a b ->
+      if height.(a) <> height.(b) then compare height.(b) height.(a)
+      else compare a b)
+    by_rank;
+  let rank_of = Array.make n 0 in
+  Array.iteri (fun r op -> rank_of.(op) <- r) by_rank;
+  let ready = Ready.create n in
+  for op = 1 to n - 1 do
+    Ready.add ready rank_of.(op)
+  done;
   let st =
     {
       ddg;
@@ -178,11 +193,10 @@ let iterative_schedule ?counters ?(trace = Trace.null) ?(priority = Height_r)
       prev_time = Array.make n 0;
       never_scheduled = Array.make n true;
       alt = Array.make n 0;
-      alternatives =
-        Array.init n (fun i ->
-            let opcode = Machine.opcode machine (Ddg.op ddg i).Op.opcode in
-            Array.of_list opcode.Opcode.alternatives);
-      unscheduled = List.init (n - 1) (fun i -> i + 1);
+      ctabs = Prep.compile prep.p_alternatives ~ii;
+      by_rank;
+      rank_of;
+      ready;
       counters;
       trace;
     }
@@ -215,14 +229,14 @@ let iterative_schedule ?counters ?(trace = Trace.null) ?(priority = Height_r)
         decr budget;
         step ()
   done;
-  if st.unscheduled = [] then begin
+  if Ready.is_empty st.ready then begin
     let entries =
       Array.init n (fun i -> { Schedule.time = st.time.(i); alt = st.alt.(i) })
     in
     Some (Schedule.make ddg ~ii ~entries)
   end
   else begin
-    Trace.budget_exhausted trace ~ii ~unplaced:(List.length st.unscheduled);
+    Trace.budget_exhausted trace ~ii ~unplaced:(Ready.cardinal st.ready);
     None
   end
 
@@ -236,6 +250,7 @@ let modulo_schedule ?(budget_ratio = default_budget_ratio)
   let budget =
     max 1 (int_of_float (budget_ratio *. float_of_int n))
   in
+  let prep = prepare ddg in
   let rec attempt ii tried =
     if ii > mii.Mii.mii + max_delta_ii then
       {
@@ -250,7 +265,9 @@ let modulo_schedule ?(budget_ratio = default_budget_ratio)
     else begin
       let before = counters.Counters.sched_steps in
       Trace.ii_start trace ~ii ~attempt:(tried + 1) ~budget;
-      match iterative_schedule ~counters ~trace ?priority ddg ~ii ~budget with
+      match
+        iterative_schedule ~counters ~trace ?priority ~prep ddg ~ii ~budget
+      with
       | Some schedule ->
           let steps_final = counters.Counters.sched_steps - before in
           Trace.ii_end trace ~ii ~scheduled:true ~steps:steps_final;

@@ -33,10 +33,20 @@ val default_budget_ratio : float
     pathological anti-priority. *)
 type priority = Height_r | Acyclic_height | Source_order | Reverse_order
 
+type prep
+(** Graph-dependent, II-independent artifacts of one scheduling problem:
+    the per-op alternative arrays (shared per opcode), the skeleton
+    relaxation order of {!Priority.plan}, and the height scratch buffer.
+    Built once by {!modulo_schedule} and reused across its candidate-II
+    attempts; {!iterative_schedule} builds its own when not given one. *)
+
+val prepare : Ddg.t -> prep
+
 val iterative_schedule :
   ?counters:Counters.t ->
   ?trace:Ims_obs.Trace.t ->
   ?priority:priority ->
+  ?prep:prep ->
   Ddg.t ->
   ii:int ->
   budget:int ->

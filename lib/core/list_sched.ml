@@ -22,6 +22,9 @@ let schedule ddg =
   let height = Priority.acyclic_heights ddg in
   let horizon = horizon ddg in
   let mrt = Mrt.linear ddg.Ddg.machine ~horizon in
+  (* Compiled once per (opcode, horizon) — [place] used to rebuild the
+     alternatives array from the opcode repertoire on every call. *)
+  let ctabs = Prep.compile (Prep.alternatives ddg) ~ii:(max 1 horizon) in
   let times = Array.make n (-1) in
   let alts = Array.make n 0 in
   let indegree = Array.make n 0 in
@@ -48,19 +51,17 @@ let schedule ddg =
       0 ddg.Ddg.preds.(i)
   in
   let place i =
-    let opcode = Machine.opcode ddg.Ddg.machine (Ddg.op ddg i).Op.opcode in
-    let alternatives = Array.of_list opcode.Opcode.alternatives in
     let rec try_time t =
       if t >= horizon then
         invalid_arg "List_sched: horizon exceeded (machine oversubscribed?)";
       let rec try_alt k =
-        if k >= Array.length alternatives then None
-        else if Mrt.fits mrt alternatives.(k).Opcode.table ~time:t then Some k
+        if k >= Array.length ctabs.(i) then None
+        else if Mrt.fits_c mrt ctabs.(i).(k) ~time:t then Some k
         else try_alt (k + 1)
       in
       match try_alt 0 with
       | Some k ->
-          Mrt.reserve mrt ~op:i alternatives.(k).Opcode.table ~time:t;
+          Mrt.reserve_c mrt ~op:i ctabs.(i).(k) ~time:t;
           times.(i) <- t;
           alts.(i) <- k
       | None -> try_time (t + 1)

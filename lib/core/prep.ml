@@ -1,0 +1,35 @@
+open Ims_machine
+open Ims_ir
+
+(* Ops sharing an opcode share one physical alternatives array, so the
+   per-II compilation below can dedupe by physical equality: one
+   compiled-table array per distinct opcode, not per operation. *)
+let alternatives ddg =
+  let machine = ddg.Ddg.machine in
+  let cache = Hashtbl.create 16 in
+  Array.init (Ddg.n_total ddg) (fun i ->
+      let name = (Ddg.op ddg i).Op.opcode in
+      match Hashtbl.find_opt cache name with
+      | Some arr -> arr
+      | None ->
+          let arr =
+            Array.of_list (Machine.opcode machine name).Opcode.alternatives
+          in
+          Hashtbl.add cache name arr;
+          arr)
+
+let compile alternatives ~ii =
+  let memo = ref [] in
+  Array.map
+    (fun alts ->
+      match List.assq_opt alts !memo with
+      | Some c -> c
+      | None ->
+          let c =
+            Array.map
+              (fun (a : Opcode.alternative) -> Mrt.compile ~ii a.Opcode.table)
+              alts
+          in
+          memo := (alts, c) :: !memo;
+          c)
+    alternatives

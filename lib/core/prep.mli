@@ -1,0 +1,19 @@
+(** Per-graph scheduling artifacts hoisted out of the per-II attempt
+    loop.
+
+    [ModuloSchedule] retries [IterativeSchedule] at successive candidate
+    IIs over the same graph; everything here depends only on the graph
+    (or compiles in one pass per II) and was previously rebuilt from
+    scratch on every attempt — and, for the alternatives, once per
+    operation rather than once per opcode. *)
+
+open Ims_machine
+open Ims_ir
+
+val alternatives : Ddg.t -> Opcode.alternative array array
+(** Per-operation alternative arrays, one {e shared} physical array per
+    distinct opcode name. *)
+
+val compile : Opcode.alternative array array -> ii:int -> Mrt.ctable array array
+(** Compiled reservation tables for one candidate II, parallel to the
+    input; physically shared alternative arrays compile once. *)

@@ -1,17 +1,34 @@
 open Ims_ir
 open Ims_graph
 
-let relax ?counters ddg ~edge_weight =
+(* Reverse topological order of the distance-0 skeleton.  The order is a
+   property of the graph alone (not of the II), so callers that retry
+   many IIs compute it once with {!plan} and pass it back in. *)
+let skeleton_order ddg =
   let n = Ddg.n_total ddg in
-  let height = Array.make n 0 in
-  (* Seed in reverse topological order of the distance-0 skeleton so the
-     acyclic bulk converges in one sweep; recurrences then iterate. *)
   let skeleton v =
     List.filter_map
       (fun (d : Dep.t) -> if d.distance = 0 then Some d.dst else None)
       ddg.Ddg.succs.(v)
   in
-  let order = List.rev (Topo.sort_ignoring_cycles ~n ~succs:skeleton) in
+  List.rev (Topo.sort_ignoring_cycles ~n ~succs:skeleton)
+
+let plan = skeleton_order
+
+let relax ?counters ?order ?buf ddg ~edge_weight =
+  let n = Ddg.n_total ddg in
+  let height =
+    match buf with
+    | None -> Array.make n 0
+    | Some b ->
+        Array.fill b 0 n 0;
+        b
+  in
+  (* Seed in reverse topological order of the distance-0 skeleton so the
+     acyclic bulk converges in one sweep; recurrences then iterate. *)
+  let order =
+    match order with Some o -> o | None -> skeleton_order ddg
+  in
   let steps = ref 0 in
   let changed = ref true in
   let rounds = ref 0 in
@@ -41,8 +58,8 @@ let relax ?counters ddg ~edge_weight =
   | None -> ());
   height
 
-let heights ?counters ddg ~ii =
-  relax ?counters ddg ~edge_weight:(fun d ->
+let heights ?counters ?order ?buf ddg ~ii =
+  relax ?counters ?order ?buf ddg ~edge_weight:(fun d ->
       Some (d.Dep.delay - (ii * d.Dep.distance)))
 
 let acyclic_heights ddg =

@@ -14,11 +14,20 @@
 
 open Ims_ir
 
-val heights : ?counters:Ims_mii.Counters.t -> Ddg.t -> ii:int -> int array
+val plan : Ddg.t -> int list
+(** Reverse topological order of the distance-0 skeleton — the seeding
+    order of {!heights}.  It depends only on the graph, so callers that
+    retry many IIs compute it once and pass it via [?order]. *)
+
+val heights :
+  ?counters:Ims_mii.Counters.t -> ?order:int list -> ?buf:int array ->
+  Ddg.t -> ii:int -> int array
 (** Least solution of the implicit equations by worklist relaxation,
     seeded in reverse topological order of the intra-iteration subgraph.
     Requires [ii >= RecMII] (no positive-weight circuit); guarded by an
-    iteration cap.
+    iteration cap.  [?order] supplies a precomputed {!plan}; [?buf]
+    (length at least [n_total], zero-filled on entry) is used as the
+    result array instead of a fresh allocation.
     @raise Invalid_argument if the relaxation fails to converge. *)
 
 val acyclic_heights : Ddg.t -> int array

@@ -1,0 +1,60 @@
+(* Indexed ready-set: membership over a fixed universe of ranks with an
+   O(log n) minimum.
+
+   The scheduler's pick is "the unscheduled operation with the best
+   (priority, lowest-id) pair".  Callers sort the operations once into a
+   total order by that pair and address the set by *rank* in the order;
+   the minimum present rank is then exactly the operation the old O(n)
+   scan over an [int list] would have picked.
+
+   The structure is a flat tournament tree over [size] leaves (the next
+   power of two >= n): leaf [i] holds [i] when present and [absent]
+   when not; each internal node holds the min of its children.  All
+   state is one int array — add/remove/min are allocation-free. *)
+
+type t = {
+  size : int;  (* leaf count, power of two, >= 1 *)
+  tree : int array;  (* 2 * size entries; node 1 is the root *)
+  mutable cardinal : int;
+}
+
+let absent = max_int
+
+let create n =
+  if n < 0 then invalid_arg "Ready.create: negative size";
+  let size = ref 1 in
+  while !size < n do
+    size := !size * 2
+  done;
+  { size = !size; tree = Array.make (2 * !size) absent; cardinal = 0 }
+
+let mem t rank = t.tree.(t.size + rank) <> absent
+
+let update_path t i =
+  let i = ref ((t.size + i) / 2) in
+  while !i >= 1 do
+    let l = t.tree.(2 * !i) and r = t.tree.((2 * !i) + 1) in
+    t.tree.(!i) <- (if l < r then l else r);
+    i := !i / 2
+  done
+
+let add t rank =
+  if rank < 0 || rank >= t.size then invalid_arg "Ready.add: rank out of range";
+  if not (mem t rank) then begin
+    t.tree.(t.size + rank) <- rank;
+    t.cardinal <- t.cardinal + 1;
+    update_path t rank
+  end
+
+let remove t rank =
+  if rank < 0 || rank >= t.size then
+    invalid_arg "Ready.remove: rank out of range";
+  if mem t rank then begin
+    t.tree.(t.size + rank) <- absent;
+    t.cardinal <- t.cardinal - 1;
+    update_path t rank
+  end
+
+let min_rank t = if t.tree.(1) = absent then -1 else t.tree.(1)
+let cardinal t = t.cardinal
+let is_empty t = t.cardinal = 0

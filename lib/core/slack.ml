@@ -8,6 +8,36 @@ open Ims_mii
    L(op) <= t_i - MinDist[op][i].  With nothing but START placed these
    reduce to Huff's static Estart/Lstart. *)
 
+(* Graph-dependent artifacts reused across the candidate-II attempts:
+   the alternatives (and the scratch their per-II compiled form feeds
+   on), the static producer/consumer bias, and the MinDist buffers. *)
+type prep = {
+  p_alternatives : Opcode.alternative array array;
+  p_sink_late : bool array;
+  p_scratch : Mindist.scratch;
+}
+
+(* Producers sink late (their output lifetime starts later); consumers
+   rise early (their input lifetimes close sooner).  An operation with
+   more consumers than inputs is a net producer. *)
+let sink_late ddg =
+  Array.init (Ddg.n_total ddg) (fun op ->
+      let real l =
+        List.filter
+          (fun (d : Dep.t) ->
+            not (Ddg.is_pseudo ddg d.Dep.src || Ddg.is_pseudo ddg d.Dep.dst))
+          l
+      in
+      List.length (real ddg.Ddg.preds.(op))
+      < List.length (real ddg.Ddg.succs.(op)))
+
+let prepare ddg =
+  {
+    p_alternatives = Prep.alternatives ddg;
+    p_sink_late = sink_late ddg;
+    p_scratch = Mindist.scratch ();
+  }
+
 type state = {
   ddg : Ddg.t;
   ii : int;
@@ -15,53 +45,66 @@ type state = {
   slack_priority : int array;  (* smaller = more urgent *)
   sink_late : bool array;
   mrt : Mrt.t;
-  time : int array;  (* -1 = unscheduled *)
+  time : int array;  (* -1 = unscheduled; op is scheduled iff >= 0 *)
   prev_time : int array;
   never_scheduled : bool array;
   alt : int array;
-  alternatives : Opcode.alternative array array;
-  mutable unscheduled : int list;
-  mutable scheduled : int list;
+  ctabs : Mrt.ctable array array;
+  by_rank : int array;  (* ops sorted by (slack_priority asc, id asc) *)
+  rank_of : int array;
+  ready : Ready.t;
   counters : Counters.t option;
 }
 
 let neg_inf = Mindist.neg_inf
 
+let bump_estart st k =
+  match st.counters with
+  | Some c -> c.Counters.estart_inner <- c.Counters.estart_inner + k
+  | None -> ()
+
+(* The dynamic bounds fold over every scheduled operation; the schedule
+   membership test is [time.(i) >= 0], an invariant kept by
+   commit/unschedule (the old explicit scheduled-list was equivalent,
+   but cost a filter per unschedule). *)
 let early_bound st op =
-  List.fold_left
-    (fun acc i ->
-      (match st.counters with
-      | Some c -> c.Counters.estart_inner <- c.Counters.estart_inner + 1
-      | None -> ());
+  let n = Array.length st.time in
+  let acc = ref 0 in
+  for i = 0 to n - 1 do
+    if st.time.(i) >= 0 then begin
+      bump_estart st 1;
       let d = Mindist.get st.md i op in
-      if d = neg_inf then acc else max acc (st.time.(i) + d))
-    0 st.scheduled
+      if d <> neg_inf && st.time.(i) + d > !acc then acc := st.time.(i) + d
+    end
+  done;
+  !acc
 
 let late_bound st op ~default =
-  List.fold_left
-    (fun acc i ->
+  let n = Array.length st.time in
+  let acc = ref default in
+  for i = 0 to n - 1 do
+    if st.time.(i) >= 0 then begin
+      bump_estart st 1;
       let d = Mindist.get st.md op i in
-      if d = neg_inf then acc else min acc (st.time.(i) - d))
-    default st.scheduled
+      if d <> neg_inf && st.time.(i) - d < !acc then acc := st.time.(i) - d
+    end
+  done;
+  !acc
 
 let unschedule st op =
   if st.time.(op) >= 0 then begin
-    Mrt.release st.mrt ~op
-      st.alternatives.(op).(st.alt.(op)).Opcode.table
-      ~time:st.time.(op);
+    Mrt.release_c st.mrt ~op st.ctabs.(op).(st.alt.(op)) ~time:st.time.(op);
     st.time.(op) <- -1;
-    st.unscheduled <- op :: st.unscheduled;
-    st.scheduled <- List.filter (fun v -> v <> op) st.scheduled
+    Ready.add st.ready st.rank_of.(op)
   end
 
 let commit st op ~t ~k =
-  Mrt.reserve st.mrt ~op st.alternatives.(op).(k).Opcode.table ~time:t;
+  Mrt.reserve_c st.mrt ~op st.ctabs.(op).(k) ~time:t;
   st.time.(op) <- t;
   st.prev_time.(op) <- t;
   st.alt.(op) <- k;
   st.never_scheduled.(op) <- false;
-  st.unscheduled <- List.filter (fun v -> v <> op) st.unscheduled;
-  st.scheduled <- op :: st.scheduled;
+  Ready.remove st.ready st.rank_of.(op);
   List.iter
     (fun (d : Dep.t) ->
       if
@@ -72,49 +115,44 @@ let commit st op ~t ~k =
     st.ddg.Ddg.succs.(op)
 
 let force_commit st op ~t =
-  let tables =
-    Array.to_list st.alternatives.(op)
-    |> List.map (fun (a : Opcode.alternative) -> a.Opcode.table)
-  in
-  List.iter (unschedule st) (Mrt.conflicting_ops st.mrt tables ~time:t);
+  List.iter (unschedule st) (Mrt.conflicting_ops_c st.mrt st.ctabs.(op) ~time:t);
   let rec first_fit k =
-    if k >= Array.length st.alternatives.(op) then
+    if k >= Array.length st.ctabs.(op) then
       invalid_arg "Slack.force_commit: no alternative fits"
-    else if Mrt.fits st.mrt st.alternatives.(op).(k).Opcode.table ~time:t then k
+    else if Mrt.fits_c st.mrt st.ctabs.(op).(k) ~time:t then k
     else first_fit (k + 1)
   in
   commit st op ~t ~k:(first_fit 0)
 
 (* Conflict-free slot nearest the preferred end of [lo, hi]. *)
 let find_slot st op ~lo ~hi ~late =
-  let alternatives = st.alternatives.(op) in
+  let ctabs = st.ctabs.(op) in
   let fits_at t =
     let rec go k =
-      if k >= Array.length alternatives then None
-      else if Mrt.fits st.mrt alternatives.(k).Opcode.table ~time:t then Some k
+      if k >= Array.length ctabs then None
+      else if Mrt.fits_c st.mrt ctabs.(k) ~time:t then Some k
       else go (k + 1)
     in
     go 0
   in
-  let order =
-    if late then List.init (hi - lo + 1) (fun i -> hi - i)
-    else List.init (hi - lo + 1) (fun i -> lo + i)
+  let rec probe t step =
+    if t < lo || t > hi then None
+    else begin
+      (match st.counters with
+      | Some c -> c.Counters.findslot_inner <- c.Counters.findslot_inner + 1
+      | None -> ());
+      match fits_at t with
+      | Some k -> Some (t, k)
+      | None -> probe (t + step) step
+    end
   in
-  List.fold_left
-    (fun acc t ->
-      match acc with
-      | Some _ -> acc
-      | None ->
-          (match st.counters with
-          | Some c -> c.Counters.findslot_inner <- c.Counters.findslot_inner + 1
-          | None -> ());
-          Option.map (fun k -> (t, k)) (fits_at t))
-    None order
+  if late then probe hi (-1) else probe lo 1
 
-let iterative_schedule ?counters ddg ~ii ~budget =
+let iterative_schedule ?counters ?prep ddg ~ii ~budget =
   let n = Ddg.n_total ddg in
   let machine = ddg.Ddg.machine in
-  let md = Mindist.full ?counters ddg ~ii in
+  let prep = match prep with Some p -> p | None -> prepare ddg in
+  let md = Mindist.full ?counters ~scratch:prep.p_scratch ddg ~ii in
   let stop = Ddg.stop ddg in
   let critical_path = max 0 (Mindist.get md Ddg.start stop) in
   let slack_priority =
@@ -124,38 +162,35 @@ let iterative_schedule ?counters ddg ~ii ~budget =
         if e = neg_inf || l = neg_inf then max_int / 2
         else critical_path - e - l)
   in
-  (* Producers sink late (their output lifetime starts later); consumers
-     rise early (their input lifetimes close sooner).  An operation with
-     more consumers than inputs is a net producer. *)
-  let sink_late =
-    Array.init n (fun op ->
-        let real l =
-          List.filter
-            (fun (d : Dep.t) ->
-              not (Ddg.is_pseudo ddg d.Dep.src || Ddg.is_pseudo ddg d.Dep.dst))
-            l
-        in
-        List.length (real ddg.Ddg.preds.(op))
-        < List.length (real ddg.Ddg.succs.(op)))
-  in
+  let by_rank = Array.init n Fun.id in
+  Array.sort
+    (fun a b ->
+      if slack_priority.(a) <> slack_priority.(b) then
+        compare slack_priority.(a) slack_priority.(b)
+      else compare a b)
+    by_rank;
+  let rank_of = Array.make n 0 in
+  Array.iteri (fun r op -> rank_of.(op) <- r) by_rank;
+  let ready = Ready.create n in
+  for op = 1 to n - 1 do
+    Ready.add ready rank_of.(op)
+  done;
   let st =
     {
       ddg;
       ii;
       md;
       slack_priority;
-      sink_late;
+      sink_late = prep.p_sink_late;
       mrt = Mrt.create machine ~ii;
       time = Array.make n (-1);
       prev_time = Array.make n 0;
       never_scheduled = Array.make n true;
       alt = Array.make n 0;
-      alternatives =
-        Array.init n (fun i ->
-            let opcode = Machine.opcode machine (Ddg.op ddg i).Op.opcode in
-            Array.of_list opcode.Opcode.alternatives);
-      unscheduled = List.init (n - 1) (fun i -> i + 1);
-      scheduled = [ Ddg.start ];
+      ctabs = Prep.compile prep.p_alternatives ~ii;
+      by_rank;
+      rank_of;
+      ready;
       counters;
     }
   in
@@ -169,18 +204,8 @@ let iterative_schedule ?counters ddg ~ii ~budget =
   in
   step ();
   let pick () =
-    match st.unscheduled with
-    | [] -> None
-    | first :: rest ->
-        Some
-          (List.fold_left
-             (fun best v ->
-               if
-                 st.slack_priority.(v) < st.slack_priority.(best)
-                 || (st.slack_priority.(v) = st.slack_priority.(best) && v < best)
-               then v
-               else best)
-             first rest)
+    let r = Ready.min_rank st.ready in
+    if r < 0 then None else Some st.by_rank.(r)
   in
   let continue = ref true in
   while !continue do
@@ -228,7 +253,7 @@ let iterative_schedule ?counters ddg ~ii ~budget =
         decr budget;
         step ()
   done;
-  if st.unscheduled = [] then
+  if Ready.is_empty st.ready then
     Some
       (Schedule.make ddg ~ii
          ~entries:
@@ -241,6 +266,7 @@ let modulo_schedule ?(budget_ratio = Ims.default_budget_ratio)
   let mii = Mii.compute ~counters ddg in
   let n = Ddg.n_total ddg in
   let budget = max 1 (int_of_float (budget_ratio *. float_of_int n)) in
+  let prep = prepare ddg in
   let rec attempt ii tried =
     if ii > mii.Mii.mii + max_delta_ii then
       {
@@ -254,7 +280,7 @@ let modulo_schedule ?(budget_ratio = Ims.default_budget_ratio)
       }
     else begin
       let before = counters.Counters.sched_steps in
-      match iterative_schedule ~counters ddg ~ii ~budget with
+      match iterative_schedule ~counters ~prep ddg ~ii ~budget with
       | Some schedule ->
           let steps_final = counters.Counters.sched_steps - before in
           counters.Counters.sched_steps_final <-

@@ -25,10 +25,9 @@ let real_neighbours ddg =
   in
   (preds, succs)
 
-(* Depth (longest delay path from START) and height (to STOP) at the
-   given II — SMS's priority metrics. *)
-let depths_heights ddg ~ii =
-  let md = Mindist.full ddg ~ii in
+(* Depth (longest delay path from START) and height (to STOP) — SMS's
+   priority metrics, read off the attempt's shared MinDist matrix. *)
+let depths_heights ddg ~md =
   let stop = Ddg.stop ddg in
   let depth v = max 0 (Mindist.get md Ddg.start v) in
   let height v =
@@ -39,8 +38,7 @@ let depths_heights ddg ~ii =
 
 (* Per-node slack at this II (Lstart - Estart over the whole graph):
    recurrence-critical nodes have none; the swing seeds there. *)
-let slacks ddg ~ii =
-  let md = Mindist.full ddg ~ii in
+let slacks ddg ~md =
   let stop = Ddg.stop ddg in
   let critical_path = max 0 (Mindist.get md Ddg.start stop) in
   fun v ->
@@ -55,13 +53,13 @@ let slacks ddg ~ii =
    slack-constrained first.  One swing traversal covers each connected
    region, so an operation is never ordered after both sides of its own
    bracket have been pinned by unrelated regions. *)
-let groups ddg ~ii =
+let groups ddg ~md =
   let n = Ddg.n_total ddg in
   let preds, succs = real_neighbours ddg in
   let undirected v = if Ddg.is_pseudo ddg v then [] else preds v @ succs v in
   let comp = Ims_graph.Scc.compute ~n ~succs:undirected in
   let members = Ims_graph.Scc.members comp in
-  let slack = slacks ddg ~ii in
+  let slack = slacks ddg ~md in
   let group_slack vs = List.fold_left (fun acc v -> min acc (slack v)) max_int vs in
   Array.to_list members
   |> List.filter_map (fun vs ->
@@ -70,10 +68,10 @@ let groups ddg ~ii =
          | real -> Some real)
   |> List.sort (fun a b -> compare (group_slack a, a) (group_slack b, b))
 
-let ordering ddg ~ii =
+let ordering_md ddg ~md =
   let preds, succs = real_neighbours ddg in
-  let depth, height = depths_heights ddg ~ii in
-  let slack = slacks ddg ~ii in
+  let depth, height = depths_heights ddg ~md in
+  let slack = slacks ddg ~md in
   (* Recurrence members seed before everything else: the most
      constrained subgraph claims its slots first (SMS's first rule). *)
   let on_recurrence =
@@ -151,25 +149,22 @@ let ordering ddg ~ii =
         if ready ~dir:!dir = [] && Hashtbl.length remaining > 0 then
           dir := (match !dir with `Down -> `Up | `Up -> `Down)
       done)
-    (groups ddg ~ii);
+    (groups ddg ~md);
   List.rev !order
+
+let ordering ddg ~ii = ordering_md ddg ~md:(Mindist.full ddg ~ii)
 
 (* ---------------------------------------------------------------------- *)
 (* Scheduling phase                                                        *)
 (* ---------------------------------------------------------------------- *)
 
-let try_schedule ?counters ddg ~ii ~order ~md =
+let try_schedule ?counters ddg ~ii ~order ~md ~ctabs =
   let n = Ddg.n_total ddg in
   let machine = ddg.Ddg.machine in
   let mrt = Mrt.create machine ~ii in
   let time = Array.make n (-1) in
   let alt = Array.make n 0 in
   let scheduled = ref [ Ddg.start ] in
-  let alternatives =
-    Array.init n (fun i ->
-        let opcode = Machine.opcode machine (Ddg.op ddg i).Op.opcode in
-        Array.of_list opcode.Opcode.alternatives)
-  in
   let step () =
     match counters with
     | Some c -> c.Counters.sched_steps <- c.Counters.sched_steps + 1
@@ -205,9 +200,8 @@ let try_schedule ?counters ddg ~ii ~order ~md =
       | Some c -> c.Counters.findslot_inner <- c.Counters.findslot_inner + 1
       | None -> ());
       let rec go k =
-        if k >= Array.length alternatives.(v) then None
-        else if Mrt.fits mrt alternatives.(v).(k).Opcode.table ~time:t then
-          Some (t, k)
+        if k >= Array.length ctabs.(v) then None
+        else if Mrt.fits_c mrt ctabs.(v).(k) ~time:t then Some (t, k)
         else go (k + 1)
       in
       go 0
@@ -249,7 +243,7 @@ let try_schedule ?counters ddg ~ii ~order ~md =
     in
     match found with
     | Some (t, k) ->
-        Mrt.reserve mrt ~op:v alternatives.(v).(k).Opcode.table ~time:t;
+        Mrt.reserve_c mrt ~op:v ctabs.(v).(k) ~time:t;
         time.(v) <- t;
         alt.(v) <- k;
         scheduled := v :: !scheduled;
@@ -278,6 +272,8 @@ let modulo_schedule ?(budget_ratio = Ims.default_budget_ratio)
   ignore budget_ratio;
   let counters = match counters with Some c -> c | None -> Counters.create () in
   let mii = Mii.compute ~counters ddg in
+  let alternatives = Prep.alternatives ddg in
+  let scratch = Mindist.scratch () in
   let rec attempt ii tried =
     if ii > mii.Mii.mii + max_delta_ii then
       {
@@ -291,9 +287,13 @@ let modulo_schedule ?(budget_ratio = Ims.default_budget_ratio)
       }
     else begin
       let before = counters.Counters.sched_steps in
-      let order = ordering ddg ~ii in
-      let md = Mindist.full ~counters ddg ~ii in
-      match try_schedule ~counters ddg ~ii ~order ~md with
+      (* One MinDist per attempt, shared between the ordering phase and
+         the placement bounds (the ordering's three derived metrics used
+         to recompute it, uncounted, on every candidate II). *)
+      let md = Mindist.full ~counters ~scratch ddg ~ii in
+      let order = ordering_md ddg ~md in
+      let ctabs = Prep.compile alternatives ~ii in
+      match try_schedule ~counters ddg ~ii ~order ~md ~ctabs with
       | Some schedule ->
           let steps_final = counters.Counters.sched_steps - before in
           counters.Counters.sched_steps_final <-

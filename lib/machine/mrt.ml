@@ -1,7 +1,29 @@
+(* Two-layer representation, chosen for the admission probe:
+
+   - [counts] is a flat [ii * nres] int matrix of occupancy counts; a
+     fits probe reads it directly and performs no allocation.
+   - [cells] is the matching matrix of occupant op-id lists, consulted
+     only by the displacement machinery ([conflicting_ops], [release])
+     and the printers — never by [fits].
+
+   Reservation tables are precompiled ({!compile}) into a flat
+   [(slot_offset, resource, mult)] int array (stride 3), with the
+   [(at mod ii, resource)] collapse done once instead of per probe:
+   two usages land in the same modulo cell iff their [at]s agree mod
+   [ii], independently of the issue time, so the collapse is a property
+   of the (table, ii) pair alone. *)
+
+type ctable = { c_ii : int; packed : int array }
+
 type t = {
   ii : int;
+  nres : int;
   caps : int array;
-  cells : int list array array;  (* cells.(slot).(resource) = occupying ops *)
+  counts : int array;  (* counts.(slot * nres + r) = occupancy of the cell *)
+  cells : int list array;  (* occupying ops of the cell, for eviction *)
+  mutable memo : (Reservation.t * ctable) list;
+      (* physical-equality cache backing the uncompiled API below; tables
+         are built once per machine and shared, so this stays tiny *)
 }
 
 let create machine ~ii =
@@ -9,56 +31,94 @@ let create machine ~ii =
   let nres = Machine.num_resources machine in
   {
     ii;
+    nres;
     caps = Array.map (fun (r : Resource.t) -> r.count) machine.Machine.resources;
-    cells = Array.init ii (fun _ -> Array.make nres []);
+    counts = Array.make (ii * nres) 0;
+    cells = Array.make (ii * nres) [];
+    memo = [];
   }
 
 let linear machine ~horizon = create machine ~ii:(max 1 horizon)
 let ii t = t.ii
 
-let slot_of t time =
+(* --- compilation --------------------------------------------------------- *)
+
+let compile ~ii (table : Reservation.t) =
+  if ii < 1 then invalid_arg "Mrt.compile: ii must be >= 1";
+  let triples = Reservation.collapse table ~modulus:ii in
+  let packed = Array.make (3 * List.length triples) 0 in
+  List.iteri
+    (fun i (slot, resource, mult) ->
+      packed.(3 * i) <- slot;
+      packed.((3 * i) + 1) <- resource;
+      packed.((3 * i) + 2) <- mult)
+    triples;
+  { c_ii = ii; packed }
+
+let compiled t table =
+  match List.assq_opt table t.memo with
+  | Some c -> c
+  | None ->
+      let c = compile ~ii:t.ii table in
+      t.memo <- (table, c) :: t.memo;
+      c
+
+let check_compiled t c =
+  if c.c_ii <> t.ii then
+    invalid_arg "Mrt: compiled table belongs to a different ii"
+
+(* --- the admission probe (allocation-free) ------------------------------- *)
+
+(* Top-level recursion on purpose: a local [let rec] capturing the
+   probe state compiles to a heap-allocated closure without flambda,
+   and the whole point of the compiled form is a zero-allocation probe
+   (asserted with Gc.allocated_bytes in the test suite). *)
+let rec fits_from p len counts caps nres ii time i =
+  i >= len
+  ||
+  let r = p.(i + 1) in
+  let idx = (((time + p.(i)) mod ii) * nres) + r in
+  counts.(idx) + p.(i + 2) <= caps.(r)
+  && fits_from p len counts caps nres ii time (i + 3)
+
+let fits_c t c ~time =
   if time < 0 then invalid_arg "Mrt: negative time";
-  time mod t.ii
+  check_compiled t c;
+  let p = c.packed in
+  fits_from p (Array.length p) t.counts t.caps t.nres t.ii time 0
 
-(* Demand of a reservation table translated to [time], as a list of
-   ((slot, resource), multiplicity) with no duplicate keys. *)
-let demand t (table : Reservation.t) ~time =
-  let tbl = Hashtbl.create 8 in
-  List.iter
-    (fun (u : Reservation.usage) ->
-      let key = (slot_of t (time + u.at), u.resource) in
-      let prev = Option.value ~default:0 (Hashtbl.find_opt tbl key) in
-      Hashtbl.replace tbl key (prev + 1))
-    table.usages;
-  Hashtbl.fold (fun key count acc -> (key, count) :: acc) tbl []
-
-let fits t table ~time =
-  List.for_all
-    (fun (((slot, resource), count) : (int * int) * int) ->
-      List.length t.cells.(slot).(resource) + count <= t.caps.(resource))
-    (demand t table ~time)
-
-let conflicting_ops t tables ~time =
+let conflicting_ops_c t ctabs ~time =
+  if time < 0 then invalid_arg "Mrt: negative time";
   let ops = ref [] in
-  List.iter
-    (fun table ->
-      List.iter
-        (fun (((slot, resource), count) : (int * int) * int) ->
-          let occupants = t.cells.(slot).(resource) in
-          if List.length occupants + count > t.caps.(resource) then
-            ops := occupants @ !ops)
-        (demand t table ~time))
-    tables;
+  Array.iter
+    (fun c ->
+      check_compiled t c;
+      let p = c.packed in
+      let i = ref 0 in
+      while !i < Array.length p do
+        let r = p.(!i + 1) in
+        let idx = (((time + p.(!i)) mod t.ii) * t.nres) + r in
+        if t.counts.(idx) + p.(!i + 2) > t.caps.(r) then
+          ops := t.cells.(idx) @ !ops;
+        i := !i + 3
+      done)
+    ctabs;
   List.sort_uniq compare !ops
 
-let reserve t ~op table ~time =
-  if not (fits t table ~time) then
+let reserve_c t ~op c ~time =
+  if not (fits_c t c ~time) then
     invalid_arg "Mrt.reserve: reservation does not fit";
-  List.iter
-    (fun (u : Reservation.usage) ->
-      let slot = slot_of t (time + u.at) in
-      t.cells.(slot).(u.resource) <- op :: t.cells.(slot).(u.resource))
-    table.Reservation.usages
+  let p = c.packed in
+  let i = ref 0 in
+  while !i < Array.length p do
+    let idx = (((time + p.(!i)) mod t.ii) * t.nres) + p.(!i + 1) in
+    let mult = p.(!i + 2) in
+    t.counts.(idx) <- t.counts.(idx) + mult;
+    for _ = 1 to mult do
+      t.cells.(idx) <- op :: t.cells.(idx)
+    done;
+    i := !i + 3
+  done
 
 let remove_once op occupants =
   let rec go = function
@@ -68,29 +128,45 @@ let remove_once op occupants =
   in
   go occupants
 
-let release t ~op table ~time =
-  List.iter
-    (fun (u : Reservation.usage) ->
-      let slot = slot_of t (time + u.at) in
-      t.cells.(slot).(u.resource) <- remove_once op t.cells.(slot).(u.resource))
-    table.Reservation.usages
+let release_c t ~op c ~time =
+  if time < 0 then invalid_arg "Mrt: negative time";
+  check_compiled t c;
+  let p = c.packed in
+  let i = ref 0 in
+  while !i < Array.length p do
+    let idx = (((time + p.(!i)) mod t.ii) * t.nres) + p.(!i + 1) in
+    let mult = p.(!i + 2) in
+    for _ = 1 to mult do
+      t.cells.(idx) <- remove_once op t.cells.(idx)
+    done;
+    t.counts.(idx) <- t.counts.(idx) - mult;
+    i := !i + 3
+  done
 
-let occupants t ~slot ~resource = t.cells.(slot mod t.ii).(resource)
+(* --- the Reservation.t front (memoized compilation) ---------------------- *)
+
+let fits t table ~time = fits_c t (compiled t table) ~time
+
+let conflicting_ops t tables ~time =
+  conflicting_ops_c t (Array.of_list (List.map (compiled t) tables)) ~time
+
+let reserve t ~op table ~time = reserve_c t ~op (compiled t table) ~time
+let release t ~op table ~time = release_c t ~op (compiled t table) ~time
+
+let occupants t ~slot ~resource = t.cells.(((slot mod t.ii) * t.nres) + resource)
 
 let pp ppf t =
   Format.fprintf ppf "MRT(ii=%d)@." t.ii;
-  Array.iteri
-    (fun slot row ->
-      let cells =
-        Array.to_list row
-        |> List.mapi (fun r ops ->
-               if ops = [] then None
-               else
-                 Some
-                   (Printf.sprintf "r%d:{%s}" r
-                      (String.concat "," (List.map string_of_int ops))))
-        |> List.filter_map Fun.id
-      in
-      if cells <> [] then
-        Format.fprintf ppf "  %3d | %s@." slot (String.concat " " cells))
-    t.cells
+  for slot = 0 to t.ii - 1 do
+    let cells = ref [] in
+    for r = t.nres - 1 downto 0 do
+      let ops = t.cells.((slot * t.nres) + r) in
+      if ops <> [] then
+        cells :=
+          Printf.sprintf "r%d:{%s}" r
+            (String.concat "," (List.map string_of_int ops))
+          :: !cells
+    done;
+    if !cells <> [] then
+      Format.fprintf ppf "  %3d | %s@." slot (String.concat " " !cells)
+  done

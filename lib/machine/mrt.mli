@@ -6,6 +6,16 @@
     ids of the occupying operations so that the scheduler can displace
     them; a cell may hold up to the resource's multiplicity.
 
+    Internally the table is split into an occupancy-{e count} matrix
+    (one flat int array, all the admission probe ever reads) and the
+    occupant op-list matrix (consulted only for displacement and
+    printing).  Reservation tables are {e precompiled} once per
+    (table, ii) pair into a flat [(slot_offset, resource, mult)] form so
+    that {!fits_c} — the innermost operation of FindTimeSlot — performs
+    zero heap allocation per probe.  The [Reservation.t]-taking
+    functions remain for convenience; they memoize the compilation per
+    table (by physical equality) inside the MRT.
+
     The same structure doubles as the linear schedule reservation table of
     acyclic list scheduling: build it with {!linear} and a horizon larger
     than any schedule time, and the modulo wrap never triggers. *)
@@ -19,6 +29,40 @@ val linear : Machine.t -> horizon:int -> t
 (** A non-wrapping table for acyclic scheduling of length [horizon]. *)
 
 val ii : t -> int
+
+(** {2 Precompiled reservation tables}
+
+    The hot path of the scheduler: compile each opcode alternative's
+    table once per (machine, II), then probe/commit with the compiled
+    form.  A [ctable] is only valid on MRTs of the [ii] it was compiled
+    for ([Invalid_argument] otherwise). *)
+
+type ctable
+(** A reservation table lowered to a flat [(slot_offset, resource,
+    multiplicity)] int array, with the modulo collapse of duplicate
+    [(at mod ii, resource)] cells already performed. *)
+
+val compile : ii:int -> Reservation.t -> ctable
+(** @raise Invalid_argument if [ii < 1]. *)
+
+val fits_c : t -> ctable -> time:int -> bool
+(** Allocation-free admission probe: true iff reserving the compiled
+    table translated to [time] exceeds no cell capacity. *)
+
+val reserve_c : t -> op:int -> ctable -> time:int -> unit
+(** @raise Invalid_argument if the reservation does not fit. *)
+
+val release_c : t -> op:int -> ctable -> time:int -> unit
+(** Undo a {!reserve_c} with identical arguments.
+    @raise Invalid_argument if [op] does not hold those cells. *)
+
+val conflicting_ops_c : t -> ctable array -> time:int -> int list
+(** As {!conflicting_ops}, over compiled alternatives. *)
+
+(** {2 The [Reservation.t] front}
+
+    Equivalent to compiling on first use (memoized per table inside the
+    MRT); fine for cold paths and tests. *)
 
 val fits : t -> Reservation.t -> time:int -> bool
 (** [fits t table ~time] is true iff reserving [table] translated to

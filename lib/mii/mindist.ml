@@ -6,14 +6,42 @@ type t = {
   ii : int;
   nodes : int array;
   index : int array;
-  dist : int array array;
+  m : int;
+  dist : int array;  (* m * m, row-major *)
 }
 
-let compute ?counters ddg ~nodes ~ii =
+(* Reusable buffers for the matrix and the inverse index.  Both
+   Recmii's feasibility search and the per-II attempt loops of the
+   schedulers re-run ComputeMinDist with different IIs; a scratch lets
+   each re-run reuse the previous allocation.  A [t] computed through a
+   scratch borrows these buffers — it is invalidated by the next
+   [compute] on the same scratch. *)
+type scratch = { mutable s_dist : int array; mutable s_index : int array }
+
+let scratch () = { s_dist = [||]; s_index = [||] }
+
+let dist_buffer scratch ~cells =
+  match scratch with
+  | None -> Array.make cells neg_inf
+  | Some s ->
+      if Array.length s.s_dist < cells then s.s_dist <- Array.make cells neg_inf
+      else Array.fill s.s_dist 0 cells neg_inf;
+      s.s_dist
+
+let index_buffer scratch ~n =
+  match scratch with
+  | None -> Array.make n (-1)
+  | Some s ->
+      if Array.length s.s_index < n then s.s_index <- Array.make n (-1)
+      else Array.fill s.s_index 0 n (-1);
+      s.s_index
+
+let compute ?counters ?scratch ddg ~nodes ~ii =
   let m = Array.length nodes in
-  let index = Array.make (Ddg.n_total ddg) (-1) in
+  let n = Ddg.n_total ddg in
+  let index = index_buffer scratch ~n in
   Array.iteri (fun row id -> index.(id) <- row) nodes;
-  let dist = Array.make_matrix m m neg_inf in
+  let dist = dist_buffer scratch ~cells:(m * m) in
   Array.iteri
     (fun row id ->
       List.iter
@@ -21,21 +49,25 @@ let compute ?counters ddg ~nodes ~ii =
           let col = index.(d.dst) in
           if col >= 0 then begin
             let w = d.delay - (ii * d.distance) in
-            if w > dist.(row).(col) then dist.(row).(col) <- w
+            if w > dist.((row * m) + col) then dist.((row * m) + col) <- w
           end)
         ddg.Ddg.succs.(id))
     nodes;
   let inner = ref 0 in
   for k = 0 to m - 1 do
+    let kbase = k * m in
     for i = 0 to m - 1 do
-      let dik = dist.(i).(k) in
-      if dik > neg_inf then
+      let ibase = i * m in
+      let dik = dist.(ibase + k) in
+      if dik > neg_inf then begin
+        (* One bump per j-iteration, exactly as the nested-loop form. *)
+        inner := !inner + m;
         for j = 0 to m - 1 do
-          incr inner;
-          let dkj = dist.(k).(j) in
-          if dkj > neg_inf && dik + dkj > dist.(i).(j) then
-            dist.(i).(j) <- dik + dkj
+          let dkj = dist.(kbase + j) in
+          if dkj > neg_inf && dik + dkj > dist.(ibase + j) then
+            dist.(ibase + j) <- dik + dkj
         done
+      end
     done
   done;
   (match counters with
@@ -43,22 +75,27 @@ let compute ?counters ddg ~nodes ~ii =
       c.Counters.mindist_inner <- c.Counters.mindist_inner + !inner;
       c.Counters.mindist_calls <- c.Counters.mindist_calls + 1
   | None -> ());
-  { ii; nodes; index; dist }
+  { ii; nodes; index; m; dist }
 
-let full ?counters ddg ~ii =
-  compute ?counters ddg ~nodes:(Array.init (Ddg.n_total ddg) Fun.id) ~ii
+let full ?counters ?scratch ddg ~ii =
+  compute ?counters ?scratch ddg ~nodes:(Array.init (Ddg.n_total ddg) Fun.id) ~ii
 
 let get t i j =
   let ri = t.index.(i) and rj = t.index.(j) in
   if ri < 0 || rj < 0 then invalid_arg "Mindist.get: id not covered";
-  t.dist.(ri).(rj)
+  t.dist.((ri * t.m) + rj)
 
 let max_diagonal t =
   let best = ref neg_inf in
-  Array.iteri (fun i _ -> if t.dist.(i).(i) > !best then best := t.dist.(i).(i)) t.nodes;
+  for i = 0 to t.m - 1 do
+    if t.dist.((i * t.m) + i) > !best then best := t.dist.((i * t.m) + i)
+  done;
   !best
 
 let feasible t = max_diagonal t <= 0
+
+let feasible_ii ?counters ?scratch ddg ~nodes ~ii =
+  feasible (compute ?counters ?scratch ddg ~nodes ~ii)
 
 let pp ppf t =
   Format.fprintf ppf "MinDist(ii=%d) over %d nodes@." t.ii
@@ -68,8 +105,8 @@ let pp ppf t =
       Format.fprintf ppf "  %3d |" id;
       Array.iteri
         (fun j _ ->
-          if t.dist.(i).(j) = neg_inf then Format.fprintf ppf "    ."
-          else Format.fprintf ppf " %4d" t.dist.(i).(j))
+          if t.dist.((i * t.m) + j) = neg_inf then Format.fprintf ppf "    ."
+          else Format.fprintf ppf " %4d" t.dist.((i * t.m) + j))
         t.nodes;
       Format.fprintf ppf "@.")
     t.nodes

@@ -19,14 +19,27 @@ type t = private {
   ii : int;
   nodes : int array;  (** Vertex ids covered, ascending. *)
   index : int array;  (** Inverse map: op id to row, or -1. *)
-  dist : int array array;
+  m : int;  (** [Array.length nodes]. *)
+  dist : int array;  (** Flat [m * m] matrix, row-major. *)
 }
 
-val compute : ?counters:Counters.t -> Ddg.t -> nodes:int array -> ii:int -> t
+type scratch
+(** Reusable matrix/index buffers.  MinDist is recomputed for every
+    candidate II by {!Recmii.first_feasible}'s binary search and by the
+    schedulers' per-II attempt loops; passing the same scratch to each
+    {!compute} reuses one allocation across the whole search.  A [t]
+    computed with a scratch borrows its buffers and is invalidated by
+    the next [compute] on that scratch. *)
+
+val scratch : unit -> scratch
+
+val compute :
+  ?counters:Counters.t -> ?scratch:scratch -> Ddg.t -> nodes:int array ->
+  ii:int -> t
 (** All-pairs MinDist over the sub-graph induced by [nodes] (edges with
     both endpoints inside), by max-plus Floyd-Warshall: O(|nodes|³). *)
 
-val full : ?counters:Counters.t -> Ddg.t -> ii:int -> t
+val full : ?counters:Counters.t -> ?scratch:scratch -> Ddg.t -> ii:int -> t
 (** MinDist over the whole graph including START and STOP. *)
 
 val get : t -> int -> int -> int
@@ -38,5 +51,11 @@ val max_diagonal : t -> int
 
 val feasible : t -> bool
 (** No positive diagonal entry (section 2.2's legality test). *)
+
+val feasible_ii :
+  ?counters:Counters.t -> ?scratch:scratch -> Ddg.t -> nodes:int array ->
+  ii:int -> bool
+(** [feasible (compute ...)] without retaining the matrix — the shape of
+    {!Recmii}'s feasibility queries. *)
 
 val pp : Format.formatter -> t -> unit

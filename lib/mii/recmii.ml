@@ -25,20 +25,21 @@ let ii_cap ddg =
     ddg.Ddg.succs;
   !total
 
-let scc_feasible ?counters ddg nodes ~ii =
-  Mindist.feasible (Mindist.compute ?counters ddg ~nodes ~ii)
+let scc_feasible ?counters ?scratch ddg nodes ~ii =
+  Mindist.feasible_ii ?counters ?scratch ddg ~nodes ~ii
 
 (* Smallest feasible II for one SCC, at least [start]: doubling to bracket,
-   then binary search (section 2.2). *)
-let first_feasible ?counters ddg nodes ~start ~cap =
-  if scc_feasible ?counters ddg nodes ~ii:start then start
+   then binary search (section 2.2).  The scratch lets every probe of the
+   search reuse one MinDist matrix allocation. *)
+let first_feasible ?counters ?scratch ddg nodes ~start ~cap =
+  if scc_feasible ?counters ?scratch ddg nodes ~ii:start then start
   else begin
     let bad = ref start and inc = ref 1 in
     while
       let candidate = !bad + !inc in
       if candidate > cap then
         invalid_arg "Recmii: zero-distance dependence circuit";
-      if scc_feasible ?counters ddg nodes ~ii:candidate then false
+      if scc_feasible ?counters ?scratch ddg nodes ~ii:candidate then false
       else begin
         bad := candidate;
         inc := !inc * 2;
@@ -51,7 +52,7 @@ let first_feasible ?counters ddg nodes ~start ~cap =
     (* Invariant: !bad infeasible, !good feasible. *)
     while !good - !bad > 1 do
       let mid = (!bad + !good) / 2 in
-      if scc_feasible ?counters ddg nodes ~ii:mid then good := mid
+      if scc_feasible ?counters ?scratch ddg nodes ~ii:mid then good := mid
       else bad := mid
     done;
     !good
@@ -60,10 +61,11 @@ let first_feasible ?counters ddg nodes ~start ~cap =
 let fold_sccs ?counters ddg ~start =
   let sccs = scc_of ?counters ddg in
   let cap = ii_cap ddg in
+  let scratch = Mindist.scratch () in
   Array.fold_left
     (fun acc members ->
       let nodes = Array.of_list members in
-      first_feasible ?counters ddg nodes ~start:acc ~cap)
+      first_feasible ?counters ~scratch ddg nodes ~start:acc ~cap)
     start sccs
 
 let by_mindist ?counters ddg = fold_sccs ?counters ddg ~start:1
@@ -71,9 +73,10 @@ let mii_from ?counters ddg ~resmii = fold_sccs ?counters ddg ~start:resmii
 
 let feasible ?counters ddg ~ii =
   let sccs = scc_of ?counters ddg in
+  let scratch = Mindist.scratch () in
   Array.for_all
     (fun members ->
-      scc_feasible ?counters ddg (Array.of_list members) ~ii)
+      scc_feasible ?counters ~scratch ddg (Array.of_list members) ~ii)
     sccs
 
 (* Parallel edges between consecutive circuit vertices multiply out into

@@ -1,0 +1,34 @@
+#!/bin/sh
+# Parallel batch determinism at corpus scale: the full Livermore suite
+# plus 100 synthetic loops, scheduled at --jobs 1 and --jobs 4, must
+# produce byte-identical reports AND byte-identical merged counter
+# summaries on stderr.  This is the determinism contract the hot-path
+# rewrite must not disturb: per-loop counters are sharded per worker and
+# merged in input order, so any scheduling or accounting divergence
+# between worker counts shows up here.
+set -eu
+
+IMSC="$1"
+
+mkdir -p corpus
+for loop in lfk01 lfk02 lfk03 lfk04 lfk05 lfk06 lfk07 lfk08 lfk09 lfk10 \
+            lfk11 lfk12 lfk13 lfk14a lfk14b lfk15 lfk17 lfk18a lfk18b \
+            lfk18c lfk19a lfk19b lfk20 lfk21 lfk22 lfk23 lfk24; do
+  "$IMSC" export "$loop" > "corpus/$loop.loop"
+done
+i=0
+while [ $i -lt 100 ]; do
+  "$IMSC" export "syn:$i" > "corpus/syn-$(printf %03d $i).loop"
+  i=$((i + 1))
+done
+
+"$IMSC" batch corpus --jobs 1 --report det-j1.jsonl 2> det-j1.stderr
+"$IMSC" batch corpus --jobs 4 --report det-j4.jsonl 2> det-j4.stderr
+
+cmp det-j1.jsonl det-j4.jsonl
+
+# The summary line names the worker and chunk counts, which legitimately
+# differ; the merged counter totals may not.
+grep '^merged counters' det-j1.stderr > det-j1.counters
+grep '^merged counters' det-j4.stderr > det-j4.counters
+cmp det-j1.counters det-j4.counters

@@ -6,6 +6,7 @@ let () =
       Test_ir.tests;
       Test_mii.tests;
       Test_core.tests;
+      Test_hotpath.tests;
       Test_pipeline.tests;
       Test_workloads.tests;
       Test_stats.tests;

@@ -1,0 +1,356 @@
+(* Guards for the hot-path rewrite of the scheduler inner loops.
+
+   Four layers of defence, from micro to macro:
+
+   - a property test driving the count-matrix MRT and the original
+     list-and-Hashtbl implementation ({!Mrt_ref}) with the same random
+     command sequences, requiring every observable to agree;
+   - a [Gc.allocated_bytes] assertion that the compiled admission probe
+     [Mrt.fits_c] allocates nothing;
+   - a counter-regression gate pinning the inner-loop work
+     (estart / findslot / mindist) of every Livermore kernel, so an
+     accidental algorithmic regression fails [dune runtest] rather than
+     only showing up in the benchmarks;
+   - golden decision traces: the exact place / evict / force sequence of
+     two Livermore kernels and one forced-placement-heavy synthetic
+     loop, byte-for-byte. *)
+
+open Ims_machine
+open Ims_core
+open Ims_workloads
+
+(* --- MRT oracle --------------------------------------------------------- *)
+
+let random_machine st =
+  let nres = 1 + Random.State.int st 3 in
+  let b = Machine.builder "oracle" in
+  for i = 0 to nres - 1 do
+    ignore
+      (Machine.add_resource b
+         (Printf.sprintf "r%d" i)
+         ~count:(1 + Random.State.int st 2))
+  done;
+  (Machine.finish b, nres)
+
+let random_table st nres =
+  let k = 1 + Random.State.int st 4 in
+  Reservation.make
+    (List.init k (fun _ -> (Random.State.int st nres, Random.State.int st 6)))
+
+let show_ops ops = String.concat "," (List.map string_of_int ops)
+
+(* One random session: a machine, a pool of tables compiled once, and a
+   command stream of probes, reservations, releases and conflict queries
+   applied in lockstep to [Mrt] and [Mrt_ref]. *)
+let oracle_session seed =
+  let st = Random.State.make [| seed |] in
+  let machine, nres = random_machine st in
+  let ii = 1 + Random.State.int st 8 in
+  let pool =
+    Array.init (3 + Random.State.int st 4) (fun _ -> random_table st nres)
+  in
+  let ctabs = Array.map (Mrt.compile ~ii) pool in
+  let t = Mrt.create machine ~ii in
+  let r = Mrt_ref.create machine ~ii in
+  let holdings = ref [] in
+  let next_op = ref 0 in
+  let fail fmt = Printf.ksprintf failwith fmt in
+  let steps = 60 + Random.State.int st 60 in
+  for step = 1 to steps do
+    match Random.State.int st 6 with
+    | 0 | 1 ->
+        let k = Random.State.int st (Array.length pool) in
+        let time = Random.State.int st 24 in
+        let expect = Mrt_ref.fits r pool.(k) ~time in
+        if Mrt.fits_c t ctabs.(k) ~time <> expect then
+          fail "seed %d step %d: fits_c disagrees (table %d, time %d)" seed
+            step k time;
+        if Mrt.fits t pool.(k) ~time <> expect then
+          fail "seed %d step %d: memoized fits disagrees (table %d, time %d)"
+            seed step k time
+    | 2 | 3 ->
+        let k = Random.State.int st (Array.length pool) in
+        let time = Random.State.int st 24 in
+        if Mrt_ref.fits r pool.(k) ~time then begin
+          let op = !next_op in
+          incr next_op;
+          Mrt_ref.reserve r ~op pool.(k) ~time;
+          Mrt.reserve_c t ~op ctabs.(k) ~time;
+          holdings := (op, k, time) :: !holdings
+        end
+    | 4 -> (
+        match !holdings with
+        | [] -> ()
+        | hs ->
+            let i = Random.State.int st (List.length hs) in
+            let ((op, k, time) as h) = List.nth hs i in
+            holdings := List.filter (( != ) h) hs;
+            Mrt_ref.release r ~op pool.(k) ~time;
+            Mrt.release_c t ~op ctabs.(k) ~time)
+    | _ ->
+        let time = Random.State.int st 24 in
+        let expect =
+          Mrt_ref.conflicting_ops r (Array.to_list pool) ~time
+        in
+        let got = Mrt.conflicting_ops_c t ctabs ~time in
+        if got <> expect then
+          fail "seed %d step %d: conflicting_ops disagrees at %d: {%s} vs {%s}"
+            seed step time (show_ops got) (show_ops expect);
+        if Mrt.conflicting_ops t (Array.to_list pool) ~time <> expect then
+          fail "seed %d step %d: memoized conflicting_ops disagrees at %d" seed
+            step time
+  done;
+  for slot = 0 to ii - 1 do
+    for resource = 0 to nres - 1 do
+      if
+        Mrt.occupants t ~slot ~resource <> Mrt_ref.occupants r ~slot ~resource
+      then fail "seed %d: occupants disagree at (%d, %d)" seed slot resource
+    done
+  done;
+  let printed = Format.asprintf "%a" Mrt.pp t in
+  let expected = Format.asprintf "%a" Mrt_ref.pp r in
+  if printed <> expected then
+    fail "seed %d: printed grids disagree:\n%s\nvs reference:\n%s" seed printed
+      expected;
+  true
+
+let prop_mrt_oracle =
+  QCheck.Test.make ~count:300 ~name:"mrt: count matrix agrees with reference"
+    QCheck.(int_bound 1_000_000)
+    oracle_session
+
+(* --- allocation-free admission probe ------------------------------------ *)
+
+(* [Gc.allocated_bytes] itself boxes its float result; measure that
+   overhead with an empty bracket and subtract it.  The probe loop runs
+   often enough that even a single word per probe would stand out as
+   hundreds of kilobytes. *)
+let test_fits_c_allocation_free () =
+  let b = Machine.builder "alloc" in
+  ignore (Machine.add_resource b "bus" ~count:2);
+  ignore (Machine.add_resource b "alu" ~count:1);
+  let machine = Machine.finish b in
+  let ii = 4 in
+  let t = Mrt.create machine ~ii in
+  let table = Reservation.make [ (0, 0); (1, 2); (0, 3); (1, 5) ] in
+  let c = Mrt.compile ~ii table in
+  Mrt.reserve_c t ~op:0 c ~time:0;
+  let probes = 100_000 in
+  (* Warm-up, so any lazy one-time allocation is off the books. *)
+  for i = 0 to 99 do
+    ignore (Sys.opaque_identity (Mrt.fits_c t c ~time:(i land 7)))
+  done;
+  let overhead =
+    let a = Gc.allocated_bytes () in
+    let b = Gc.allocated_bytes () in
+    b -. a
+  in
+  let before = Gc.allocated_bytes () in
+  for i = 0 to probes - 1 do
+    ignore (Sys.opaque_identity (Mrt.fits_c t c ~time:(i land 7)))
+  done;
+  let after = Gc.allocated_bytes () in
+  let per_probe = (after -. before -. overhead) /. float_of_int probes in
+  if per_probe > 0.01 then
+    Alcotest.failf "Mrt.fits_c allocates %.3f bytes per probe" per_probe
+
+(* --- counter-regression gate -------------------------------------------- *)
+
+(* Inner-loop work of the full IMS run (MII computation included) on
+   every Livermore kernel, pinned at the values the rewrite achieves on
+   the Cydra 5 model: (estart_inner, findslot_inner, mindist_inner).
+   These are exact-determinism ceilings — the scheduler is deterministic,
+   so exceeding one means an algorithmic regression, not noise. *)
+let lfk_ceilings =
+  [
+    ("lfk01", (51, 23, 5));
+    ("lfk02", (42, 20, 5));
+    ("lfk03", (29, 12, 7));
+    ("lfk04", (29, 12, 7));
+    ("lfk05", (36, 14, 52));
+    ("lfk06", (37, 14, 444));
+    ("lfk07", (126, 85, 11));
+    ("lfk08", (168, 141, 13));
+    ("lfk09", (142, 105, 12));
+    ("lfk10", (158, 158, 19));
+    ("lfk11", (26, 11, 7));
+    ("lfk12", (32, 14, 4));
+    ("lfk13", (97, 45, 6));
+    ("lfk14a", (62, 25, 5));
+    ("lfk14b", (64, 34, 4));
+    ("lfk15", (79, 35, 4));
+    ("lfk17", (54, 19, 1444));
+    ("lfk18a", (86, 50, 9));
+    ("lfk18b", (103, 67, 11));
+    ("lfk18c", (61, 32, 7));
+    ("lfk19a", (36, 14, 52));
+    ("lfk19b", (36, 14, 52));
+    ("lfk20", (60, 29, 485));
+    ("lfk21", (36, 15, 8));
+    ("lfk22", (60, 34, 6));
+    ("lfk23", (110, 54, 3465));
+    ("lfk24", (44, 15, 682));
+  ]
+
+let test_counter_ceilings () =
+  let machine = Machine.cydra5 () in
+  List.iter
+    (fun (name, (estart, findslot, mindist)) ->
+      let ddg = Lfk.build machine name in
+      let counters = Ims_mii.Counters.create () in
+      let out = Ims.modulo_schedule ~counters ddg in
+      Alcotest.(check bool) (name ^ " schedules") true (out.Ims.schedule <> None);
+      let gate what ceiling actual =
+        if actual > ceiling then
+          Alcotest.failf "%s: %s_inner regressed: %d > ceiling %d" name what
+            actual ceiling
+      in
+      gate "estart" estart counters.Ims_mii.Counters.estart_inner;
+      gate "findslot" findslot counters.Ims_mii.Counters.findslot_inner;
+      gate "mindist" mindist counters.Ims_mii.Counters.mindist_inner)
+    lfk_ceilings
+
+(* --- golden decision traces --------------------------------------------- *)
+
+let decision_string (e : Ims_obs.Event.t) =
+  match e.payload with
+  | Place { op; time; alt; estart; forced } ->
+      Some
+        (Printf.sprintf "%s op=%d t=%d alt=%d e=%d"
+           (if forced then "force" else "place")
+           op time alt estart)
+  | Evict { op; by; time; reason } ->
+      Some
+        (Printf.sprintf "evict op=%d by=%d t=%d %s" op by time
+           (match reason with
+           | Ims_obs.Event.Dependence -> "dependence"
+           | Ims_obs.Event.Resource -> "resource"))
+  | _ -> None
+
+let check_decisions name ddg expected =
+  let trace = Ims_obs.Trace.create () in
+  let out = Ims.modulo_schedule ~trace ddg in
+  Alcotest.(check bool) (name ^ " schedules") true (out.Ims.schedule <> None);
+  let got = List.filter_map decision_string (Ims_obs.Trace.events trace) in
+  Alcotest.(check (list string)) (name ^ " decision sequence") expected got
+
+(* lfk20 (first-order recurrence through a divide): the long-latency
+   chain drags a cascade of dependence evictions behind it. *)
+let test_golden_trace_lfk20 () =
+  check_decisions "lfk20"
+    (Lfk.build (Machine.cydra5 ()) "lfk20")
+    [
+      "place op=1 t=0 alt=0 e=0"; "place op=5 t=3 alt=0 e=3";
+      "place op=2 t=0 alt=0 e=0"; "place op=3 t=1 alt=0 e=0";
+      "place op=6 t=3 alt=0 e=3"; "place op=7 t=4 alt=0 e=4";
+      "place op=8 t=0 alt=0 e=0"; "place op=9 t=23 alt=0 e=23";
+      "place op=10 t=27 alt=0 e=27"; "place op=11 t=24 alt=0 e=24";
+      "place op=12 t=37 alt=0 e=32"; "evict op=8 by=12 t=0 dependence";
+      "place op=8 t=23 alt=0 e=23"; "evict op=9 by=8 t=23 dependence";
+      "place op=9 t=28 alt=0 e=28"; "evict op=10 by=9 t=27 dependence";
+      "place op=10 t=32 alt=0 e=32"; "place op=14 t=1 alt=0 e=0";
+      "place op=15 t=4 alt=0 e=4"; "place op=16 t=8 alt=0 e=8";
+      "place op=4 t=2 alt=0 e=0"; "place op=13 t=59 alt=0 e=59";
+      "place op=17 t=60 alt=0 e=60";
+    ]
+
+(* lfk23 (2-D implicit hydrodynamics, recurrence through memory). *)
+let test_golden_trace_lfk23 () =
+  check_decisions "lfk23"
+    (Lfk.build (Machine.cydra5 ()) "lfk23")
+    [
+      "place op=1 t=0 alt=0 e=0"; "place op=3 t=0 alt=0 e=0";
+      "place op=5 t=1 alt=0 e=0"; "place op=7 t=1 alt=0 e=0";
+      "place op=2 t=3 alt=0 e=3"; "place op=4 t=3 alt=0 e=3";
+      "place op=6 t=4 alt=0 e=4"; "place op=8 t=4 alt=0 e=4";
+      "place op=9 t=2 alt=0 e=0"; "place op=11 t=2 alt=0 e=0";
+      "place op=10 t=5 alt=0 e=5"; "place op=12 t=5 alt=0 e=5";
+      "place op=13 t=3 alt=0 e=0"; "place op=14 t=6 alt=0 e=6";
+      "place op=15 t=23 alt=0 e=23"; "place op=16 t=24 alt=0 e=24";
+      "place op=17 t=29 alt=0 e=29"; "place op=18 t=25 alt=0 e=25";
+      "place op=25 t=3 alt=0 e=0"; "place op=19 t=33 alt=0 e=33";
+      "place op=26 t=6 alt=0 e=6"; "place op=20 t=37 alt=0 e=37";
+      "place op=27 t=10 alt=0 e=10"; "place op=21 t=41 alt=0 e=41";
+      "place op=22 t=46 alt=0 e=46"; "place op=23 t=4 alt=0 e=0";
+      "place op=24 t=53 alt=0 e=50"; "evict op=6 by=24 t=4 dependence";
+      "place op=6 t=7 alt=0 e=7"; "evict op=16 by=6 t=24 dependence";
+      "place op=16 t=27 alt=0 e=27"; "evict op=17 by=16 t=29 dependence";
+      "place op=17 t=32 alt=0 e=32"; "evict op=19 by=17 t=33 dependence";
+      "place op=19 t=36 alt=0 e=36"; "evict op=20 by=19 t=37 dependence";
+      "place op=20 t=40 alt=0 e=40"; "evict op=21 by=20 t=41 dependence";
+      "place op=21 t=44 alt=0 e=44"; "evict op=22 by=21 t=46 dependence";
+      "place op=22 t=49 alt=0 e=49"; "place op=28 t=54 alt=0 e=54";
+    ]
+
+(* A synthetic loop whose resource pressure exercises forced placement:
+   both force events and resource-reason evictions appear. *)
+let test_golden_trace_forced () =
+  check_decisions "syn:22"
+    (Synthetic.generate (Machine.cydra5 ()) (Random.State.make [| 22 |]))
+    [
+      "place op=1 t=0 alt=0 e=0"; "place op=2 t=3 alt=0 e=3";
+      "place op=7 t=0 alt=0 e=0"; "place op=8 t=3 alt=0 e=3";
+      "place op=9 t=7 alt=0 e=7"; "place op=3 t=0 alt=1 e=0";
+      "evict op=8 by=4 t=3 resource"; "force op=4 t=23 alt=0 e=23";
+      "evict op=3 by=8 t=0 resource"; "force op=8 t=4 alt=0 e=3";
+      "evict op=9 by=8 t=7 dependence"; "place op=9 t=8 alt=0 e=8";
+      "place op=3 t=1 alt=0 e=0"; "place op=5 t=1 alt=0 e=0";
+      "place op=6 t=4 alt=0 e=4"; "place op=10 t=27 alt=0 e=27";
+    ]
+
+(* --- indexed ready set --------------------------------------------------- *)
+
+(* The tournament tree against the obvious list implementation: after any
+   add/remove sequence the reported minimum present rank, cardinality and
+   membership agree. *)
+let prop_ready_tree =
+  QCheck.Test.make ~count:300 ~name:"ready: tournament tree agrees with list"
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let st = Random.State.make [| seed |] in
+      let n = 1 + Random.State.int st 40 in
+      let t = Ready.create n in
+      let present = Array.make n false in
+      let steps = 20 + Random.State.int st 80 in
+      for _ = 1 to steps do
+        let r = Random.State.int st n in
+        if Random.State.bool st then begin
+          Ready.add t r;
+          present.(r) <- true
+        end
+        else begin
+          Ready.remove t r;
+          present.(r) <- false
+        end;
+        let naive_min = ref (-1) in
+        for i = n - 1 downto 0 do
+          if present.(i) then naive_min := i
+        done;
+        let naive_card =
+          Array.fold_left (fun acc p -> if p then acc + 1 else acc) 0 present
+        in
+        if Ready.min_rank t <> !naive_min then
+          failwith
+            (Printf.sprintf "seed %d: min_rank %d <> %d" seed (Ready.min_rank t)
+               !naive_min);
+        if Ready.cardinal t <> naive_card then
+          failwith (Printf.sprintf "seed %d: cardinal disagrees" seed);
+        if Ready.mem t r <> present.(r) then
+          failwith (Printf.sprintf "seed %d: mem disagrees" seed)
+      done;
+      true)
+
+let tests =
+  ( "hotpath",
+    [
+      QCheck_alcotest.to_alcotest prop_mrt_oracle;
+      Alcotest.test_case "fits_c is allocation-free" `Quick
+        test_fits_c_allocation_free;
+      Alcotest.test_case "lfk inner-loop counter ceilings" `Slow
+        test_counter_ceilings;
+      Alcotest.test_case "golden trace: lfk20" `Quick test_golden_trace_lfk20;
+      Alcotest.test_case "golden trace: lfk23" `Quick test_golden_trace_lfk23;
+      Alcotest.test_case "golden trace: forced placement (syn:22)" `Quick
+        test_golden_trace_forced;
+      QCheck_alcotest.to_alcotest prop_ready_tree;
+    ] )
