@@ -40,6 +40,8 @@ type opts = {
   jobs : int;
   metrics_file : string option;
   bench_json : string option;
+  journal : string option;
+  resume : string option;
 }
 
 let opts =
@@ -47,13 +49,15 @@ let opts =
     Printf.eprintf "bench: %s\n" msg;
     prerr_endline
       "usage: dune exec bench/main.exe -- [--quick] [--jobs N] [--metrics \
-       FILE] [--bench-json FILE]";
+       FILE] [--bench-json FILE] [--journal FILE] [--resume FILE]";
     exit 2
   in
   let quick = ref false in
   let jobs = ref (Ims_exec.Exec.default_jobs ()) in
   let metrics = ref None in
   let bench_json = ref None in
+  let journal = ref None in
+  let resume = ref None in
   let argc = Array.length Sys.argv in
   let value flag i =
     if i + 1 >= argc then usage_exit (flag ^ " needs a value")
@@ -79,14 +83,24 @@ let opts =
       | "--bench-json" ->
           bench_json := Some (value "--bench-json" i);
           scan (i + 2)
+      | "--journal" ->
+          journal := Some (value "--journal" i);
+          scan (i + 2)
+      | "--resume" ->
+          resume := Some (value "--resume" i);
+          scan (i + 2)
       | other -> usage_exit (Printf.sprintf "unknown argument %S" other)
   in
   scan 1;
+  if !journal <> None && !resume <> None then
+    usage_exit "--journal and --resume are mutually exclusive";
   {
     quick = !quick;
     jobs = !jobs;
     metrics_file = !metrics;
     bench_json = !bench_json;
+    journal = !journal;
+    resume = !resume;
   }
 
 let quick = opts.quick
@@ -187,6 +201,167 @@ let measure_case ~budget_ratio (case : Suite.case) =
     scc_sizes;
     counters;
   }
+
+(* --journal FILE / --resume FILE: crash-safe journaling of the measure
+   phase (the dominant cost of a full run).  One fsync'd JSONL record
+   per measured loop; --resume replays journaled records (the suite
+   cases are regenerated deterministically, so a record is keyed by its
+   index) and measures only the rest, losing at most one loop of work
+   to a crash.  The manifest pins suite size, quickness, budget, and
+   the machine model; resume refuses on mismatch. *)
+
+let record_to_json r =
+  let open Ims_obs in
+  Json.Obj
+    [
+      ("n", Json.Int r.n);
+      ("resmii", Json.Int r.mii.Mii.resmii);
+      ("recmii", Json.Int r.mii.Mii.recmii);
+      ("mii", Json.Int r.mii.Mii.mii);
+      ("ii", Json.Int r.ii);
+      ("sl", Json.Int r.sl);
+      ("sl_lb", Json.Int r.sl_lb);
+      ("min_sl", Json.Int r.min_sl);
+      ("steps_final", Json.Int r.steps_final);
+      ("steps_total", Json.Int r.steps_total);
+      ("nontrivial_sccs", Json.Int r.nontrivial_sccs);
+      ("scc_sizes", Json.List (List.map (fun s -> Json.Int s) r.scc_sizes));
+      ( "counters",
+        Json.Obj
+          (List.map (fun (k, v) -> (k, Json.Int v)) (Counters.to_assoc r.counters))
+      );
+    ]
+
+let record_of_json (case : Suite.case) j =
+  let open Ims_obs in
+  let kvs =
+    match j with
+    | Json.Obj kvs -> kvs
+    | _ -> failwith "bench: malformed journal record"
+  in
+  let int k =
+    match List.assoc_opt k kvs with
+    | Some (Json.Int v) -> v
+    | _ -> failwith (Printf.sprintf "bench: journal record missing %S" k)
+  in
+  let counters = Counters.create () in
+  (match List.assoc_opt "counters" kvs with
+  | Some (Json.Obj cs) ->
+      let get k =
+        match List.assoc_opt k cs with Some (Json.Int v) -> v | _ -> 0
+      in
+      counters.Counters.scc_steps <- get "scc";
+      counters.Counters.resmii_steps <- get "resmii";
+      counters.Counters.mindist_inner <- get "mindist";
+      counters.Counters.mindist_calls <- get "mindist_calls";
+      counters.Counters.heightr_inner <- get "heightr";
+      counters.Counters.estart_inner <- get "estart";
+      counters.Counters.findslot_inner <- get "findslot";
+      counters.Counters.sched_steps <- get "sched";
+      counters.Counters.sched_steps_final <- get "sched_final"
+  | _ -> ());
+  let scc_sizes =
+    match List.assoc_opt "scc_sizes" kvs with
+    | Some (Json.List l) ->
+        List.map (function Json.Int v -> v | _ -> 0) l
+    | _ -> []
+  in
+  {
+    case;
+    n = int "n";
+    mii =
+      { Mii.resmii = int "resmii"; recmii = int "recmii"; mii = int "mii" };
+    ii = int "ii";
+    sl = int "sl";
+    sl_lb = int "sl_lb";
+    min_sl = int "min_sl";
+    steps_final = int "steps_final";
+    steps_total = int "steps_total";
+    nontrivial_sccs = int "nontrivial_sccs";
+    scc_sizes;
+    counters;
+  }
+
+let measure_records cases =
+  match (opts.journal, opts.resume) with
+  | None, None -> pmap (measure_case ~budget_ratio:6.0) cases
+  | _ ->
+      let module J = Ims_exec.Journal in
+      let hash =
+        J.manifest_hash
+          [
+            "bench-measure";
+            string_of_int suite_count;
+            string_of_bool quick;
+            "budget=6.0";
+            Format.asprintf "%a" Machine.pp machine;
+          ]
+      in
+      let n = List.length cases in
+      let completed : (int, Ims_obs.Json.t) Hashtbl.t = Hashtbl.create 97 in
+      (match opts.resume with
+      | None -> ()
+      | Some path -> (
+          match J.read ~path with
+          | Error msg -> failwith ("bench: cannot resume: " ^ msg)
+          | Ok r ->
+              if r.J.manifest.J.tool <> "bench-measure" then
+                failwith
+                  (Printf.sprintf "bench: %s is a %S journal, not a \
+                                   bench-measure one" path r.J.manifest.J.tool);
+              if r.J.manifest.J.hash <> hash then
+                failwith
+                  (Printf.sprintf
+                     "bench: manifest mismatch: journal %s was written with \
+                      a different suite, flags, or machine — refusing to \
+                      reuse its results"
+                     path);
+              if r.J.torn then
+                Printf.eprintf "[bench] ignoring torn final record in %s\n%!"
+                  path;
+              List.iter
+                (fun (i, line) ->
+                  if i >= 0 && i < n then Hashtbl.replace completed i line)
+                r.J.entries;
+              Printf.eprintf
+                "[bench] resuming — %d of %d loop(s) already journaled\n%!"
+                (Hashtbl.length completed) n));
+      let writer =
+        match (opts.resume, opts.journal) with
+        | Some path, _ -> J.reopen ~path
+        | None, Some path ->
+            J.create ~path
+              { J.version = J.format_version; tool = "bench-measure"; hash;
+                jobs = n }
+        | None, None -> assert false
+      in
+      let indexed = List.mapi (fun i c -> (i, c)) cases in
+      let pending =
+        List.filter (fun (i, _) -> not (Hashtbl.mem completed i)) indexed
+      in
+      let pending_arr = Array.of_list pending in
+      let outcomes, _, _ =
+        Ims_exec.Exec.run ~jobs
+          ~on_result:(fun i outcome ->
+            match outcome with
+            | Ims_exec.Outcome.Done r ->
+                J.append writer ~index:(fst pending_arr.(i)) (record_to_json r)
+            | _ -> ())
+          ~f:(fun _shard (_, case) -> measure_case ~budget_ratio:6.0 case)
+          pending
+      in
+      J.close writer;
+      let fresh : (int, record) Hashtbl.t = Hashtbl.create 97 in
+      List.iter2
+        (fun (i, _) o ->
+          Hashtbl.replace fresh i (Ims_exec.Outcome.get ~job:i o))
+        pending outcomes;
+      List.map
+        (fun (i, case) ->
+          match Hashtbl.find_opt fresh i with
+          | Some r -> r
+          | None -> record_of_json case (Hashtbl.find completed i))
+        indexed
 
 let dump_metrics file records =
   let open Ims_obs in
@@ -1293,7 +1468,7 @@ let bechamel () =
 
 (* ----------------------------------------------------------------------- *)
 
-let () =
+let main () =
   Printf.printf
     "Iterative modulo scheduling — evaluation harness (%d-loop suite%s)\n"
     suite_count
@@ -1306,8 +1481,7 @@ let () =
         Suite.cases ~machine ~count:suite_count ~jobs ())
   in
   let records =
-    timed "measure (table 3)" (fun () ->
-        pmap (measure_case ~budget_ratio:6.0) cases)
+    timed "measure (table 3)" (fun () -> measure_records cases)
   in
   Option.iter (fun file -> dump_metrics file records) metrics_file;
   table3 records;
@@ -1332,3 +1506,11 @@ let () =
   if not quick then bechamel ();
   Option.iter (fun file -> dump_bench_json file records) bench_json_file;
   section "DONE"
+
+(* Journal/resume errors are reported via [failwith] with a "bench: "
+   prefix; render them as one line and exit 1 rather than letting the
+   exception escape as a Fatal error with an escaped payload. *)
+let () =
+  try main () with Failure msg ->
+    prerr_endline msg;
+    exit 1

@@ -565,8 +565,29 @@ let cmd_simulate =
 (* Schedule every loop dump in the given files/directories across
    domains (Ims_exec).  One JSONL line per loop, in input order — byte
    identical at any --jobs; casualties (parse errors, budget
-   exhaustion, timeouts) are contained per loop and summarised on
-   stderr, and the exit code reports them. *)
+   exhaustion, timeouts, cancelled deadlines) are contained per loop
+   and summarised on stderr, and the exit code reports them.
+
+   Resilience: --deadline arms a cooperative per-loop preemption token
+   (escalated by --escalate on each retry), --retries re-runs transient
+   and resource casualties, --journal/--resume give crash-safe restart
+   with a final report byte-identical to an uninterrupted run,
+   --quarantine dumps the loops that stayed casualties after every
+   retry, and --max-failures fail-fasts the whole run through the
+   run-level cancellation token.  The --inject-* flags are test hooks
+   that fake a hung or flaky loop by name. *)
+
+let read_file_bytes path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let has_substring s sub =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
 let cmd_batch =
   let paths_arg =
     let doc =
@@ -592,13 +613,110 @@ let cmd_batch =
     in
     Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"S" ~doc)
   in
+  let deadline_arg =
+    let doc =
+      "Preemptive per-loop wall-clock limit in seconds: the scheduler \
+       polls a cancellation token and aborts the loop mid-search as \
+       cancelled.  Bounds wall clock (to polling granularity), unlike \
+       the soft --timeout."
+    in
+    Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"S" ~doc)
+  in
+  let retries_arg =
+    let doc =
+      "Attempts per loop (default 1 = no retry).  Transient failures \
+       back off exponentially; cancelled/timed-out attempts escalate \
+       the deadline by --escalate."
+    in
+    Arg.(value & opt int 1 & info [ "retries" ] ~docv:"N" ~doc)
+  in
+  let backoff_arg =
+    let doc = "Initial retry backoff in seconds (doubles per attempt)." in
+    Arg.(value & opt float 0.05 & info [ "backoff" ] ~docv:"S" ~doc)
+  in
+  let escalate_arg =
+    let doc = "Deadline multiplier per cancelled/timed-out attempt." in
+    Arg.(value & opt float 2.0 & info [ "escalate" ] ~docv:"F" ~doc)
+  in
   let report_arg =
     let doc = "Write the per-loop JSONL report to $(docv) (default stdout)." in
     Arg.(value & opt (some string) None & info [ "report" ] ~docv:"FILE" ~doc)
   in
-  let run model paths jobs budget max_delta_ii timeout report =
+  let journal_arg =
+    let doc =
+      "Append every completed loop to a crash-safe journal at $(docv) \
+       (fsync'd JSONL; survives SIGKILL with at most one torn line)."
+    in
+    Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"FILE" ~doc)
+  in
+  let resume_arg =
+    let doc =
+      "Resume from the journal at $(docv): loops already journaled are \
+       not re-run, their stored report lines are replayed verbatim, and \
+       new completions append to the same journal.  Refuses a journal \
+       whose manifest hash does not match this run's machine, flags, \
+       and corpus."
+    in
+    Arg.(value & opt (some string) None & info [ "resume" ] ~docv:"FILE" ~doc)
+  in
+  let quarantine_arg =
+    let doc =
+      "Write the paths of loops that stayed casualties after every \
+       retry (poison inputs) to $(docv), one per line."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "quarantine" ] ~docv:"FILE" ~doc)
+  in
+  let max_failures_arg =
+    let doc =
+      "Fail fast: after more than $(docv) casualties, cancel every \
+       outstanding loop through the run-level token and exit."
+    in
+    Arg.(value & opt (some int) None & info [ "max-failures" ] ~docv:"N" ~doc)
+  in
+  let inject_spin_arg =
+    let doc =
+      "Test hook: make the loop named NAME busy-wait S seconds \
+       (polling its cancellation token) before scheduling."
+    in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "inject-spin" ] ~docv:"NAME:S" ~doc)
+  in
+  let inject_flaky_arg =
+    let doc =
+      "Test hook: make the loop named NAME fail with a transient error \
+       on its first K attempts."
+    in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "inject-flaky" ] ~docv:"NAME:K" ~doc)
+  in
+  let run model paths jobs budget max_delta_ii timeout deadline retries backoff
+      escalate report journal resume quarantine max_failures inject_spin
+      inject_flaky =
     wrap_code (fun () ->
         let machine = machine_of model in
+        let parse_inject flag = function
+          | None -> None
+          | Some s -> (
+              match String.rindex_opt s ':' with
+              | None ->
+                  failwith
+                    (Printf.sprintf "batch: --%s expects NAME:VALUE" flag)
+              | Some i -> (
+                  let name = String.sub s 0 i in
+                  let v = String.sub s (i + 1) (String.length s - i - 1) in
+                  match float_of_string_opt v with
+                  | Some f -> Some (name, f)
+                  | None ->
+                      failwith
+                        (Printf.sprintf "batch: --%s: bad value %S" flag v)))
+        in
+        let inject_spin = parse_inject "inject-spin" inject_spin in
+        let inject_flaky = parse_inject "inject-flaky" inject_flaky in
         let inputs =
           List.concat_map
             (fun path ->
@@ -615,86 +733,300 @@ let cmd_batch =
             paths
         in
         if inputs = [] then failwith "batch: no loop dumps found";
-        let schedule_one (shard : Ims_exec.Shard.t) (_, path) =
+        let n = List.length inputs in
+        (* The manifest hash pins everything a journaled result depends
+           on: machine model, scheduling and resilience flags, and the
+           corpus bytes themselves.  Resume refuses on any mismatch. *)
+        let manifest_hash =
+          Ims_exec.Journal.manifest_hash
+            (Format.asprintf "%a" Machine.pp machine
+            :: string_of_float budget :: string_of_int max_delta_ii
+            :: (match timeout with None -> "-" | Some t -> string_of_float t)
+            :: (match deadline with None -> "-" | Some d -> string_of_float d)
+            :: string_of_int retries :: string_of_float escalate
+            :: List.concat_map
+                 (fun (name, path) -> [ name; read_file_bytes path ])
+                 inputs)
+        in
+        if resume <> None && journal <> None then
+          failwith
+            "batch: --journal and --resume are mutually exclusive (resume \
+             appends to the resumed journal)";
+        let completed : (int, Json.t) Hashtbl.t = Hashtbl.create 97 in
+        (match resume with
+        | None -> ()
+        | Some path -> (
+            match Ims_exec.Journal.read ~path with
+            | Error msg ->
+                failwith (Printf.sprintf "batch: cannot resume: %s" msg)
+            | Ok r ->
+                if r.Ims_exec.Journal.manifest.Ims_exec.Journal.tool
+                   <> "imsc-batch"
+                then
+                  failwith
+                    (Printf.sprintf
+                       "batch: %s is a %S journal, not an imsc-batch one" path
+                       r.Ims_exec.Journal.manifest.Ims_exec.Journal.tool);
+                if
+                  r.Ims_exec.Journal.manifest.Ims_exec.Journal.hash
+                  <> manifest_hash
+                then
+                  failwith
+                    (Printf.sprintf
+                       "batch: manifest mismatch: journal %s was written \
+                        with a different machine, flags, or corpus — \
+                        refusing to reuse its results (journal hash %s, \
+                        this run %s)"
+                       path
+                       r.Ims_exec.Journal.manifest.Ims_exec.Journal.hash
+                       manifest_hash);
+                if r.Ims_exec.Journal.torn then
+                  Printf.eprintf
+                    "imsc batch: ignoring torn final record in %s\n" path;
+                List.iter
+                  (fun (i, line) ->
+                    if i >= 0 && i < n then Hashtbl.replace completed i line)
+                  r.Ims_exec.Journal.entries;
+                Printf.eprintf
+                  "imsc batch: resuming — %d of %d job(s) already journaled\n"
+                  (Hashtbl.length completed) n));
+        let writer =
+          match (resume, journal) with
+          | Some path, _ -> Some (Ims_exec.Journal.reopen ~path)
+          | None, Some path ->
+              Some
+                (Ims_exec.Journal.create ~path
+                   {
+                     Ims_exec.Journal.version = Ims_exec.Journal.format_version;
+                     tool = "imsc-batch";
+                     hash = manifest_hash;
+                     jobs = n;
+                   })
+          | None, None -> None
+        in
+        let pending =
+          List.filteri
+            (fun i _ -> not (Hashtbl.mem completed i))
+            (List.mapi (fun i input -> (i, input)) inputs)
+        in
+        let schedule_one (shard : Ims_exec.Shard.t) (_, (name, path)) =
           (* A parse error propagates and becomes this loop's Failed
              outcome (with file and line via the registered printer); a
-             scheduling casualty degrades to the list schedule. *)
+             scheduling casualty degrades to the list schedule; a fired
+             deadline escapes as Cancel.Cancelled and becomes the
+             Cancelled outcome. *)
+          (match inject_flaky with
+          | Some (fname, k)
+            when fname = name
+                 && float_of_int shard.Ims_exec.Shard.attempt <= k ->
+              failwith
+                (Printf.sprintf "transient injected fault (attempt %d)"
+                   shard.Ims_exec.Shard.attempt)
+          | _ -> ());
+          (match inject_spin with
+          | Some (sname, secs) when sname = name ->
+              let stop = Unix.gettimeofday () +. secs in
+              while Unix.gettimeofday () < stop do
+                Cancel.poll shard.Ims_exec.Shard.cancel
+              done
+          | _ -> ());
           let ddg = Loop_parse.parse_file machine path in
           let h =
             Ims_check.Fallback.modulo_schedule_or_fallback
               ~budget_ratio:budget ~max_delta_ii
               ~counters:shard.Ims_exec.Shard.counters
-              ~trace:shard.Ims_exec.Shard.trace ddg
+              ~trace:shard.Ims_exec.Shard.trace
+              ~cancel:shard.Ims_exec.Shard.cancel ddg
           in
           ( h,
             Ims_core.Schedule.length h.Ims_check.Fallback.schedule,
             Ddg.n_real ddg )
         in
-        let outcomes, merged, stats =
-          Ims_exec.Exec.run ~jobs ?timeout ~timer:Unix.gettimeofday
-            ~f:schedule_one inputs
+        (* Rendering is pure per (input, outcome), so the line journaled
+           at completion time and the line in the final report are the
+           same bytes.  Quarantined loops (any final non-ok outcome)
+           additionally carry the acyclic fallback schedule when the
+           loop at least parses — the run still ships a correct, checked
+           schedule for a loop whose pipelining was cancelled. *)
+        let render (name, path) outcome =
+          let extra =
+            match outcome with
+            | Ims_exec.Outcome.Done _ -> []
+            | Ims_exec.Outcome.Cancelled { elapsed; limit } ->
+                let fb =
+                  match Loop_parse.parse_file machine path with
+                  | exception _ -> []
+                  | ddg -> (
+                      match
+                        Ims_check.Fallback.fallback ddg
+                          ~reason:
+                            (Ims_check.Fallback.Cancelled { elapsed; limit })
+                      with
+                      | exception _ -> []
+                      | h ->
+                          [
+                            ( "fallback_ii",
+                              Json.Int
+                                h.Ims_check.Fallback.schedule
+                                  .Ims_core.Schedule.ii );
+                            ( "fallback_sl",
+                              Json.Int
+                                (Ims_core.Schedule.length
+                                   h.Ims_check.Fallback.schedule) );
+                          ])
+                in
+                ("quarantined", Json.Bool true) :: fb
+            | _ -> [ ("quarantined", Json.Bool true) ]
+          in
+          Ims_exec.Report.line ~name ~extra
+            ~fields:(fun ((h : Ims_check.Fallback.t), sl, n) ->
+              let ims_fields =
+                match h.Ims_check.Fallback.ims with
+                | None -> []
+                | Some out ->
+                    let m = out.Ims_core.Ims.mii in
+                    [
+                      ("resmii", Json.Int m.Ims_mii.Mii.resmii);
+                      ("recmii", Json.Int m.Ims_mii.Mii.recmii);
+                      ("mii", Json.Int m.Ims_mii.Mii.mii);
+                      ("attempts", Json.Int out.Ims_core.Ims.attempts);
+                      ("steps_final", Json.Int out.Ims_core.Ims.steps_final);
+                      ("steps_total", Json.Int out.Ims_core.Ims.steps_total);
+                    ]
+              in
+              let degraded_fields =
+                match h.Ims_check.Fallback.degraded with
+                | None -> [ ("degraded", Json.Bool false) ]
+                | Some r ->
+                    [
+                      ("degraded", Json.Bool true);
+                      ("reason", Json.String (Ims_check.Fallback.reason_kind r));
+                    ]
+              in
+              (("n", Json.Int n)
+               :: ( "ii",
+                    Json.Int h.Ims_check.Fallback.schedule.Ims_core.Schedule.ii
+                  )
+               :: ("sl", Json.Int sl) :: ims_fields)
+              @ degraded_fields)
+            outcome
         in
+        let retry =
+          Ims_exec.Retry.create ~max_attempts:(max 1 retries) ~backoff
+            ~escalation:escalate
+            ~transient:(fun msg -> has_substring msg "transient")
+            ()
+        in
+        let run_cancel =
+          match max_failures with
+          | Some _ -> Some (Cancel.create ~timer:Unix.gettimeofday ())
+          | None -> None
+        in
+        let pending_arr = Array.of_list pending in
+        let failures = ref 0 in
+        let on_result =
+          match (writer, max_failures) with
+          | None, None -> None
+          | _ ->
+              Some
+                (fun i outcome ->
+                  let idx, input = pending_arr.(i) in
+                  (match writer with
+                  | Some w ->
+                      Ims_exec.Journal.append w ~index:idx
+                        (render input outcome)
+                  | None -> ());
+                  match (run_cancel, max_failures) with
+                  | Some tok, Some limit
+                    when not (Ims_exec.Outcome.is_done outcome) ->
+                      incr failures;
+                      if !failures > limit && not (Cancel.cancelled tok) then begin
+                        Printf.eprintf
+                          "imsc batch: %d casualties — cancelling \
+                           outstanding jobs\n"
+                          !failures;
+                        Cancel.cancel tok
+                      end
+                  | _ -> ())
+        in
+        let outcomes, merged, stats =
+          Ims_exec.Exec.run ~jobs ?timeout ?deadline ~retry
+            ?cancel:run_cancel ?on_result ~sleep:Unix.sleepf
+            ~timer:Unix.gettimeofday ~f:schedule_one pending
+        in
+        (match writer with
+        | Some w -> Ims_exec.Journal.close w
+        | None -> ());
+        let fresh : (int, Json.t) Hashtbl.t = Hashtbl.create 97 in
+        List.iter2
+          (fun (idx, input) outcome ->
+            Hashtbl.replace fresh idx (render input outcome))
+          pending outcomes;
         let lines =
-          List.map2
-            (fun (name, _) outcome ->
-              Ims_exec.Report.line ~name
-                ~fields:(fun ((h : Ims_check.Fallback.t), sl, n) ->
-                  let ims_fields =
-                    match h.Ims_check.Fallback.ims with
-                    | None -> []
-                    | Some out ->
-                        let m = out.Ims_core.Ims.mii in
-                        [
-                          ("resmii", Json.Int m.Ims_mii.Mii.resmii);
-                          ("recmii", Json.Int m.Ims_mii.Mii.recmii);
-                          ("mii", Json.Int m.Ims_mii.Mii.mii);
-                          ("attempts", Json.Int out.Ims_core.Ims.attempts);
-                          ("steps_final", Json.Int out.Ims_core.Ims.steps_final);
-                          ("steps_total", Json.Int out.Ims_core.Ims.steps_total);
-                        ]
-                  in
-                  let degraded_fields =
-                    match h.Ims_check.Fallback.degraded with
-                    | None -> [ ("degraded", Json.Bool false) ]
-                    | Some r ->
-                        [
-                          ("degraded", Json.Bool true);
-                          ( "reason",
-                            Json.String (Ims_check.Fallback.reason_kind r) );
-                        ]
-                  in
-                  (("n", Json.Int n)
-                   :: ( "ii",
-                        Json.Int
-                          h.Ims_check.Fallback.schedule.Ims_core.Schedule.ii )
-                   :: ("sl", Json.Int sl) :: ims_fields)
-                  @ degraded_fields)
-                outcome)
-            inputs outcomes
+          List.mapi
+            (fun i _ ->
+              match Hashtbl.find_opt fresh i with
+              | Some line -> line
+              | None -> Hashtbl.find completed i)
+            inputs
         in
         (match report with
         | Some file -> Ims_exec.Report.write_jsonl file lines
         | None -> print_string (Ims_exec.Report.jsonl_string lines));
+        (* Casualty accounting reads the report lines, not the outcome
+           list, so loops journaled as casualties by an interrupted run
+           still count after a resume. *)
+        let field key = function
+          | Json.Obj kvs -> List.assoc_opt key kvs
+          | _ -> None
+        in
+        let status_of line =
+          match field "status" line with
+          | Some (Json.String s) -> s
+          | _ -> "ok"
+        in
+        let describe_line line =
+          match field "error" line with
+          | Some (Json.String e) -> Printf.sprintf "%s: %s" (status_of line) e
+          | _ -> (
+              match field "elapsed_s" line with
+              | Some (Json.Float e) ->
+                  Printf.sprintf "%s after %.3fs" (status_of line) e
+              | _ -> status_of line)
+        in
+        let casualty_lines =
+          List.filter
+            (fun ((_, _), line) -> status_of line <> "ok")
+            (List.combine inputs lines)
+        in
+        let degraded =
+          List.length
+            (List.filter
+               (fun line ->
+                 match field "degraded" line with
+                 | Some (Json.Bool true) -> true
+                 | _ -> false)
+               lines)
+        in
         Printf.eprintf "imsc batch: %s\n" (Ims_exec.Exec.summary stats);
         Format.eprintf "merged counters: %a@." Ims_mii.Counters.pp
           merged.Ims_exec.Shard.counters;
-        List.iter2
-          (fun (name, _) o ->
-            if not (Ims_exec.Outcome.is_done o) then
-              Printf.eprintf "  %s: %s\n" name (Ims_exec.Outcome.describe o))
-          inputs outcomes;
-        let degraded =
-          List.fold_left
-            (fun acc o ->
-              match o with
-              | Ims_exec.Outcome.Done ((h : Ims_check.Fallback.t), _, _)
-                when h.Ims_check.Fallback.degraded <> None ->
-                  acc + 1
-              | _ -> acc)
-            0 outcomes
-        in
-        if stats.Ims_exec.Exec.failed > 0 || stats.Ims_exec.Exec.timed_out > 0
-        then begin
+        List.iter
+          (fun ((name, _), line) ->
+            Printf.eprintf "  %s: %s\n" name (describe_line line))
+          casualty_lines;
+        (match quarantine with
+        | None -> ()
+        | Some file ->
+            let oc = open_out file in
+            List.iter
+              (fun ((_, path), _) -> output_string oc (path ^ "\n"))
+              casualty_lines;
+            close_out oc;
+            if casualty_lines <> [] then
+              Printf.eprintf "imsc batch: %d poison input(s) quarantined to %s\n"
+                (List.length casualty_lines) file);
+        if casualty_lines <> [] then begin
           Printf.eprintf "imsc batch: completed with casualties (see report)\n";
           1
         end
@@ -713,7 +1045,9 @@ let cmd_batch =
           per-loop JSONL report")
     Term.(
       const run $ machine_arg $ paths_arg $ jobs_arg $ budget_arg
-      $ max_delta_ii_arg $ timeout_arg $ report_arg)
+      $ max_delta_ii_arg $ timeout_arg $ deadline_arg $ retries_arg
+      $ backoff_arg $ escalate_arg $ report_arg $ journal_arg $ resume_arg
+      $ quarantine_arg $ max_failures_arg $ inject_spin_arg $ inject_flaky_arg)
 
 (* --- suite ---------------------------------------------------------------------- *)
 

@@ -5,6 +5,7 @@ type reason =
   | Budget_exhausted of { max_ii : int; attempts : int }
   | Checker_failed of Check.verdict
   | Scheduler_crashed of string
+  | Cancelled of { elapsed : float; limit : float }
 
 type t = {
   schedule : Schedule.t;
@@ -17,6 +18,7 @@ let reason_kind = function
   | Budget_exhausted _ -> "budget_exhausted"
   | Checker_failed _ -> "checker_failed"
   | Scheduler_crashed _ -> "scheduler_crashed"
+  | Cancelled _ -> "cancelled"
 
 let describe = function
   | Budget_exhausted { max_ii; attempts } ->
@@ -25,6 +27,11 @@ let describe = function
         max_ii attempts
   | Checker_failed v -> "checker failed: " ^ Check.summary v
   | Scheduler_crashed msg -> "scheduler crashed: " ^ msg
+  | Cancelled { elapsed; limit } ->
+      if limit = infinity then
+        Printf.sprintf "cancelled after %.3fs" elapsed
+      else
+        Printf.sprintf "cancelled after %.3fs (deadline %.3fs)" elapsed limit
 
 let degrade ?trip ?seed ~trace ?metrics ddg ~reason ~ims =
   Trace.with_span trace "fallback" (fun () ->
@@ -74,12 +81,19 @@ let harden ?trip ?seed ?(trace = Trace.null) ?metrics ddg (out : Ims.outcome) =
         degrade ?trip ?seed ~trace ?metrics ddg ~reason:(Checker_failed v)
           ~ims:(Some out)
 
+let fallback ?trip ?seed ?(trace = Trace.null) ?metrics ddg ~reason =
+  degrade ?trip ?seed ~trace ?metrics ddg ~reason ~ims:None
+
 let modulo_schedule_or_fallback ?budget_ratio ?max_delta_ii ?counters
-    ?(trace = Trace.null) ?metrics ?priority ?trip ?seed ddg =
+    ?(trace = Trace.null) ?metrics ?priority ?trip ?seed ?cancel ddg =
   match
     Ims.modulo_schedule ?budget_ratio ?max_delta_ii ?counters ~trace ?priority
-      ddg
+      ?cancel ddg
   with
+  (* Cancellation is the caller's wall-clock verdict, not a scheduler
+     crash: re-raise so the batch engine turns it into a structured
+     Cancelled outcome instead of silently degrading the loop. *)
+  | exception (Cancel.Cancelled _ as e) -> raise e
   | exception e ->
       degrade ?trip ?seed ~trace ?metrics ddg
         ~reason:(Scheduler_crashed (Printexc.to_string e))

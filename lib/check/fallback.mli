@@ -30,6 +30,12 @@ type reason =
           scheduler bug surfaced as degradation, not as wrong code. *)
   | Scheduler_crashed of string
       (** The scheduler raised; the printed exception. *)
+  | Cancelled of { elapsed : float; limit : float }
+      (** A wall-clock deadline preempted the scheduler mid-search; the
+          fallback was produced afterwards (without a deadline) so the
+          loop still ships a checked acyclic schedule.  Used by the
+          batch quarantine path via {!fallback} — the ladder itself
+          never swallows a cancellation. *)
 
 type t = {
   schedule : Schedule.t;  (** Modulo schedule, or the fallback. *)
@@ -42,10 +48,24 @@ type t = {
 
 val reason_kind : reason -> string
 (** Stable tag for reports: ["budget_exhausted"], ["checker_failed"],
-    ["scheduler_crashed"]. *)
+    ["scheduler_crashed"], ["cancelled"]. *)
 
 val describe : reason -> string
 (** One human-readable line. *)
+
+val fallback :
+  ?trip:int ->
+  ?seed:int ->
+  ?trace:Trace.t ->
+  ?metrics:Metrics.t ->
+  Ddg.t ->
+  reason:reason ->
+  t
+(** Produce the degraded result directly: the checked acyclic list
+    schedule annotated with [reason], no scheduler outcome.  The batch
+    quarantine path uses this to attach a safe schedule to loops whose
+    pipelining attempt was cancelled.
+    @raise Failure if even the list scheduler cannot place the loop. *)
 
 val harden :
   ?trip:int ->
@@ -67,8 +87,16 @@ val modulo_schedule_or_fallback :
   ?priority:Ims.priority ->
   ?trip:int ->
   ?seed:int ->
+  ?cancel:Cancel.t ->
   Ddg.t ->
   t
 (** {!Ims_core.Ims.modulo_schedule} under the full ladder: crash
     containment, checker stack, fallback.  The scheduler options are
-    forwarded verbatim; [trip] and [seed] go to the checkers. *)
+    forwarded verbatim; [trip] and [seed] go to the checkers.
+
+    [cancel] is forwarded to the scheduler, and a fired token
+    {e re-raises} {!Ims_obs.Cancel.Cancelled} instead of degrading:
+    crash containment must not swallow the caller's own preemption
+    (the batch engine converts it to a structured outcome and, for
+    quarantined loops, computes {!fallback} separately without a
+    deadline). *)

@@ -158,7 +158,7 @@ let force_commit st op ~t ~estart =
   commit st op ~t ~k
 
 let iterative_schedule ?counters ?(trace = Trace.null) ?(priority = Height_r)
-    ?prep ddg ~ii ~budget =
+    ?(cancel = Cancel.null) ?prep ddg ~ii ~budget =
   let n = Ddg.n_total ddg in
   let machine = ddg.Ddg.machine in
   let prep = match prep with Some p -> p | None -> prepare ddg in
@@ -227,7 +227,8 @@ let iterative_schedule ?counters ?(trace = Trace.null) ?(priority = Height_r)
             commit st op ~t ~k
         | `Forced t -> force_commit st op ~t ~estart);
         decr budget;
-        step ()
+        step ();
+        Cancel.poll cancel
   done;
   if Ready.is_empty st.ready then begin
     let entries =
@@ -241,7 +242,8 @@ let iterative_schedule ?counters ?(trace = Trace.null) ?(priority = Height_r)
   end
 
 let modulo_schedule ?(budget_ratio = default_budget_ratio)
-    ?(max_delta_ii = 1000) ?counters ?(trace = Trace.null) ?priority ddg =
+    ?(max_delta_ii = 1000) ?counters ?(trace = Trace.null) ?priority ?cancel
+    ddg =
   let counters =
     match counters with Some c -> c | None -> Counters.create ()
   in
@@ -266,7 +268,8 @@ let modulo_schedule ?(budget_ratio = default_budget_ratio)
       let before = counters.Counters.sched_steps in
       Trace.ii_start trace ~ii ~attempt:(tried + 1) ~budget;
       match
-        iterative_schedule ~counters ~trace ?priority ~prep ddg ~ii ~budget
+        iterative_schedule ~counters ~trace ?priority ?cancel ~prep ddg ~ii
+          ~budget
       with
       | Some schedule ->
           let steps_final = counters.Counters.sched_steps - before in

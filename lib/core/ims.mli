@@ -46,6 +46,7 @@ val iterative_schedule :
   ?counters:Counters.t ->
   ?trace:Ims_obs.Trace.t ->
   ?priority:priority ->
+  ?cancel:Ims_obs.Cancel.t ->
   ?prep:prep ->
   Ddg.t ->
   ii:int ->
@@ -58,7 +59,13 @@ val iterative_schedule :
     scheduler decision: [place]/[force] with the Estart, chosen slot and
     alternative; [evict] for every displacement (dependence-violating
     successor or forced-placement victim); [budget_exhausted] on
-    failure.  A disabled trace costs one branch per decision. *)
+    failure.  A disabled trace costs one branch per decision.
+
+    [cancel] (default {!Ims_obs.Cancel.null}) is polled once per
+    scheduling step — the same site that decrements the budget — and
+    an armed token that fires preempts the search mid-II by raising
+    {!Ims_obs.Cancel.Cancelled}.  A null token costs one branch per
+    step, mirroring the disabled-trace discipline. *)
 
 val modulo_schedule :
   ?budget_ratio:float ->
@@ -66,8 +73,14 @@ val modulo_schedule :
   ?counters:Counters.t ->
   ?trace:Ims_obs.Trace.t ->
   ?priority:priority ->
+  ?cancel:Ims_obs.Cancel.t ->
   Ddg.t ->
   outcome
 (** The driver (figure 2).  [max_delta_ii] (default 1000) bounds the
     search above the MII as a safety net; reaching it indicates a machine
-    model the loop cannot execute on at all. *)
+    model the loop cannot execute on at all.
+
+    A fired [cancel] token escapes as {!Ims_obs.Cancel.Cancelled} — it
+    is {e not} folded into the outcome, because cancellation (the
+    caller's wall-clock verdict) must stay distinct from budget
+    exhaustion (the algorithm's own verdict, [schedule = None]). *)

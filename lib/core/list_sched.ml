@@ -17,7 +17,7 @@ let horizon ddg =
    once all its intra-iteration predecessors are scheduled; the ready
    operation with the greatest height goes first, at the first
    conflict-free slot at or after its early start time. *)
-let schedule ddg =
+let schedule ?(cancel = Ims_obs.Cancel.null) ddg =
   let n = Ddg.n_total ddg in
   let height = Priority.acyclic_heights ddg in
   let horizon = horizon ddg in
@@ -74,6 +74,7 @@ let schedule ddg =
     ready := S.remove elt !ready;
     place v;
     incr scheduled;
+    Ims_obs.Cancel.poll cancel;
     List.iter
       (fun (d : Dep.t) ->
         if d.distance = 0 then begin

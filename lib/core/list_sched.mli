@@ -10,10 +10,13 @@
 
 open Ims_ir
 
-val schedule : Ddg.t -> Schedule.t
+val schedule : ?cancel:Ims_obs.Cancel.t -> Ddg.t -> Schedule.t
 (** The returned schedule has [ii] equal to the scheduling horizon, so it
     is effectively linear; {!Schedule.verify} holds for it with all
-    inter-iteration constraints trivially satisfied at that horizon. *)
+    inter-iteration constraints trivially satisfied at that horizon.
+    [cancel] (default null, polled per placement) exists for interface
+    parity; fallback paths deliberately omit it so a degraded schedule
+    can still be produced after a cancellation. *)
 
 val schedule_length : Ddg.t -> int
 (** [Schedule.length (schedule ddg)]. *)

@@ -148,7 +148,8 @@ let find_slot st op ~lo ~hi ~late =
   in
   if late then probe hi (-1) else probe lo 1
 
-let iterative_schedule ?counters ?prep ddg ~ii ~budget =
+let iterative_schedule ?counters ?(cancel = Ims_obs.Cancel.null) ?prep ddg ~ii
+    ~budget =
   let n = Ddg.n_total ddg in
   let machine = ddg.Ddg.machine in
   let prep = match prep with Some p -> p | None -> prepare ddg in
@@ -251,7 +252,8 @@ let iterative_schedule ?counters ?prep ddg ~ii ~budget =
                 in
                 force_commit st op ~t));
         decr budget;
-        step ()
+        step ();
+        Ims_obs.Cancel.poll cancel
   done;
   if Ready.is_empty st.ready then
     Some
@@ -261,7 +263,7 @@ let iterative_schedule ?counters ?prep ddg ~ii ~budget =
   else None
 
 let modulo_schedule ?(budget_ratio = Ims.default_budget_ratio)
-    ?(max_delta_ii = 1000) ?counters ddg =
+    ?(max_delta_ii = 1000) ?counters ?cancel ddg =
   let counters = match counters with Some c -> c | None -> Counters.create () in
   let mii = Mii.compute ~counters ddg in
   let n = Ddg.n_total ddg in
@@ -280,7 +282,7 @@ let modulo_schedule ?(budget_ratio = Ims.default_budget_ratio)
       }
     else begin
       let before = counters.Counters.sched_steps in
-      match iterative_schedule ~counters ~prep ddg ~ii ~budget with
+      match iterative_schedule ~counters ?cancel ~prep ddg ~ii ~budget with
       | Some schedule ->
           let steps_final = counters.Counters.sched_steps - before in
           counters.Counters.sched_steps_final <-

@@ -23,6 +23,10 @@ val modulo_schedule :
   ?budget_ratio:float ->
   ?max_delta_ii:int ->
   ?counters:Counters.t ->
+  ?cancel:Ims_obs.Cancel.t ->
   Ddg.t ->
   Ims.outcome
-(** Same contract and outcome shape as {!Ims.modulo_schedule}. *)
+(** Same contract and outcome shape as {!Ims.modulo_schedule},
+    including the cancellation discipline: [cancel] is polled once per
+    scheduling step and a fired token escapes as
+    {!Ims_obs.Cancel.Cancelled}. *)

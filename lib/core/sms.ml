@@ -158,7 +158,8 @@ let ordering ddg ~ii = ordering_md ddg ~md:(Mindist.full ddg ~ii)
 (* Scheduling phase                                                        *)
 (* ---------------------------------------------------------------------- *)
 
-let try_schedule ?counters ddg ~ii ~order ~md ~ctabs =
+let try_schedule ?counters ?(cancel = Ims_obs.Cancel.null) ddg ~ii ~order ~md
+    ~ctabs =
   let n = Ddg.n_total ddg in
   let machine = ddg.Ddg.machine in
   let mrt = Mrt.create machine ~ii in
@@ -248,6 +249,7 @@ let try_schedule ?counters ddg ~ii ~order ~md ~ctabs =
         alt.(v) <- k;
         scheduled := v :: !scheduled;
         step ();
+        Ims_obs.Cancel.poll cancel;
         true
     | None ->
         if Sys.getenv_opt "IMS_SMS_DEBUG" <> None then
@@ -268,7 +270,7 @@ let try_schedule ?counters ddg ~ii ~order ~md ~ctabs =
   end
 
 let modulo_schedule ?(budget_ratio = Ims.default_budget_ratio)
-    ?(max_delta_ii = 1000) ?counters ddg =
+    ?(max_delta_ii = 1000) ?counters ?cancel ddg =
   ignore budget_ratio;
   let counters = match counters with Some c -> c | None -> Counters.create () in
   let mii = Mii.compute ~counters ddg in
@@ -293,7 +295,7 @@ let modulo_schedule ?(budget_ratio = Ims.default_budget_ratio)
       let md = Mindist.full ~counters ~scratch ddg ~ii in
       let order = ordering_md ddg ~md in
       let ctabs = Prep.compile alternatives ~ii in
-      match try_schedule ~counters ddg ~ii ~order ~md ~ctabs with
+      match try_schedule ~counters ?cancel ddg ~ii ~order ~md ~ctabs with
       | Some schedule ->
           let steps_final = counters.Counters.sched_steps - before in
           counters.Counters.sched_steps_final <-

@@ -29,9 +29,11 @@ val modulo_schedule :
   ?budget_ratio:float ->
   ?max_delta_ii:int ->
   ?counters:Counters.t ->
+  ?cancel:Ims_obs.Cancel.t ->
   Ddg.t ->
   Ims.outcome
-(** Same contract as {!Ims.modulo_schedule}.  [budget_ratio] is
-    accepted for interface parity but SMS schedules each operation at
-    most once per candidate II, so it only caps pathological II
-    searches. *)
+(** Same contract as {!Ims.modulo_schedule}, including the
+    cancellation discipline ([cancel] polled once per placement, fires
+    as {!Ims_obs.Cancel.Cancelled}).  [budget_ratio] is accepted for
+    interface parity but SMS schedules each operation at most once per
+    candidate II, so it only caps pathological II searches. *)

@@ -1,8 +1,13 @@
+open Ims_obs
+
 type stats = {
   jobs : int;
   ok : int;
   failed : int;
   timed_out : int;
+  cancelled : int;
+  retried : int;
+  attempts : int;
   workers : int;
   chunks : int;
   elapsed : float;
@@ -10,33 +15,83 @@ type stats = {
 
 let default_jobs () = Domain.recommended_domain_count ()
 
-let run ?jobs ?timeout ?(policy = Chunk.default) ?(observe = false)
-    ?(timer = Sys.time) ~f inputs =
+let run ?jobs ?timeout ?deadline ?(retry = Retry.none) ?cancel ?on_result
+    ?(sleep = fun (_ : float) -> ()) ?(policy = Chunk.default)
+    ?(observe = false) ?(timer = Sys.time) ~f inputs =
   let inputs = Array.of_list inputs in
   let n = Array.length inputs in
   let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
   let workers = max 1 (min jobs n) in
-  let shards = Array.init n (fun _ -> Shard.create ~observe ()) in
+  let shards = Array.init n (fun _ -> Shard.create ()) in
   let results = Array.make n None in
+  let attempts_of = Array.make n 1 in
+  (* [on_result] fires in completion order (it exists to journal and to
+     gate), so it is the one place worker domains touch shared state;
+     a mutex serializes it. *)
+  let result_mutex = Mutex.create () in
+  let token scale =
+    match (deadline, cancel) with
+    | None, None -> Cancel.null
+    | None, Some run_tok -> Cancel.create ~timer ~parent:run_tok ()
+    | Some d, _ -> Cancel.create ~timer ?parent:cancel ~deadline:(d *. scale) ()
+  in
   let body i =
-    let t0 = timer () in
-    let outcome =
-      match f shards.(i) inputs.(i) with
-      | v -> (
-          match timeout with
-          | Some limit ->
-              let elapsed = timer () -. t0 in
-              if elapsed > limit then Outcome.Timed_out { elapsed; limit }
-              else Outcome.Done v
-          | None -> Outcome.Done v)
-      | exception e ->
-          Outcome.Failed
+    let rec attempt_loop attempt scale prev =
+      let tok = token scale in
+      let shard = Shard.create ~observe ~cancel:tok ~attempt () in
+      (match prev with
+      | Some o ->
+          Trace.emit shard.Shard.trace
+            (Event.Job_retry { job = i; attempt; after = Outcome.status o })
+      | None -> ());
+      let t0 = timer () in
+      let outcome =
+        (* A tripped run-level gate cancels jobs not yet started without
+           ever calling [f]. *)
+        if Cancel.cancelled tok then
+          Outcome.Cancelled
             {
-              Outcome.exn = Printexc.to_string e;
-              backtrace = Printexc.get_backtrace ();
+              elapsed = 0.0;
+              limit =
+                (match deadline with Some d -> d *. scale | None -> infinity);
             }
+        else
+          match f shard inputs.(i) with
+          | v -> (
+              match timeout with
+              | Some limit ->
+                  let elapsed = timer () -. t0 in
+                  if elapsed > limit then Outcome.Timed_out { elapsed; limit }
+                  else Outcome.Done v
+              | None -> Outcome.Done v)
+          | exception Cancel.Cancelled { elapsed; limit } ->
+              Outcome.Cancelled { elapsed; limit }
+          | exception e ->
+              Outcome.Failed
+                {
+                  Outcome.exn = Printexc.to_string e;
+                  backtrace = Printexc.get_backtrace ();
+                }
+      in
+      match Retry.decide retry ~attempt outcome with
+      | Retry.Give_up -> (outcome, shard, attempt)
+      | Retry.Retry { backoff; deadline_scale } ->
+          if backoff > 0.0 then sleep backoff;
+          attempt_loop (attempt + 1) (scale *. deadline_scale) (Some outcome)
     in
-    results.(i) <- Some outcome
+    let outcome, shard, attempts = attempt_loop 1 1.0 None in
+    (* Only the final attempt's shard survives: abandoned attempts must
+       not pollute the deterministic merged telemetry. *)
+    shards.(i) <- shard;
+    attempts_of.(i) <- attempts;
+    results.(i) <- Some outcome;
+    match on_result with
+    | None -> ()
+    | Some g ->
+        Mutex.lock result_mutex;
+        Fun.protect
+          ~finally:(fun () -> Mutex.unlock result_mutex)
+          (fun () -> g i outcome)
   in
   let t_run = timer () in
   let queue = Work_queue.create ~policy ~workers ~length:n in
@@ -57,6 +112,11 @@ let run ?jobs ?timeout ?(policy = Chunk.default) ?(observe = false)
       ok = count Outcome.is_done;
       failed = count (function Outcome.Failed _ -> true | _ -> false);
       timed_out = count (function Outcome.Timed_out _ -> true | _ -> false);
+      cancelled = count (function Outcome.Cancelled _ -> true | _ -> false);
+      retried =
+        Array.fold_left (fun acc a -> if a > 1 then acc + 1 else acc) 0
+          attempts_of;
+      attempts = Array.fold_left ( + ) 0 attempts_of;
       workers;
       chunks = Work_queue.chunks_taken queue;
       elapsed;
@@ -71,18 +131,21 @@ let map ?jobs ?timeout ?policy f inputs =
   outcomes
 
 let map_exn ?jobs ?policy f inputs =
-  List.map Outcome.get_exn (map ?jobs ?policy f inputs)
+  List.mapi (fun i o -> Outcome.get ~job:i o) (map ?jobs ?policy f inputs)
 
 let casualties outcomes =
   List.filter (fun o -> not (Outcome.is_done o)) outcomes
 
 let pp_stats ppf s =
-  Format.fprintf ppf
-    "%d job%s: %d ok, %d failed, %d timed out; %d worker%s, %d chunk%s" s.jobs
+  Format.fprintf ppf "%d job%s: %d ok, %d failed, %d timed out" s.jobs
     (if s.jobs = 1 then "" else "s")
-    s.ok s.failed s.timed_out s.workers
+    s.ok s.failed s.timed_out;
+  if s.cancelled > 0 then Format.fprintf ppf ", %d cancelled" s.cancelled;
+  Format.fprintf ppf "; %d worker%s, %d chunk%s" s.workers
     (if s.workers = 1 then "" else "s")
     s.chunks
-    (if s.chunks = 1 then "" else "s")
+    (if s.chunks = 1 then "" else "s");
+  if s.retried > 0 then
+    Format.fprintf ppf "; %d retried (%d attempts total)" s.retried s.attempts
 
 let summary s = Format.asprintf "%a" pp_stats s

@@ -1,0 +1,161 @@
+open Ims_obs
+
+type manifest = { version : int; tool : string; hash : string; jobs : int }
+
+let format_version = 1
+
+let manifest_hash parts =
+  Digest.to_hex (Digest.string (String.concat "\x00" parts))
+
+let manifest_json m =
+  Json.Obj
+    [
+      ("kind", Json.String "manifest");
+      ("version", Json.Int m.version);
+      ("tool", Json.String m.tool);
+      ("hash", Json.String m.hash);
+      ("jobs", Json.Int m.jobs);
+    ]
+
+type writer = { fd : Unix.file_descr; mutable closed : bool }
+
+(* One full line per write call, then fsync: a crash can tear at most
+   the line being written, and only at the end of the file. *)
+let write_line fd json =
+  let line = Bytes.of_string (Json.to_string json ^ "\n") in
+  let len = Bytes.length line in
+  let rec push off =
+    if off < len then push (off + Unix.write fd line off (len - off))
+  in
+  push 0;
+  Unix.fsync fd
+
+let create ~path m =
+  let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  write_line fd (manifest_json { m with version = format_version });
+  { fd; closed = false }
+
+(* A torn trailing fragment (SIGKILL mid-append) must be cut before the
+   next append, or the fragment and the new record would fuse into one
+   corrupt line — poisoning the journal for any later resume. *)
+let reopen ~path =
+  let fd = Unix.openfile path [ Unix.O_RDWR ] 0o644 in
+  let size = (Unix.fstat fd).Unix.st_size in
+  let keep =
+    if size = 0 then 0
+    else begin
+      let ic = open_in_bin path in
+      let content =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      if content.[String.length content - 1] = '\n' then String.length content
+      else
+        match String.rindex_opt content '\n' with
+        | Some i -> i + 1
+        | None -> 0
+    end
+  in
+  if keep < size then Unix.ftruncate fd keep;
+  ignore (Unix.lseek fd keep Unix.SEEK_SET);
+  { fd; closed = false }
+
+let append w ~index payload =
+  write_line w.fd
+    (Json.Obj
+       [
+         ("kind", Json.String "job");
+         ("index", Json.Int index);
+         ("line", payload);
+       ])
+
+let close w =
+  if not w.closed then begin
+    w.closed <- true;
+    Unix.close w.fd
+  end
+
+type recovered = {
+  manifest : manifest;
+  entries : (int * Json.t) list;
+  torn : bool;
+}
+
+let field obj k =
+  match obj with Json.Obj kvs -> List.assoc_opt k kvs | _ -> None
+
+let int_field obj k =
+  match field obj k with Some (Json.Int i) -> Some i | _ -> None
+
+let str_field obj k =
+  match field obj k with Some (Json.String s) -> Some s | _ -> None
+
+let parse_manifest line =
+  match Json.of_string line with
+  | Error e -> Error ("malformed manifest line: " ^ e)
+  | Ok obj -> (
+      match
+        ( str_field obj "kind",
+          int_field obj "version",
+          str_field obj "tool",
+          str_field obj "hash",
+          int_field obj "jobs" )
+      with
+      | Some "manifest", Some version, Some tool, Some hash, Some jobs ->
+          if version > format_version then
+            Error
+              (Printf.sprintf "journal format version %d is newer than this \
+                               build understands (%d)"
+                 version format_version)
+          else Ok { version; tool; hash; jobs }
+      | _ -> Error "first line is not a journal manifest")
+
+let parse_record line =
+  match Json.of_string line with
+  | Error _ -> None
+  | Ok obj -> (
+      match (str_field obj "kind", int_field obj "index", field obj "line") with
+      | Some "job", Some index, Some payload -> Some (index, payload)
+      | _ -> None)
+
+let read ~path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error msg -> Error msg
+  | "" -> Error "empty journal"
+  | content ->
+      (* A file not ending in '\n' ends in an interrupted append; that
+         trailing fragment is the only place a malformed line is
+         tolerated. *)
+      let complete = String.length content > 0 && content.[String.length content - 1] = '\n' in
+      let lines =
+        String.split_on_char '\n' content
+        |> List.filter (fun l -> l <> "")
+      in
+      (match lines with
+      | [] -> Error "empty journal"
+      | first :: rest -> (
+          match parse_manifest first with
+          | Error e -> Error e
+          | Ok manifest ->
+              let nrec = List.length rest in
+              let rec records i acc = function
+                | [] -> Ok { manifest; entries = List.rev acc; torn = false }
+                | line :: tl -> (
+                    match parse_record line with
+                    | Some entry -> records (i + 1) (entry :: acc) tl
+                    | None ->
+                        if i = nrec - 1 && not complete then
+                          Ok { manifest; entries = List.rev acc; torn = true }
+                        else
+                          Error
+                            (Printf.sprintf
+                               "corrupt journal: malformed record %d of %d" (i + 1)
+                               nrec))
+              in
+              records 0 [] rest))

@@ -1,0 +1,66 @@
+(** Crash-safe JSONL journaling for batch runs.
+
+    A journal is an append-only file: one manifest line, then one
+    record per {e completed} job, each line fsync'd before the append
+    returns — so after a SIGKILL the file holds every job that finished
+    plus at most one torn final line.
+
+    The manifest pins what the run {e was}: a content hash over the
+    machine model, the scheduling flags, and the corpus bytes
+    ({!manifest_hash}).  Resume refuses a journal whose hash differs —
+    journaled records are only byte-reusable against the identical
+    inputs and configuration.
+
+    Record lines are [{"kind":"job","index":I,"line":J}] where [J] is
+    the job's finished report line, stored verbatim; resume replays [J]
+    into the final report unchanged, which is what makes a resumed
+    report byte-identical to an uninterrupted run's.
+
+    {!read} tolerates exactly one torn record, and only at the end of
+    the file (the interrupted append); a malformed line anywhere else
+    is corruption and an error.  Duplicate indices keep the last
+    record, so a job re-journaled after a resume wins over its earlier
+    self. *)
+
+type manifest = {
+  version : int;  (** Journal format version; {!format_version}. *)
+  tool : string;  (** e.g. ["imsc-batch"] — guards cross-tool reuse. *)
+  hash : string;  (** {!manifest_hash} of machine+flags+corpus. *)
+  jobs : int;  (** Total jobs in the run (not: completed). *)
+}
+
+val format_version : int
+
+val manifest_hash : string list -> string
+(** Hex digest over the parts (order-sensitive); include everything
+    that must match for journaled results to be reusable. *)
+
+type writer
+
+val create : path:string -> manifest -> writer
+(** Truncate/create [path] and write the manifest line (fsync'd). *)
+
+val reopen : path:string -> writer
+(** Open an existing journal for appending (resume); the caller has
+    already validated it with {!read}.  A torn trailing fragment is
+    truncated away first, so the next append starts on its own line
+    and a later resume sees a well-formed file. *)
+
+val append : writer -> index:int -> Ims_obs.Json.t -> unit
+(** Append one job record and fsync.  Serialize calls yourself — the
+    engine's [on_result] hook already runs under a mutex. *)
+
+val close : writer -> unit
+
+type recovered = {
+  manifest : manifest;
+  entries : (int * Ims_obs.Json.t) list;
+      (** (index, stored line), in file order, duplicates included —
+          fold with last-wins. *)
+  torn : bool;  (** A truncated final record was dropped. *)
+}
+
+val read : path:string -> (recovered, string) result
+(** Parse a journal for resume.  [Error] on unreadable file, missing or
+    malformed manifest, unknown version, or a malformed record line
+    that is not the final one. *)

@@ -4,30 +4,55 @@ type 'a t =
   | Done of 'a
   | Failed of error
   | Timed_out of { elapsed : float; limit : float }
+  | Cancelled of { elapsed : float; limit : float }
 
-let done_ = function Done v -> Some v | Failed _ | Timed_out _ -> None
-let is_done = function Done _ -> true | Failed _ | Timed_out _ -> false
+let done_ = function
+  | Done v -> Some v
+  | Failed _ | Timed_out _ | Cancelled _ -> None
+
+let is_done = function
+  | Done _ -> true
+  | Failed _ | Timed_out _ | Cancelled _ -> false
 
 let map f = function
   | Done v -> Done (f v)
   | Failed e -> Failed e
   | Timed_out t -> Timed_out t
+  | Cancelled c -> Cancelled c
 
-let get_exn = function
+let get ?job o =
+  let where =
+    match job with None -> "job" | Some i -> Printf.sprintf "job %d" i
+  in
+  match o with
   | Done v -> v
-  | Failed e -> failwith ("job failed: " ^ e.exn)
+  | Failed e -> failwith (Printf.sprintf "%s failed: %s" where e.exn)
   | Timed_out { elapsed; limit } ->
       failwith
-        (Printf.sprintf "job timed out: %.3fs over the %.3fs limit" elapsed
-           limit)
+        (Printf.sprintf "%s timed out: %.3fs over the %.3fs limit" where
+           elapsed limit)
+  | Cancelled { elapsed; limit } ->
+      failwith
+        (if limit = infinity then
+           Printf.sprintf "%s cancelled after %.3fs" where elapsed
+         else
+           Printf.sprintf "%s cancelled: %.3fs deadline preempted it at %.3fs"
+             where limit elapsed)
+
+let get_exn o = get o
 
 let status = function
   | Done _ -> "ok"
   | Failed _ -> "failed"
   | Timed_out _ -> "timed_out"
+  | Cancelled _ -> "cancelled"
 
 let describe = function
   | Done _ -> "ok"
   | Failed e -> "failed: " ^ e.exn
   | Timed_out { elapsed; limit } ->
       Printf.sprintf "timed out after %.3fs (limit %.3fs)" elapsed limit
+  | Cancelled { elapsed; limit } ->
+      if limit = infinity then Printf.sprintf "cancelled after %.3fs" elapsed
+      else
+        Printf.sprintf "cancelled after %.3fs (deadline %.3fs)" elapsed limit

@@ -1,15 +1,19 @@
 open Ims_obs
 
-let line ~name ~fields outcome =
+let line ~name ?(extra = []) ~fields outcome =
   let status = ("status", Json.String (Outcome.status outcome)) in
   let rest =
     match outcome with
     | Outcome.Done v -> fields v
     | Outcome.Failed e -> [ ("error", Json.String e.Outcome.exn) ]
-    | Outcome.Timed_out { elapsed; limit } ->
-        [ ("elapsed_s", Json.Float elapsed); ("limit_s", Json.Float limit) ]
+    | Outcome.Timed_out { elapsed; limit }
+    | Outcome.Cancelled { elapsed; limit } ->
+        ("elapsed_s", Json.Float elapsed)
+        ::
+        (if limit = infinity then []
+         else [ ("limit_s", Json.Float limit) ])
   in
-  Json.Obj (("name", Json.String name) :: status :: rest)
+  Json.Obj ((("name", Json.String name) :: status :: rest) @ extra)
 
 let jsonl_string lines =
   String.concat "" (List.map (fun j -> Json.to_string j ^ "\n") lines)

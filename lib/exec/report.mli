@@ -1,19 +1,23 @@
 (** Per-job JSONL reporting for batch runs.
 
     One JSON object per job, in job order: [{"name": ..., "status":
-    "ok" | "failed" | "timed_out", ...}].  Successful jobs carry the
-    caller's [fields]; failures carry the exception text; timeouts
-    carry the measured and allowed seconds.  Nothing non-deterministic
-    is emitted for successful jobs, so two runs at different [--jobs]
-    produce byte-identical reports. *)
+    "ok" | "failed" | "timed_out" | "cancelled", ...}].  Successful
+    jobs carry the caller's [fields]; failures carry the exception
+    text; timeouts and cancellations carry the measured seconds (and
+    the limit, when one was set).  Nothing non-deterministic is emitted
+    for successful jobs, so two runs at different [--jobs] produce
+    byte-identical reports. *)
 
 open Ims_obs
 
 val line :
   name:string ->
+  ?extra:(string * Json.t) list ->
   fields:('a -> (string * Json.t) list) ->
   'a Outcome.t ->
   Json.t
+(** [extra] fields (e.g. quarantine annotations) are appended to every
+    line regardless of status. *)
 
 val jsonl_string : Json.t list -> string
 (** One line per object, each ["\n"]-terminated. *)

@@ -1,0 +1,38 @@
+type decision = Give_up | Retry of { backoff : float; deadline_scale : float }
+
+type policy = {
+  max_attempts : int;
+  backoff : float;
+  backoff_factor : float;
+  escalation : float;
+  transient : string -> bool;
+}
+
+let create ?(max_attempts = 3) ?(backoff = 0.05) ?(backoff_factor = 2.0)
+    ?(escalation = 2.0) ?(transient = fun _ -> false) () =
+  {
+    max_attempts = max 1 max_attempts;
+    backoff = max 0.0 backoff;
+    backoff_factor = max 1.0 backoff_factor;
+    escalation = max 1.0 escalation;
+    transient;
+  }
+
+let none = create ~max_attempts:1 ()
+
+let decide p ~attempt (o : 'a Outcome.t) =
+  if attempt >= p.max_attempts then Give_up
+  else
+    match o with
+    | Outcome.Done _ -> Give_up
+    | Outcome.Failed e ->
+        if p.transient e.Outcome.exn then
+          Retry
+            {
+              backoff =
+                p.backoff *. (p.backoff_factor ** float_of_int (attempt - 1));
+              deadline_scale = 1.0;
+            }
+        else Give_up
+    | Outcome.Timed_out _ | Outcome.Cancelled _ ->
+        Retry { backoff = 0.0; deadline_scale = p.escalation }

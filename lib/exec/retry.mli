@@ -1,0 +1,54 @@
+(** Declarative per-job retry policy for the batch engine.
+
+    A policy classifies a finished attempt's outcome and answers: run
+    the job again or give up?  The engine ({!Exec.run}) applies it
+    after every attempt, so the policy itself stays a pure decision
+    table — easy to test exhaustively and impossible to leak state
+    between attempts.
+
+    The ladder distinguishes two casualty families:
+
+    - {e transient} failures (matched by the [transient] predicate on
+      the printed exception — e.g. an injected fault, a flaky I/O
+      layer): retried with exponential backoff and the {e same}
+      deadline, since waiting is what helps;
+    - {e resource} casualties ([Timed_out], [Cancelled] — the job
+      legitimately needed more than it was given): retried immediately
+      but with the deadline {e escalated} by [escalation] per attempt,
+      the budget-ladder analogue of the paper's BudgetRatio knob.
+
+    Deterministic failures match neither arm, exhaust [max_attempts]
+    (or give up immediately), and land in quarantine at the caller. *)
+
+type decision =
+  | Give_up
+  | Retry of { backoff : float; deadline_scale : float }
+      (** Sleep [backoff] seconds, then re-run with the per-job deadline
+          multiplied by [deadline_scale] (cumulative across attempts). *)
+
+type policy = {
+  max_attempts : int;  (** Total attempts, >= 1; 1 = never retry. *)
+  backoff : float;  (** First transient-retry sleep, seconds. *)
+  backoff_factor : float;  (** Multiplier per further transient retry. *)
+  escalation : float;  (** Deadline multiplier per timeout/cancel retry. *)
+  transient : string -> bool;
+      (** Classifies {!Outcome.Failed} by its printed exception. *)
+}
+
+val none : policy
+(** [max_attempts = 1]: every outcome is final. *)
+
+val create :
+  ?max_attempts:int ->
+  ?backoff:float ->
+  ?backoff_factor:float ->
+  ?escalation:float ->
+  ?transient:(string -> bool) ->
+  unit ->
+  policy
+(** Defaults: 3 attempts, 0.05s backoff doubling each retry, 2.0x
+    deadline escalation, nothing transient. *)
+
+val decide : policy -> attempt:int -> 'a Outcome.t -> decision
+(** The decision table.  [attempt] is 1-based; [Done] and attempts at
+    the [max_attempts] cap always give up. *)

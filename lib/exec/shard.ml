@@ -1,16 +1,28 @@
 open Ims_obs
 open Ims_mii
 
-type t = { trace : Trace.t; counters : Counters.t }
+type t = {
+  trace : Trace.t;
+  counters : Counters.t;
+  cancel : Cancel.t;
+  attempt : int;
+}
 
-let create ?(observe = false) () =
+let create ?(observe = false) ?(cancel = Cancel.null) ?(attempt = 1) () =
   {
     trace = (if observe then Trace.create () else Trace.null);
     counters = Counters.create ();
+    cancel;
+    attempt;
   }
 
 let merge shards =
   let observed = List.exists (fun s -> Trace.enabled s.trace) shards in
   let trace = if observed then Trace.create () else Trace.null in
   List.iter (fun s -> Trace.absorb trace s.trace) shards;
-  { trace; counters = Counters.merge (List.map (fun s -> s.counters) shards) }
+  {
+    trace;
+    counters = Counters.merge (List.map (fun s -> s.counters) shards);
+    cancel = Cancel.null;
+    attempt = 1;
+  }

@@ -1,4 +1,4 @@
-(** Per-job observability shards.
+(** Per-job observability and control shards.
 
     The telemetry layer's sinks ({!Ims_obs.Trace.t},
     {!Ims_mii.Counters.t}) are single-writer mutable buffers; sharing
@@ -13,17 +13,28 @@
     completion order, the merged trace and counters are byte-identical
     to what a serial run over the same jobs would have produced — this
     is what keeps [--trace] and [--metrics] exports stable under
-    [--jobs N]. *)
+    [--jobs N].
+
+    The shard also carries the job's control context: its cancellation
+    token (to be threaded into the scheduler, and polled directly by
+    long-running job code) and which attempt this is (1-based) when a
+    retry policy is active. *)
 
 type t = {
   trace : Ims_obs.Trace.t;  (** [Trace.null] unless observing. *)
   counters : Ims_mii.Counters.t;
+  cancel : Ims_obs.Cancel.t;
+      (** This attempt's token; [Cancel.null] when no deadline or
+          run-level gate is armed. *)
+  attempt : int;  (** 1 on the first run of the job. *)
 }
 
-val create : ?observe:bool -> unit -> t
+val create :
+  ?observe:bool -> ?cancel:Ims_obs.Cancel.t -> ?attempt:int -> unit -> t
 (** A fresh shard; [observe] (default false) allocates a real trace
     sink instead of [Trace.null]. *)
 
 val merge : t list -> t
 (** Fold shards in list order into one shard with a contiguous,
-    renumbered event stream and summed counters. *)
+    renumbered event stream and summed counters.  The merged shard's
+    control fields are neutral ([Cancel.null], attempt 1). *)

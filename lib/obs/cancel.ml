@@ -1,0 +1,83 @@
+type tok = {
+  flag : bool Atomic.t;
+  parent : bool Atomic.t option;
+  timer : unit -> float;
+  start : float;
+  limit : float;  (* seconds; infinity = no deadline *)
+  max_polls : int;  (* max_int = no poll cap *)
+  stride : int;
+  mutable polls : int;
+  mutable countdown : int;  (* polls until the next clock read *)
+}
+
+type t = Null | Tok of tok
+
+exception Cancelled of { elapsed : float; limit : float }
+
+let () =
+  Printexc.register_printer (function
+    | Cancelled { elapsed; limit } ->
+        Some
+          (if limit = infinity then
+             Printf.sprintf "Cancelled(after %.3fs)" elapsed
+           else
+             Printf.sprintf "Cancelled(%.3fs elapsed, %.3fs deadline)" elapsed
+               limit)
+    | _ -> None)
+
+let null = Null
+let default_stride = 64
+
+let create ?(timer = Sys.time) ?parent ?(stride = default_stride) ?deadline
+    ?max_polls () =
+  let parent =
+    match parent with Some (Tok p) -> Some p.flag | Some Null | None -> None
+  in
+  Tok
+    {
+      flag = Atomic.make false;
+      parent;
+      timer;
+      start = timer ();
+      limit = (match deadline with Some s -> s | None -> infinity);
+      max_polls = (match max_polls with Some n -> n | None -> max_int);
+      stride = max 1 stride;
+      polls = 0;
+      (* Read the clock on the very first poll so a deadline shorter
+         than one stride's worth of work still preempts promptly. *)
+      countdown = 1;
+    }
+
+let cancel = function Null -> () | Tok k -> Atomic.set k.flag true
+
+let cancelled = function
+  | Null -> false
+  | Tok k -> (
+      Atomic.get k.flag
+      || match k.parent with Some f -> Atomic.get f | None -> false)
+
+let fire k ~limit =
+  Atomic.set k.flag true;
+  raise (Cancelled { elapsed = k.timer () -. k.start; limit })
+
+let poll = function
+  | Null -> ()
+  | Tok k ->
+      k.polls <- k.polls + 1;
+      if Atomic.get k.flag then fire k ~limit:infinity;
+      (match k.parent with
+      | Some f when Atomic.get f -> fire k ~limit:infinity
+      | _ -> ());
+      if k.polls > k.max_polls then fire k ~limit:infinity;
+      k.countdown <- k.countdown - 1;
+      if k.countdown <= 0 then begin
+        k.countdown <- k.stride;
+        if k.limit < infinity && k.timer () -. k.start > k.limit then
+          fire k ~limit:k.limit
+      end
+
+let polls = function Null -> 0 | Tok k -> k.polls
+
+let deadline = function
+  | Null -> None
+  | Tok k -> if k.limit = infinity then None else Some k.limit

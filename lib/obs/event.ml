@@ -9,6 +9,7 @@ type payload =
   | Ii_start of { ii : int; attempt : int; budget : int }
   | Ii_end of { ii : int; scheduled : bool; steps : int }
   | Budget_exhausted of { ii : int; unplaced : int }
+  | Job_retry of { job : int; attempt : int; after : string }
 
 type t = { seq : int; payload : payload }
 
@@ -22,6 +23,7 @@ let name = function
   | Ii_start _ -> "ii_start"
   | Ii_end _ -> "ii_end"
   | Budget_exhausted _ -> "budget_exhausted"
+  | Job_retry _ -> "job_retry"
 
 let args = function
   | Span_begin { name } | Span_end { name } | Instant { name } ->
@@ -58,3 +60,9 @@ let args = function
       ]
   | Budget_exhausted { ii; unplaced } ->
       [ ("ii", Json.Int ii); ("unplaced", Json.Int unplaced) ]
+  | Job_retry { job; attempt; after } ->
+      [
+        ("job", Json.Int job);
+        ("attempt", Json.Int attempt);
+        ("after", Json.String after);
+      ]

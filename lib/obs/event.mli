@@ -28,6 +28,11 @@ type payload =
   | Budget_exhausted of { ii : int; unplaced : int }
       (** The budget ran out with [unplaced] operations unscheduled —
           always followed by [Ii_end { scheduled = false; _ }]. *)
+  | Job_retry of { job : int; attempt : int; after : string }
+      (** The batch engine re-runs job [job] (this is attempt [attempt],
+          1-based) after a previous attempt ended in state [after]
+          ({!Outcome.status}: ["failed"], ["timed_out"], ["cancelled"]).
+          Emitted into the retrying attempt's own shard. *)
 
 type t = { seq : int; payload : payload }
 

@@ -18,6 +18,9 @@ let pp ?(op_name = fun i -> Printf.sprintf "op %d" i) ppf events =
       | Event.Budget_exhausted { ii; unplaced } ->
           line "budget exhausted at II=%d with %d operations unplaced" ii
             unplaced
+      | Event.Job_retry { job; attempt; after } ->
+          line "retry job %d (attempt %d, previous attempt %s)" job attempt
+            after
       | Event.Place { op; time; alt; estart; forced } ->
           if forced then
             line "force %s into t=%d (alt %d, Estart %d)" (op_name op) time alt

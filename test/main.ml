@@ -13,5 +13,6 @@ let () =
       Test_obs.tests;
       Test_check.tests;
       Test_exec.tests;
+      Test_resilience.tests;
       Test_integration.tests;
     ]

@@ -91,7 +91,8 @@ let test_failure_contained () =
           Alcotest.(check bool) "message survives" true
             (String.length e.Outcome.exn > 0
             && String.sub e.Outcome.exn 0 7 = "Failure")
-      | Outcome.Timed_out _ -> Alcotest.fail "unexpected timeout")
+      | Outcome.Timed_out _ | Outcome.Cancelled _ ->
+          Alcotest.fail "unexpected timeout")
     outcomes;
   let _, _, stats = Exec.run ~jobs:4 ~f:(fun _ x -> f x) [ 0; 1; 2; 3; 4; 5 ] in
   Alcotest.(check int) "stats.ok" 5 stats.Exec.ok;
