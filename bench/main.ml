@@ -42,6 +42,12 @@ type opts = {
   bench_json : string option;
   journal : string option;
   resume : string option;
+  profile_file : string option;
+  baseline : string option;
+  tolerance : float option;  (* fractional: 0.1 = 10% *)
+  time_tolerance : float option;
+  status_file : string option;
+  status_interval : float;
 }
 
 let opts =
@@ -49,7 +55,9 @@ let opts =
     Printf.eprintf "bench: %s\n" msg;
     prerr_endline
       "usage: dune exec bench/main.exe -- [--quick] [--jobs N] [--metrics \
-       FILE] [--bench-json FILE] [--journal FILE] [--resume FILE]";
+       FILE] [--bench-json FILE] [--journal FILE] [--resume FILE] [--profile \
+       FILE] [--baseline BENCH.json] [--tolerance F] [--time-tolerance F] \
+       [--status-file FILE] [--status-interval SEC]";
     exit 2
   in
   let quick = ref false in
@@ -58,10 +66,24 @@ let opts =
   let bench_json = ref None in
   let journal = ref None in
   let resume = ref None in
+  let profile = ref None in
+  let baseline = ref None in
+  let tolerance = ref None in
+  let time_tolerance = ref None in
+  let status_file = ref None in
+  let status_interval = ref 1.0 in
   let argc = Array.length Sys.argv in
   let value flag i =
     if i + 1 >= argc then usage_exit (flag ^ " needs a value")
     else Sys.argv.(i + 1)
+  in
+  let float_value flag i =
+    let v = value flag i in
+    match float_of_string_opt v with
+    | Some f when f >= 0.0 -> f
+    | _ ->
+        usage_exit
+          (Printf.sprintf "%s expects a non-negative number, got %S" flag v)
   in
   let rec scan i =
     if i < argc then
@@ -89,6 +111,24 @@ let opts =
       | "--resume" ->
           resume := Some (value "--resume" i);
           scan (i + 2)
+      | "--profile" ->
+          profile := Some (value "--profile" i);
+          scan (i + 2)
+      | "--baseline" ->
+          baseline := Some (value "--baseline" i);
+          scan (i + 2)
+      | "--tolerance" ->
+          tolerance := Some (float_value "--tolerance" i);
+          scan (i + 2)
+      | "--time-tolerance" ->
+          time_tolerance := Some (float_value "--time-tolerance" i);
+          scan (i + 2)
+      | "--status-file" ->
+          status_file := Some (value "--status-file" i);
+          scan (i + 2)
+      | "--status-interval" ->
+          status_interval := float_value "--status-interval" i;
+          scan (i + 2)
       | other -> usage_exit (Printf.sprintf "unknown argument %S" other)
   in
   scan 1;
@@ -101,6 +141,12 @@ let opts =
     bench_json = !bench_json;
     journal = !journal;
     resume = !resume;
+    profile_file = !profile;
+    baseline = !baseline;
+    tolerance = !tolerance;
+    time_tolerance = !time_tolerance;
+    status_file = !status_file;
+    status_interval = !status_interval;
   }
 
 let quick = opts.quick
@@ -114,8 +160,16 @@ let suite_count = if quick then 300 else Suite.default_count
    to stderr, keeping stdout deterministic. *)
 let pmap f xs = Ims_exec.Exec.map_exn ~jobs f xs
 
-(* Per-phase wall clock, accumulated for --bench-json (phase order is
-   the execution order).  Stderr only — stdout stays deterministic. *)
+(* All diagnostics go through one leveled logger; the Bracket style
+   renders the historical "[bench] ..." stderr lines byte-for-byte, so
+   the CI greps over them keep working. *)
+let log =
+  Ims_obs.Log.create ~style:Ims_obs.Log.Bracket ~human:stderr
+    ~timer:Unix.gettimeofday ~tag:"bench" ()
+
+(* Per-phase wall clock, accumulated for --bench-json and --profile
+   (phase order is the execution order).  Stderr only — stdout stays
+   deterministic. *)
 let phase_log : (string * float) list ref = ref []
 
 let timed name f =
@@ -123,7 +177,7 @@ let timed name f =
   let r = f () in
   let dt = Unix.gettimeofday () -. t0 in
   phase_log := (name, dt) :: !phase_log;
-  Printf.eprintf "[bench] %-18s %6.2fs  (%d job%s)\n%!" name dt jobs
+  Ims_obs.Log.info log "%-18s %6.2fs  (%d job%s)" name dt jobs
     (if jobs = 1 then "" else "s");
   r
 
@@ -153,10 +207,10 @@ type record = {
   counters : Counters.t;
 }
 
-let measure_case ~budget_ratio (case : Suite.case) =
+let measure_case ?trace ~budget_ratio (case : Suite.case) =
   let ddg = case.Suite.ddg in
   let counters = Counters.create () in
-  let out = Ims.modulo_schedule ~budget_ratio ~counters ddg in
+  let out = Ims.modulo_schedule ?trace ~budget_ratio ~counters ddg in
   let sl, ii =
     match out.Ims.schedule with
     | Some s -> (Schedule.length s, out.Ims.ii)
@@ -165,7 +219,7 @@ let measure_case ~budget_ratio (case : Suite.case) =
            acyclic list schedule instead of aborting the whole suite. *)
         let h = Ims_check.Fallback.harden ddg out in
         let s = h.Ims_check.Fallback.schedule in
-        Printf.eprintf "[bench] %s degraded: %s\n%!" case.Suite.name
+        Ims_obs.Log.info log "%s degraded: %s" case.Suite.name
           (match h.Ims_check.Fallback.degraded with
           | Some r -> Ims_check.Fallback.describe r
           | None -> "unexpectedly rescued");
@@ -244,22 +298,17 @@ let record_of_json (case : Suite.case) j =
     | Some (Json.Int v) -> v
     | _ -> failwith (Printf.sprintf "bench: journal record missing %S" k)
   in
-  let counters = Counters.create () in
-  (match List.assoc_opt "counters" kvs with
-  | Some (Json.Obj cs) ->
-      let get k =
-        match List.assoc_opt k cs with Some (Json.Int v) -> v | _ -> 0
-      in
-      counters.Counters.scc_steps <- get "scc";
-      counters.Counters.resmii_steps <- get "resmii";
-      counters.Counters.mindist_inner <- get "mindist";
-      counters.Counters.mindist_calls <- get "mindist_calls";
-      counters.Counters.heightr_inner <- get "heightr";
-      counters.Counters.estart_inner <- get "estart";
-      counters.Counters.findslot_inner <- get "findslot";
-      counters.Counters.sched_steps <- get "sched";
-      counters.Counters.sched_steps_final <- get "sched_final"
-  | _ -> ());
+  let counters =
+    (* [Counters.of_assoc] owns the key list — the journal schema tracks
+       the canonical field table automatically. *)
+    match List.assoc_opt "counters" kvs with
+    | Some (Json.Obj cs) ->
+        Counters.of_assoc
+          (List.filter_map
+             (function k, Json.Int v -> Some (k, v) | _ -> None)
+             cs)
+    | _ -> Counters.create ()
+  in
   let scc_sizes =
     match List.assoc_opt "scc_sizes" kvs with
     | Some (Json.List l) ->
@@ -282,21 +331,42 @@ let record_of_json (case : Suite.case) j =
     counters;
   }
 
-let measure_records cases =
+(* The measure manifest pins everything that shapes the per-loop
+   results; it keys both journal resume ("same run?") and the bench
+   snapshot's meta ("which suite was this trajectory point measured
+   on?"). *)
+let measure_manifest_hash =
+  lazy
+    (Ims_exec.Journal.manifest_hash
+       [
+         "bench-measure";
+         string_of_int suite_count;
+         string_of_bool quick;
+         "budget=6.0";
+         Format.asprintf "%a" Machine.pp machine;
+       ])
+
+(* One job per loop; the shard collects the job's counters and (when
+   profiling) its phase spans, so [Exec.run ?profile] can fold them
+   into the run profile in input order. *)
+let measure_job (shard : Ims_exec.Shard.t) case =
+  let r =
+    measure_case ~trace:shard.Ims_exec.Shard.trace ~budget_ratio:6.0 case
+  in
+  Counters.add shard.Ims_exec.Shard.counters r.counters;
+  r
+
+let measure_records ?profile ?progress cases =
   match (opts.journal, opts.resume) with
-  | None, None -> pmap (measure_case ~budget_ratio:6.0) cases
+  | None, None ->
+      let outcomes, _, _ =
+        Ims_exec.Exec.run ~jobs ?profile ?progress ~timer:Unix.gettimeofday
+          ~f:measure_job cases
+      in
+      List.mapi (fun i o -> Ims_exec.Outcome.get ~job:i o) outcomes
   | _ ->
       let module J = Ims_exec.Journal in
-      let hash =
-        J.manifest_hash
-          [
-            "bench-measure";
-            string_of_int suite_count;
-            string_of_bool quick;
-            "budget=6.0";
-            Format.asprintf "%a" Machine.pp machine;
-          ]
-      in
+      let hash = Lazy.force measure_manifest_hash in
       let n = List.length cases in
       let completed : (int, Ims_obs.Json.t) Hashtbl.t = Hashtbl.create 97 in
       (match opts.resume with
@@ -317,14 +387,13 @@ let measure_records cases =
                       reuse its results"
                      path);
               if r.J.torn then
-                Printf.eprintf "[bench] ignoring torn final record in %s\n%!"
-                  path;
+                Ims_obs.Log.warn log "ignoring torn final record in %s" path;
               List.iter
                 (fun (i, line) ->
                   if i >= 0 && i < n then Hashtbl.replace completed i line)
                 r.J.entries;
-              Printf.eprintf
-                "[bench] resuming — %d of %d loop(s) already journaled\n%!"
+              Ims_obs.Log.info log
+                "resuming — %d of %d loop(s) already journaled"
                 (Hashtbl.length completed) n));
       let writer =
         match (opts.resume, opts.journal) with
@@ -341,13 +410,13 @@ let measure_records cases =
       in
       let pending_arr = Array.of_list pending in
       let outcomes, _, _ =
-        Ims_exec.Exec.run ~jobs
+        Ims_exec.Exec.run ~jobs ?profile ?progress ~timer:Unix.gettimeofday
           ~on_result:(fun i outcome ->
             match outcome with
             | Ims_exec.Outcome.Done r ->
                 J.append writer ~index:(fst pending_arr.(i)) (record_to_json r)
             | _ -> ())
-          ~f:(fun _shard (_, case) -> measure_case ~budget_ratio:6.0 case)
+          ~f:(fun shard (_, case) -> measure_job shard case)
           pending
       in
       J.close writer;
@@ -396,11 +465,31 @@ let dump_metrics file records =
   Printf.printf "\nper-loop metrics written to %s (%d lines)\n" file
     (List.length records)
 
-(* --bench-json FILE writes one JSON object for the whole run: phase
-   wall-clock timings, the suite-total table 4 counters, and the
-   achieved-II histogram — the trajectory point a perf regression is
-   judged against (see BENCH_4.json at the repo root). *)
-let dump_bench_json file records =
+(* Where this trajectory point was measured: pinned to the snapshot so
+   a --baseline comparison months later can say which commit, host, and
+   suite produced the numbers.  Best-effort — a bench run outside a git
+   checkout still produces a valid snapshot. *)
+let git_commit () =
+  try
+    let ic = Unix.open_process_in "git rev-parse HEAD 2>/dev/null" in
+    let line = try String.trim (input_line ic) with End_of_file -> "" in
+    match Unix.close_process_in ic with
+    | Unix.WEXITED 0 when line <> "" -> line
+    | _ -> "unknown"
+  with _ -> "unknown"
+
+let write_file file contents =
+  let oc = open_out file in
+  output_string oc contents;
+  output_char oc '\n';
+  close_out oc
+
+(* The --bench-json snapshot: one JSON object for the whole run — phase
+   wall-clock timings, the suite-total table 4 counters, the
+   achieved-II histogram, and provenance meta — the trajectory point a
+   perf regression is judged against (see BENCH_4.json at the repo
+   root). *)
+let bench_snapshot_json records =
   let open Ims_obs in
   let phases =
     List.rev_map
@@ -421,25 +510,56 @@ let dump_bench_json file records =
     |> List.map (fun (ii, count) ->
            Json.Obj [ ("ii", Json.Int ii); ("loops", Json.Int count) ])
   in
-  let json =
-    Json.Obj
-      [
-        ("suite_count", Json.Int (List.length records));
-        ("quick", Json.Bool quick);
-        ("jobs", Json.Int jobs);
-        ("phases", Json.List phases);
-        ( "counters",
-          Json.Obj
-            (List.map (fun (k, v) -> (k, Json.Int v)) (Counters.to_assoc totals))
-        );
-        ("ii_histogram", Json.List ii_histogram);
-      ]
+  Json.Obj
+    [
+      ("suite_count", Json.Int (List.length records));
+      ("quick", Json.Bool quick);
+      ("jobs", Json.Int jobs);
+      ("phases", Json.List phases);
+      ( "counters",
+        Json.Obj
+          (List.map (fun (k, v) -> (k, Json.Int v)) (Counters.to_assoc totals))
+      );
+      ("ii_histogram", Json.List ii_histogram);
+      ( "meta",
+        Json.Obj
+          [
+            ("commit", Json.String (git_commit ()));
+            ("hostname", Json.String (Unix.gethostname ()));
+            ("jobs", Json.Int jobs);
+            ("suite_hash", Json.String (Lazy.force measure_manifest_hash));
+          ] );
+    ]
+
+let dump_bench_json file snapshot =
+  write_file file (Ims_obs.Json.to_string snapshot);
+  Ims_obs.Log.info log "run summary written to %s" file
+
+(* --baseline BENCH.json: the perf-regression gate.  Counters and the
+   mean achieved II are deterministic, so they get the tight tolerance;
+   phase seconds are runner wall clock and get the loose one.  Any
+   regression names its metric on stderr and fails the run. *)
+let check_baseline file snapshot =
+  let open Ims_obs in
+  let contents =
+    let ic = open_in_bin file in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
   in
-  let oc = open_out file in
-  output_string oc (Json.to_string json);
-  output_char oc '\n';
-  close_out oc;
-  Printf.eprintf "[bench] run summary written to %s\n%!" file
+  match Json.of_string contents with
+  | Error msg -> failwith (Printf.sprintf "bench: cannot parse %s: %s" file msg)
+  | Ok baseline -> (
+      match
+        Baseline.compare_snapshots ?tolerance:opts.tolerance
+          ?time_tolerance:opts.time_tolerance ~baseline ~current:snapshot ()
+      with
+      | [] -> Log.info log "baseline %s: no regressions" file
+      | regressions ->
+          List.iter
+            (fun r -> Log.error log "regression vs %s — %s" file (Baseline.describe r))
+            regressions;
+          exit 1)
 
 (* The production scheme of sections 2.2/3: MII via the ResMII-seeded
    search (no exact RecMII), then iterative scheduling — used for the
@@ -891,7 +1011,7 @@ let ablation_recmii cases =
   Printf.printf "MinDist search:       %d inner-loop steps\n"
     counters.Counters.mindist_inner;
   (* Wall clock goes to stderr: stdout stays byte-identical across runs. *)
-  Printf.eprintf "[bench] recmii ablation: mindist %.3fs, circuits %.3fs\n%!"
+  Ims_obs.Log.info log "recmii ablation: mindist %.3fs, circuits %.3fs"
     t_mindist t_circuits;
   print_endline "both compute the same RecMII (cross-checked in the test suite)."
 
@@ -1473,6 +1593,28 @@ let main () =
     "Iterative modulo scheduling — evaluation harness (%d-loop suite%s)\n"
     suite_count
     (if quick then ", --quick" else "");
+  let t_start = Unix.gettimeofday () in
+  let profile = Option.map (fun _ -> Ims_obs.Profile.create ()) opts.profile_file in
+  let status =
+    Option.map
+      (fun file ->
+        Ims_obs.Status.writer ~interval:opts.status_interval ~file
+          ~timer:Unix.gettimeofday ())
+      opts.status_file
+  in
+  let last_counts = ref (Ims_obs.Status.zero ~total:0) in
+  let progress =
+    Option.map
+      (fun w counts ->
+        last_counts := counts;
+        Ims_obs.Status.heartbeat w
+          {
+            Ims_obs.Status.phase = "measure (table 3)";
+            counts;
+            elapsed = Unix.gettimeofday () -. t_start;
+          })
+      status
+  in
   figure1 ();
   table1 ();
   table2 ();
@@ -1481,7 +1623,7 @@ let main () =
         Suite.cases ~machine ~count:suite_count ~jobs ())
   in
   let records =
-    timed "measure (table 3)" (fun () -> measure_records cases)
+    timed "measure (table 3)" (fun () -> measure_records ?profile ?progress cases)
   in
   Option.iter (fun file -> dump_metrics file records) metrics_file;
   table3 records;
@@ -1504,7 +1646,29 @@ let main () =
   extension_register_pressure ();
   extension_kernel_family ();
   if not quick then bechamel ();
-  Option.iter (fun file -> dump_bench_json file records) bench_json_file;
+  (match (opts.profile_file, profile) with
+  | Some file, Some p ->
+      (* The bench's own phase wall clock joins the per-job spans, so
+         one profile answers both "where did the run's time go" and
+         "what did the jobs do". *)
+      List.iter
+        (fun (name, dt) -> Ims_obs.Profile.add_phase p name ~count:1 ~seconds:dt)
+        (List.rev !phase_log);
+      write_file file (Ims_obs.Json.to_string (Ims_obs.Profile.to_json p));
+      Ims_obs.Log.info log "run profile written to %s" file
+  | _ -> ());
+  let snapshot = bench_snapshot_json records in
+  Option.iter (fun file -> dump_bench_json file snapshot) bench_json_file;
+  Option.iter
+    (fun w ->
+      Ims_obs.Status.finish w
+        {
+          Ims_obs.Status.phase = "done";
+          counts = !last_counts;
+          elapsed = Unix.gettimeofday () -. t_start;
+        })
+    status;
+  Option.iter (fun file -> check_baseline file snapshot) opts.baseline;
   section "DONE"
 
 (* Journal/resume errors are reported via [failwith] with a "bench: "

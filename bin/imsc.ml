@@ -67,22 +67,31 @@ let resolve_loop machine name =
       (Printf.sprintf
          "unknown loop %S: not a kernel name, syn:SEED, or readable file" name)
 
+(* Leveled loggers for stderr diagnostics; the Colon style renders the
+   historical "imsc: ..." / "imsc batch: ..." prefixes, so scripts that
+   grep the messages keep working.  (The "merged counters:" line below
+   is data, not a diagnostic, and stays un-prefixed at line start.) *)
+let log = Log.create ~human:stderr ~timer:Unix.gettimeofday ~tag:"imsc" ()
+
+let batch_log =
+  Log.create ~human:stderr ~timer:Unix.gettimeofday ~tag:"imsc batch" ()
+
 (* Exit protocol: 0 ok, 1 failed, 2 completed but degraded (a fallback
    list schedule was substituted for a modulo schedule) — so CI can gate
    on "no silent degradation" separately from hard failure. *)
 let wrap_code f =
   try f () with
   | Failure msg | Invalid_argument msg ->
-      Printf.eprintf "imsc: %s\n" msg;
+      Log.error log "%s" msg;
       1
   | Loop_parse.Parse_error (line, msg) ->
-      Printf.eprintf "imsc: parse error at line %d: %s\n" line msg;
+      Log.error log "parse error at line %d: %s" line msg;
       1
   | Machine.Unknown_opcode op ->
-      Printf.eprintf "imsc: opcode %S is not in this machine\n" op;
+      Log.error log "opcode %S is not in this machine" op;
       1
   | Machine_parse.Parse_error (line, msg) ->
-      Printf.eprintf "imsc: machine description, line %d: %s\n" line msg;
+      Log.error log "machine description, line %d: %s" line msg;
       1
 
 let wrap f =
@@ -334,6 +343,14 @@ let explain_arg =
   in
   Arg.(value & flag & info [ "explain" ] ~doc)
 
+let profile_file_arg =
+  let doc =
+    "Write the aggregated run profile (per-phase wall time, counter \
+     totals and per-job maxima, latency percentiles) as JSON to $(docv); \
+     render it with 'imsc perf show'."
+  in
+  Arg.(value & opt (some string) None & info [ "profile" ] ~docv:"FILE" ~doc)
+
 let write_file file contents =
   match open_out file with
   | exception Sys_error msg -> failwith msg
@@ -391,12 +408,20 @@ let observe_back_end tr metrics s =
 
 let cmd_schedule =
   let run model name budget max_delta_ii scheduler unroll interleave speculate
-      compact gantt trace_file trace_format metrics_file explain =
+      compact gantt trace_file trace_format metrics_file explain profile_file =
     wrap_code (fun () ->
         let observing =
           trace_file <> None || metrics_file <> None || explain
         in
-        let tr = if observing then Trace.create () else Trace.null in
+        let tr =
+          if observing then Trace.create ()
+          else if profile_file <> None then
+            (* Timing-only: no event buffer, but --profile still gets
+               the per-phase wall-time attribution. *)
+            Trace.timer_only ~timer:Unix.gettimeofday ()
+          else Trace.null
+        in
+        let t_start = Unix.gettimeofday () in
         let metrics = Metrics.create () in
         let machine = machine_of model in
         let ddg =
@@ -490,6 +515,18 @@ let cmd_schedule =
                 Explain.pp ~op_name Format.std_formatter (Trace.events tr)
               end
         end);
+        (match profile_file with
+        | Some file ->
+            (* A one-loop run is a degenerate batch: one job, its spans
+               and counters, its wall clock in the latency series. *)
+            let p = Profile.create () in
+            Profile.add_job p ~spans:(Trace.span_times tr)
+              ~counters:(Ims_mii.Counters.to_assoc out.Ims_core.Ims.counters)
+              ~seconds:(Unix.gettimeofday () -. t_start) ();
+            Profile.add_sample p "ii"
+              (float_of_int s.Ims_core.Schedule.ii);
+            write_file file (Json.to_string (Profile.to_json p) ^ "\n")
+        | None -> ());
         match h.Ims_check.Fallback.degraded with None -> 0 | Some _ -> 2)
   in
   Cmd.v (Cmd.info "schedule" ~doc:"Iteratively modulo schedule a loop")
@@ -497,7 +534,7 @@ let cmd_schedule =
       const run $ machine_arg $ loop_arg $ budget_arg $ max_delta_ii_arg
       $ scheduler_arg $ unroll_arg $ interleave_arg $ speculate_arg
       $ compact_arg $ gantt_arg $ trace_file_arg $ trace_format_arg
-      $ metrics_file_arg $ explain_arg)
+      $ metrics_file_arg $ explain_arg $ profile_file_arg)
 
 (* --- codegen ------------------------------------------------------------------ *)
 
@@ -694,9 +731,23 @@ let cmd_batch =
       & opt (some string) None
       & info [ "inject-flaky" ] ~docv:"NAME:K" ~doc)
   in
+  let status_file_arg =
+    let doc =
+      "Heartbeat: atomically rewrite $(docv) with a JSON run-status \
+       snapshot (jobs done/failed/retried, throughput, ETA) every \
+       --status-interval seconds; the final write carries \
+       \"running\":false.  A reader never sees a torn file."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "status-file" ] ~docv:"FILE" ~doc)
+  in
+  let status_interval_arg =
+    let doc = "Seconds between status heartbeats." in
+    Arg.(value & opt float 1.0 & info [ "status-interval" ] ~docv:"S" ~doc)
+  in
   let run model paths jobs budget max_delta_ii timeout deadline retries backoff
       escalate report journal resume quarantine max_failures inject_spin
-      inject_flaky =
+      inject_flaky profile_file status_file status_interval =
     wrap_code (fun () ->
         let machine = machine_of model in
         let parse_inject flag = function
@@ -781,14 +832,13 @@ let cmd_batch =
                        r.Ims_exec.Journal.manifest.Ims_exec.Journal.hash
                        manifest_hash);
                 if r.Ims_exec.Journal.torn then
-                  Printf.eprintf
-                    "imsc batch: ignoring torn final record in %s\n" path;
+                  Log.warn batch_log "ignoring torn final record in %s" path;
                 List.iter
                   (fun (i, line) ->
                     if i >= 0 && i < n then Hashtbl.replace completed i line)
                   r.Ims_exec.Journal.entries;
-                Printf.eprintf
-                  "imsc batch: resuming — %d of %d job(s) already journaled\n"
+                Log.info batch_log
+                  "resuming — %d of %d job(s) already journaled"
                   (Hashtbl.length completed) n));
         let writer =
           match (resume, journal) with
@@ -941,19 +991,78 @@ let cmd_batch =
                     when not (Ims_exec.Outcome.is_done outcome) ->
                       incr failures;
                       if !failures > limit && not (Cancel.cancelled tok) then begin
-                        Printf.eprintf
-                          "imsc batch: %d casualties — cancelling \
-                           outstanding jobs\n"
+                        Log.warn batch_log
+                          "%d casualties — cancelling outstanding jobs"
                           !failures;
                         Cancel.cancel tok
                       end
                   | _ -> ())
         in
+        let profile = Option.map (fun _ -> Profile.create ()) profile_file in
+        let t_start = Unix.gettimeofday () in
+        (* Live status: the heartbeat file on request, the TTY progress
+           line whenever stderr is a terminal.  Both read the same
+           snapshots; the file is published by atomic rename so a
+           monitor never parses a torn write. *)
+        let tty = Unix.isatty Unix.stderr in
+        let status_writer =
+          if status_file <> None || tty then
+            Some
+              (Status.writer ~interval:status_interval ?file:status_file
+                 ?tty:(if tty then Some stderr else None)
+                 ~timer:Unix.gettimeofday ())
+          else None
+        in
+        let progress =
+          Option.map
+            (fun w counts ->
+              Status.heartbeat w
+                {
+                  Status.phase = "batch";
+                  counts;
+                  elapsed = Unix.gettimeofday () -. t_start;
+                })
+            status_writer
+        in
         let outcomes, merged, stats =
           Ims_exec.Exec.run ~jobs ?timeout ?deadline ~retry
-            ?cancel:run_cancel ?on_result ~sleep:Unix.sleepf
+            ?cancel:run_cancel ?on_result ?profile ?progress ~sleep:Unix.sleepf
             ~timer:Unix.gettimeofday ~f:schedule_one pending
         in
+        Option.iter
+          (fun w ->
+            let counts =
+              {
+                Status.total = stats.Ims_exec.Exec.jobs;
+                ok = stats.Ims_exec.Exec.ok;
+                failed = stats.Ims_exec.Exec.failed;
+                timed_out = stats.Ims_exec.Exec.timed_out;
+                cancelled = stats.Ims_exec.Exec.cancelled;
+                retried = stats.Ims_exec.Exec.retried;
+              }
+            in
+            Status.finish w
+              {
+                Status.phase = "batch";
+                counts;
+                elapsed = Unix.gettimeofday () -. t_start;
+              })
+          status_writer;
+        (match (profile_file, profile) with
+        | Some file, Some p ->
+            (* The achieved IIs make a deterministic series (outcomes
+               are in input order), so the profile answers "how were
+               the IIs distributed" alongside the wall-clock view. *)
+            List.iter
+              (function
+                | Ims_exec.Outcome.Done ((h : Ims_check.Fallback.t), _, _) ->
+                    Profile.add_sample p "ii"
+                      (float_of_int
+                         h.Ims_check.Fallback.schedule.Ims_core.Schedule.ii)
+                | _ -> ())
+              outcomes;
+            write_file file (Json.to_string (Profile.to_json p) ^ "\n")
+        | _ -> ());
         (match writer with
         | Some w -> Ims_exec.Journal.close w
         | None -> ());
@@ -1008,7 +1117,9 @@ let cmd_batch =
                  | _ -> false)
                lines)
         in
-        Printf.eprintf "imsc batch: %s\n" (Ims_exec.Exec.summary stats);
+        Log.info batch_log "%s" (Ims_exec.Exec.summary stats);
+        (* Deliberately NOT routed through the logger: scripts match
+           this data line anchored at start of line (^merged counters). *)
         Format.eprintf "merged counters: %a@." Ims_mii.Counters.pp
           merged.Ims_exec.Shard.counters;
         List.iter
@@ -1024,15 +1135,14 @@ let cmd_batch =
               casualty_lines;
             close_out oc;
             if casualty_lines <> [] then
-              Printf.eprintf "imsc batch: %d poison input(s) quarantined to %s\n"
+              Log.info batch_log "%d poison input(s) quarantined to %s"
                 (List.length casualty_lines) file);
         if casualty_lines <> [] then begin
-          Printf.eprintf "imsc batch: completed with casualties (see report)\n";
+          Log.error batch_log "completed with casualties (see report)";
           1
         end
         else if degraded > 0 then begin
-          Printf.eprintf
-            "imsc batch: %d loop(s) degraded to the acyclic list schedule\n"
+          Log.warn batch_log "%d loop(s) degraded to the acyclic list schedule"
             degraded;
           2
         end
@@ -1047,7 +1157,8 @@ let cmd_batch =
       const run $ machine_arg $ paths_arg $ jobs_arg $ budget_arg
       $ max_delta_ii_arg $ timeout_arg $ deadline_arg $ retries_arg
       $ backoff_arg $ escalate_arg $ report_arg $ journal_arg $ resume_arg
-      $ quarantine_arg $ max_failures_arg $ inject_spin_arg $ inject_flaky_arg)
+      $ quarantine_arg $ max_failures_arg $ inject_spin_arg $ inject_flaky_arg
+      $ profile_file_arg $ status_file_arg $ status_interval_arg)
 
 (* --- suite ---------------------------------------------------------------------- *)
 
@@ -1078,6 +1189,153 @@ let cmd_suite =
   Cmd.v
     (Cmd.info "suite" ~doc:"Schedule the whole suite and report optimality")
     Term.(const run $ machine_arg $ count_arg $ budget_arg $ scheduler_arg)
+
+(* --- perf ------------------------------------------------------------------- *)
+
+(* Observability readers: render a --profile dump as tables, or
+   tabulate the BENCH_*.json snapshots as a cross-PR perf trajectory.
+   Pure JSON walking — these commands never run a scheduler. *)
+let cmd_perf =
+  let read_json file =
+    let contents =
+      match open_in_bin file with
+      | exception Sys_error msg -> failwith msg
+      | ic ->
+          Fun.protect
+            ~finally:(fun () -> close_in ic)
+            (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    match Json.of_string contents with
+    | Ok j -> j
+    | Error msg -> failwith (Printf.sprintf "perf: cannot parse %s: %s" file msg)
+  in
+  let get k = function Json.Obj kvs -> List.assoc_opt k kvs | _ -> None in
+  let num = function
+    | Some (Json.Int i) -> Some (float_of_int i)
+    | Some (Json.Float f) -> Some f
+    | _ -> None
+  in
+  let str = function Some (Json.String s) -> Some s | _ -> None in
+  let jlist = function Some (Json.List l) -> l | _ -> [] in
+  let fnum ?(def = nan) o = Option.value ~default:def (num o) in
+  let fmt_f spec v = if Float.is_nan v then "-" else Printf.sprintf spec v in
+  let cmd_show =
+    let file_arg =
+      let doc = "A --profile dump from 'imsc schedule/batch' or the bench." in
+      Arg.(required & pos 0 (some string) None & info [] ~docv:"PROFILE" ~doc)
+    in
+    let run file =
+      wrap (fun () ->
+          let j = read_json file in
+          Printf.printf "%s: %s job(s)\n" file
+            (fmt_f "%.0f" (fnum (get "jobs" j)));
+          let table title headers rows =
+            if rows <> [] then begin
+              Printf.printf "\n%s\n" title;
+              print_string (Ims_stats.Text_table.render ~headers rows)
+            end
+          in
+          table "phases (wall-time attribution)"
+            [ "phase"; "spans"; "seconds" ]
+            (List.map
+               (fun ph ->
+                 [
+                   Option.value ~default:"?" (str (get "name" ph));
+                   fmt_f "%.0f" (fnum (get "count" ph));
+                   fmt_f "%.3f" (fnum (get "seconds" ph));
+                 ])
+               (jlist (get "phases" j)));
+          table "counters (suite totals and per-job ceilings)"
+            [ "counter"; "total"; "per-job max" ]
+            (List.map
+               (fun c ->
+                 [
+                   Option.value ~default:"?" (str (get "name" c));
+                   fmt_f "%.0f" (fnum (get "total" c));
+                   fmt_f "%.0f" (fnum (get "max" c));
+                 ])
+               (jlist (get "counters" j)));
+          table "series (nearest-rank percentiles)"
+            [ "series"; "n"; "mean"; "min"; "p50"; "p90"; "p99"; "max" ]
+            (List.map
+               (fun s ->
+                 Option.value ~default:"?" (str (get "name" s))
+                 :: fmt_f "%.0f" (fnum (get "count" s))
+                 :: List.map
+                      (fun k -> fmt_f "%.4g" (fnum (get k s)))
+                      [ "mean"; "min"; "p50"; "p90"; "p99"; "max" ])
+               (jlist (get "series" j))))
+    in
+    Cmd.v
+      (Cmd.info "show" ~doc:"Render an aggregated run profile as tables")
+      Term.(const run $ file_arg)
+  in
+  let cmd_report =
+    let files_arg =
+      let doc =
+        "Bench snapshots in trajectory order (e.g. BENCH_*.json — the \
+         shell sorts the glob)."
+      in
+      Arg.(non_empty & pos_all string [] & info [] ~docv:"BENCH.json" ~doc)
+    in
+    let run files =
+      wrap (fun () ->
+          let row file =
+            let j = read_json file in
+            let cobj = Option.value ~default:(Json.Obj []) (get "counters" j) in
+            let hist = jlist (get "ii_histogram" j) in
+            let loops, ii_sum =
+              List.fold_left
+                (fun (l, s) e ->
+                  let n = fnum ~def:0.0 (get "loops" e) in
+                  (l +. n, s +. (n *. fnum ~def:0.0 (get "ii" e))))
+                (0.0, 0.0) hist
+            in
+            let measure_s =
+              List.fold_left
+                (fun acc ph ->
+                  match str (get "name" ph) with
+                  | Some "measure (table 3)" -> fnum (get "seconds" ph)
+                  | _ -> acc)
+                nan
+                (jlist (get "phases" j))
+            in
+            let commit =
+              match Option.map (fun m -> str (get "commit" m)) (get "meta" j) with
+              | Some (Some c) ->
+                  if String.length c > 9 then String.sub c 0 9 else c
+              | _ -> "-"
+            in
+            [
+              Filename.basename file;
+              fmt_f "%.0f" (fnum (get "suite_count" j));
+              fmt_f "%.3f" (if loops > 0.0 then ii_sum /. loops else nan);
+              fmt_f "%.0f" (fnum (get "mindist" cobj));
+              fmt_f "%.0f" (fnum (get "findslot" cobj));
+              fmt_f "%.0f" (fnum (get "sched" cobj));
+              fmt_f "%.0f" (fnum (get "sched_final" cobj));
+              fmt_f "%.2f" measure_s;
+              commit;
+            ]
+          in
+          print_string
+            (Ims_stats.Text_table.render
+               ~headers:
+                 [
+                   "snapshot"; "loops"; "mean II"; "mindist"; "findslot";
+                   "sched"; "sched_final"; "measure s"; "commit";
+                 ]
+               (List.map row files)))
+    in
+    Cmd.v
+      (Cmd.info "report"
+         ~doc:"Tabulate bench snapshots as a cross-PR perf trajectory")
+      Term.(const run $ files_arg)
+  in
+  Cmd.group
+    (Cmd.info "perf"
+       ~doc:"Run-level observability: profiles and the bench trajectory")
+    [ cmd_show; cmd_report ]
 
 (* --- check ------------------------------------------------------------------ *)
 
@@ -1227,5 +1485,5 @@ let () =
           [
             cmd_machine; cmd_list; cmd_show; cmd_export; cmd_report; cmd_dot;
             cmd_mii; cmd_schedule; cmd_codegen; cmd_simulate; cmd_suite;
-            cmd_batch; cmd_check;
+            cmd_batch; cmd_check; cmd_perf;
           ]))

@@ -17,18 +17,30 @@ let default_jobs () = Domain.recommended_domain_count ()
 
 let run ?jobs ?timeout ?deadline ?(retry = Retry.none) ?cancel ?on_result
     ?(sleep = fun (_ : float) -> ()) ?(policy = Chunk.default)
-    ?(observe = false) ?(timer = Sys.time) ~f inputs =
+    ?(observe = false) ?profile ?progress ?(timer = Sys.time) ~f inputs =
   let inputs = Array.of_list inputs in
   let n = Array.length inputs in
   let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
   let workers = max 1 (min jobs n) in
+  let time_spans = Option.is_some profile in
   let shards = Array.init n (fun _ -> Shard.create ()) in
   let results = Array.make n None in
   let attempts_of = Array.make n 1 in
+  let seconds_of = Array.make n 0.0 in
   (* [on_result] fires in completion order (it exists to journal and to
      gate), so it is the one place worker domains touch shared state;
-     a mutex serializes it. *)
+     a mutex serializes it — the live [progress] tally rides under the
+     same lock. *)
   let result_mutex = Mutex.create () in
+  let live = ref (Status.zero ~total:n) in
+  let bump (c : Status.counts) outcome attempts =
+    let c = if attempts > 1 then { c with Status.retried = c.retried + 1 } else c in
+    match outcome with
+    | Outcome.Done _ -> { c with Status.ok = c.ok + 1 }
+    | Outcome.Failed _ -> { c with Status.failed = c.failed + 1 }
+    | Outcome.Timed_out _ -> { c with Status.timed_out = c.timed_out + 1 }
+    | Outcome.Cancelled _ -> { c with Status.cancelled = c.cancelled + 1 }
+  in
   let token scale =
     match (deadline, cancel) with
     | None, None -> Cancel.null
@@ -38,7 +50,7 @@ let run ?jobs ?timeout ?deadline ?(retry = Retry.none) ?cancel ?on_result
   let body i =
     let rec attempt_loop attempt scale prev =
       let tok = token scale in
-      let shard = Shard.create ~observe ~cancel:tok ~attempt () in
+      let shard = Shard.create ~observe ~time_spans ~timer ~cancel:tok ~attempt () in
       (match prev with
       | Some o ->
           Trace.emit shard.Shard.trace
@@ -79,19 +91,27 @@ let run ?jobs ?timeout ?deadline ?(retry = Retry.none) ?cancel ?on_result
           if backoff > 0.0 then sleep backoff;
           attempt_loop (attempt + 1) (scale *. deadline_scale) (Some outcome)
     in
+    let j0 = timer () in
     let outcome, shard, attempts = attempt_loop 1 1.0 None in
     (* Only the final attempt's shard survives: abandoned attempts must
        not pollute the deterministic merged telemetry. *)
     shards.(i) <- shard;
     attempts_of.(i) <- attempts;
+    seconds_of.(i) <- timer () -. j0;
     results.(i) <- Some outcome;
-    match on_result with
-    | None -> ()
-    | Some g ->
+    match (on_result, progress) with
+    | None, None -> ()
+    | _ ->
         Mutex.lock result_mutex;
         Fun.protect
           ~finally:(fun () -> Mutex.unlock result_mutex)
-          (fun () -> g i outcome)
+          (fun () ->
+            (match on_result with Some g -> g i outcome | None -> ());
+            match progress with
+            | Some g ->
+                live := bump !live outcome attempts;
+                g !live
+            | None -> ())
   in
   let t_run = timer () in
   let queue = Work_queue.create ~policy ~workers ~length:n in
@@ -122,6 +142,19 @@ let run ?jobs ?timeout ?deadline ?(retry = Retry.none) ?cancel ?on_result
       elapsed;
     }
   in
+  (* Profile accumulation is single-threaded by design: fold each job's
+     shard in input order after the barrier, so counter totals/maxima
+     and series are byte-identical at any worker count. *)
+  (match profile with
+  | None -> ()
+  | Some p ->
+      Array.iteri
+        (fun i (shard : Shard.t) ->
+          Profile.add_job p
+            ~spans:(Trace.span_times shard.trace)
+            ~counters:(Ims_mii.Counters.to_assoc shard.counters)
+            ~seconds:seconds_of.(i) ())
+        shards);
   (outcomes, Shard.merge (Array.to_list shards), stats)
 
 let map ?jobs ?timeout ?policy f inputs =

@@ -61,6 +61,8 @@ val run :
   ?sleep:(float -> unit) ->
   ?policy:Chunk.policy ->
   ?observe:bool ->
+  ?profile:Ims_obs.Profile.t ->
+  ?progress:(Ims_obs.Status.counts -> unit) ->
   ?timer:(unit -> float) ->
   f:(Shard.t -> 'a -> 'b) ->
   'a list ->
@@ -99,7 +101,22 @@ val run :
     on the critical path of every worker.
 
     [observe] gives each job's shard a live trace sink (default:
-    [Trace.null]).  [timer] (default [Sys.time]) feeds limits and
+    [Trace.null]).
+
+    [profile] opts into run-level profiling: each job's shard gets a
+    timing-only trace ({!Ims_obs.Trace.timer_only}, fed by [timer]),
+    and after the barrier every job folds into the profile {e in input
+    order} — phase spans, step counters, and the job's total wall-clock
+    seconds (including retries) into the latency series.  Counter
+    totals/maxima and series contents are therefore byte-identical at
+    any [jobs]; only the seconds vary.
+
+    [progress] fires with the live {!Ims_obs.Status.counts} tally after
+    each job completes, in completion order under the same mutex as
+    [on_result] (after it) — the hook for heartbeat files and TTY
+    progress lines.  Keep it cheap.
+
+    [timer] (default [Sys.time]) feeds limits and
     [stats.elapsed]; inject a wall clock (e.g. [Unix.gettimeofday]) for
     meaningful deadlines under parallelism — [Sys.time] is process-CPU
     time summed over domains. *)

@@ -30,11 +30,23 @@ type t = {
 }
 
 val create :
-  ?observe:bool -> ?cancel:Ims_obs.Cancel.t -> ?attempt:int -> unit -> t
+  ?observe:bool ->
+  ?time_spans:bool ->
+  ?timer:(unit -> float) ->
+  ?cancel:Ims_obs.Cancel.t ->
+  ?attempt:int ->
+  unit ->
+  t
 (** A fresh shard; [observe] (default false) allocates a real trace
-    sink instead of [Trace.null]. *)
+    sink instead of [Trace.null].  [time_spans] (default false, implied
+    by [observe]) allocates a {!Ims_obs.Trace.timer_only} sink instead:
+    no events, but per-phase wall time still accumulates — the cheap
+    mode run-level profiling uses.  [timer] feeds span timing for
+    either kind of sink (default [Sys.time]). *)
 
 val merge : t list -> t
 (** Fold shards in list order into one shard with a contiguous,
-    renumbered event stream and summed counters.  The merged shard's
-    control fields are neutral ([Cancel.null], attempt 1). *)
+    renumbered event stream and summed counters.  A timing-only shard
+    set merges into a timing-only shard (span tables folded, no
+    events).  The merged shard's control fields are neutral
+    ([Cancel.null], attempt 1). *)

@@ -45,45 +45,41 @@ let add acc c =
   acc.sched_steps <- acc.sched_steps + c.sched_steps;
   acc.sched_steps_final <- acc.sched_steps_final + c.sched_steps_final
 
-(* The single source of truth for field names and order: [pp] and the
-   metrics adapter both read this list, so they can never disagree. *)
-let to_assoc t =
+(* The single source of truth for field names, order, and record
+   access: every reader and writer of the field list — [pp], [record],
+   [merge], [to_assoc], [of_assoc], and the snapshot/journal schemas
+   downstream — goes through this table, so none of them can drift. *)
+let fields : (string * (t -> int) * (t -> int -> unit)) list =
   [
-    ("scc", t.scc_steps);
-    ("resmii", t.resmii_steps);
-    ("mindist", t.mindist_inner);
-    ("mindist_calls", t.mindist_calls);
-    ("heightr", t.heightr_inner);
-    ("estart", t.estart_inner);
-    ("findslot", t.findslot_inner);
-    ("sched", t.sched_steps);
-    ("sched_final", t.sched_steps_final);
+    ("scc", (fun t -> t.scc_steps), fun t v -> t.scc_steps <- v);
+    ("resmii", (fun t -> t.resmii_steps), fun t v -> t.resmii_steps <- v);
+    ("mindist", (fun t -> t.mindist_inner), fun t v -> t.mindist_inner <- v);
+    ("mindist_calls", (fun t -> t.mindist_calls), fun t v -> t.mindist_calls <- v);
+    ("heightr", (fun t -> t.heightr_inner), fun t v -> t.heightr_inner <- v);
+    ("estart", (fun t -> t.estart_inner), fun t v -> t.estart_inner <- v);
+    ("findslot", (fun t -> t.findslot_inner), fun t v -> t.findslot_inner <- v);
+    ("sched", (fun t -> t.sched_steps), fun t v -> t.sched_steps <- v);
+    ("sched_final", (fun t -> t.sched_steps_final), fun t v -> t.sched_steps_final <- v);
   ]
 
-(* Merging goes through [to_assoc] rather than the record fields so the
-   three readers of the field list (pp, record, merge) can never drift. *)
+let names = List.map (fun (name, _, _) -> name) fields
+let to_assoc t = List.map (fun (name, get, _) -> (name, get t)) fields
+
+let of_assoc kvs =
+  let t = create () in
+  List.iter
+    (fun (name, _, set) ->
+      set t (Option.value ~default:0 (List.assoc_opt name kvs)))
+    fields;
+  t
+
 let merge ts =
-  let sums = Hashtbl.create 16 in
+  let acc = create () in
   List.iter
     (fun t ->
-      List.iter
-        (fun (name, v) ->
-          Hashtbl.replace sums name
-            (v + Option.value ~default:0 (Hashtbl.find_opt sums name)))
-        (to_assoc t))
+      List.iter (fun (_name, get, set) -> set acc (get acc + get t)) fields)
     ts;
-  let get name = Option.value ~default:0 (Hashtbl.find_opt sums name) in
-  {
-    scc_steps = get "scc";
-    resmii_steps = get "resmii";
-    mindist_inner = get "mindist";
-    mindist_calls = get "mindist_calls";
-    heightr_inner = get "heightr";
-    estart_inner = get "estart";
-    findslot_inner = get "findslot";
-    sched_steps = get "sched";
-    sched_steps_final = get "sched_final";
-  }
+  acc
 
 let pp ppf t =
   match to_assoc t with

@@ -7,9 +7,11 @@
 
     This record predates the general {!Ims_obs.Metrics} registry and is
     kept as-is so that table 4 reproduction stays untouched; {!record}
-    bridges it into a registry under the ["counters."] namespace, and
-    {!to_assoc} is the single source of truth for its field names (both
-    {!pp} and {!record} read it). *)
+    bridges it into a registry under the ["counters."] namespace.  A
+    single internal field table is the source of truth for field names
+    and order: {!names}, {!to_assoc}, {!of_assoc}, {!merge}, {!pp} and
+    {!record} all derive from it, so the canonical key list appears in
+    exactly one place. *)
 
 type t = {
   mutable scc_steps : int;  (** SCC identification: vertices+edges touched. *)
@@ -36,12 +38,20 @@ val add : t -> t -> unit
 
 val merge : t list -> t
 (** A fresh record holding the field-wise sum — the reduction step for
-    per-worker counter shards after a parallel run.  Built on
-    {!to_assoc}, so it tracks the field list automatically. *)
+    per-worker counter shards after a parallel run.  Built on the field
+    table, so it tracks the field list automatically. *)
+
+val names : string list
+(** The canonical field names in declaration order — the keys of
+    {!to_assoc} and the order every serialised counter object uses. *)
 
 val to_assoc : t -> (string * int) list
 (** [(field name, value)] in declaration order — the names {!pp} prints
     and {!record} registers. *)
+
+val of_assoc : (string * int) list -> t
+(** Inverse of {!to_assoc}: missing keys default to 0, unknown keys are
+    ignored.  The decode half of snapshot/journal round-trips. *)
 
 val record : Ims_obs.Metrics.t -> t -> unit
 (** Adds every field into the registry as counter ["counters.NAME"]. *)

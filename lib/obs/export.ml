@@ -31,13 +31,29 @@ let chrome_event (e : Event.t) =
             ("args", Json.Obj (Event.args payload));
           ])
 
-let chrome buf events =
+(* The trace_event "M" (metadata) records that make Perfetto label the
+   track with real names instead of bare pid/tid numbers. *)
+let chrome_metadata ~process_name ~thread_name =
+  let meta name ~tid value =
+    Json.Obj
+      ([ ("name", Json.String name); ("ph", Json.String "M");
+         ("pid", Json.Int 1) ]
+      @ (if tid then [ ("tid", Json.Int 1) ] else [])
+      @ [ ("args", Json.Obj [ ("name", Json.String value) ]) ])
+  in
+  [
+    meta "process_name" ~tid:false process_name;
+    meta "thread_name" ~tid:true thread_name;
+  ]
+
+let chrome ?(process_name = "imsc") ?(thread_name = "scheduler") buf events =
   Buffer.add_string buf "{\"traceEvents\":[";
   List.iteri
     (fun i e ->
       Buffer.add_string buf (if i = 0 then "\n" else ",\n");
-      Json.to_buffer buf (chrome_event e))
-    events;
+      Json.to_buffer buf e)
+    (chrome_metadata ~process_name ~thread_name
+    @ List.map chrome_event events);
   Buffer.add_string buf "\n],\"displayTimeUnit\":\"ms\"}\n"
 
 let with_buffer f events =
@@ -46,4 +62,6 @@ let with_buffer f events =
   Buffer.contents buf
 
 let jsonl_string = with_buffer jsonl
-let chrome_string = with_buffer chrome
+
+let chrome_string ?process_name ?thread_name events =
+  with_buffer (chrome ?process_name ?thread_name) events

@@ -1,0 +1,183 @@
+(* The run-level profile: a mutable accumulator that merges per-job
+   telemetry (phase spans, step counters, wall-clock latency) into one
+   JSON artifact.  Counter totals, maxima and sample series are
+   deterministic across worker counts (they depend only on the job set);
+   phase and latency seconds are wall clock and are not. *)
+
+type series = { mutable samples : int; mutable rev_values : float list }
+
+type t = {
+  mutable jobs : int;
+  phases : (string, int * float) Hashtbl.t;
+  totals : (string, int) Hashtbl.t;
+  maxima : (string, int) Hashtbl.t;
+  series : (string, series) Hashtbl.t;
+}
+
+let latency_series = "job.seconds"
+
+let create () =
+  {
+    jobs = 0;
+    phases = Hashtbl.create 16;
+    totals = Hashtbl.create 16;
+    maxima = Hashtbl.create 16;
+    series = Hashtbl.create 16;
+  }
+
+let add_phase t name ~count ~seconds =
+  let count0, seconds0 =
+    Option.value ~default:(0, 0.0) (Hashtbl.find_opt t.phases name)
+  in
+  Hashtbl.replace t.phases name (count0 + count, seconds0 +. seconds)
+
+let add_counters t kvs =
+  List.iter
+    (fun (name, v) ->
+      Hashtbl.replace t.totals name
+        (v + Option.value ~default:0 (Hashtbl.find_opt t.totals name));
+      Hashtbl.replace t.maxima name
+        (max v (Option.value ~default:min_int (Hashtbl.find_opt t.maxima name))))
+    kvs
+
+let add_sample t name v =
+  let s =
+    match Hashtbl.find_opt t.series name with
+    | Some s -> s
+    | None ->
+        let s = { samples = 0; rev_values = [] } in
+        Hashtbl.add t.series name s;
+        s
+  in
+  s.samples <- s.samples + 1;
+  s.rev_values <- v :: s.rev_values
+
+let add_job t ?(spans = []) ?(counters = []) ~seconds () =
+  t.jobs <- t.jobs + 1;
+  List.iter (fun (name, (count, total)) -> add_phase t name ~count ~seconds:total) spans;
+  add_counters t counters;
+  add_sample t latency_series seconds
+
+let jobs t = t.jobs
+
+(* --- percentiles ----------------------------------------------------------- *)
+
+(* Nearest-rank on the sorted samples: the smallest sample such that at
+   least q of the distribution is at or below it.  Total by
+   construction: one sample answers every q, all-equal samples answer
+   that value, and the empty set has no percentiles at all. *)
+let percentile_sorted sorted q =
+  let n = Array.length sorted in
+  if n = 0 then None
+  else
+    let rank = int_of_float (Float.ceil (q *. float_of_int n)) in
+    Some sorted.(min (n - 1) (max 0 (rank - 1)))
+
+let percentile values q =
+  let sorted = Array.of_list values in
+  Array.sort compare sorted;
+  percentile_sorted sorted q
+
+type summary = {
+  count : int;
+  sum : float;
+  mean : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+let summarize values =
+  let sorted = Array.of_list values in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  if n = 0 then None
+  else
+    let sum = Array.fold_left ( +. ) 0.0 sorted in
+    let pct q =
+      match percentile_sorted sorted q with Some v -> v | None -> assert false
+    in
+    Some
+      {
+        count = n;
+        sum;
+        mean = sum /. float_of_int n;
+        min = sorted.(0);
+        max = sorted.(n - 1);
+        p50 = pct 0.5;
+        p90 = pct 0.9;
+        p99 = pct 0.99;
+      }
+
+(* --- readout --------------------------------------------------------------- *)
+
+let sorted_bindings tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let phases t = sorted_bindings t.phases
+
+let counters t =
+  List.map
+    (fun (name, total) ->
+      (name, total, Option.value ~default:total (Hashtbl.find_opt t.maxima name)))
+    (sorted_bindings t.totals)
+
+let series t =
+  List.filter_map
+    (fun (name, (s : series)) ->
+      Option.map (fun sum -> (name, sum)) (summarize s.rev_values))
+    (sorted_bindings t.series)
+
+let summary_to_json s =
+  Json.Obj
+    [
+      ("count", Json.Int s.count);
+      ("sum", Json.Float s.sum);
+      ("mean", Json.Float s.mean);
+      ("min", Json.Float s.min);
+      ("max", Json.Float s.max);
+      ("p50", Json.Float s.p50);
+      ("p90", Json.Float s.p90);
+      ("p99", Json.Float s.p99);
+    ]
+
+let to_json t =
+  Json.Obj
+    [
+      ("jobs", Json.Int t.jobs);
+      ( "phases",
+        Json.List
+          (List.map
+             (fun (name, (count, seconds)) ->
+               Json.Obj
+                 [
+                   ("name", Json.String name);
+                   ("count", Json.Int count);
+                   ("seconds", Json.Float seconds);
+                 ])
+             (phases t)) );
+      ( "counters",
+        Json.List
+          (List.map
+             (fun (name, total, max_) ->
+               Json.Obj
+                 [
+                   ("name", Json.String name);
+                   ("total", Json.Int total);
+                   ("max", Json.Int max_);
+                 ])
+             (counters t)) );
+      ( "series",
+        Json.List
+          (List.map
+             (fun (name, s) ->
+               Json.Obj
+                 (("name", Json.String name) ::
+                  (match summary_to_json s with
+                  | Json.Obj kvs -> kvs
+                  | _ -> assert false)))
+             (series t)) );
+    ]

@@ -1,0 +1,66 @@
+(** Live run status: a heartbeat file a monitor can poll while a long
+    batch runs, and a TTY progress line for humans — the seed of a
+    future daemon's health endpoint.
+
+    The contract that matters is {e torn-freedom}: {!write_atomic}
+    publishes by writing a sibling temp file and renaming it over the
+    target, so a reader always parses a complete JSON snapshot — even
+    if the writing process is SIGKILLed mid-heartbeat, the path holds
+    the previous complete snapshot.  (The final snapshot additionally
+    carries ["running":false], so a monitor can distinguish "finished"
+    from "died between heartbeats" by staleness.)
+
+    A {!writer} rate-limits publication to one heartbeat per [interval]
+    (by the injected timer — this module stays dependency-free; pass
+    [Unix.gettimeofday]); {!finish} always publishes. *)
+
+type counts = {
+  total : int;
+  ok : int;
+  failed : int;
+  timed_out : int;
+  cancelled : int;
+  retried : int;
+}
+
+val zero : total:int -> counts
+val completed : counts -> int
+(** [ok + failed + timed_out + cancelled] — jobs off the queue. *)
+
+type snapshot = { phase : string; counts : counts; elapsed : float }
+
+val throughput : snapshot -> float
+(** Completed jobs per second ([0.] before the clock moves). *)
+
+val eta : snapshot -> float option
+(** Remaining seconds, linearly extrapolated; [None] until at least one
+    job completes (or when nothing remains). *)
+
+val to_json : ?running:bool -> snapshot -> Json.t
+
+val write_atomic : path:string -> string -> unit
+(** Write [contents] to [path] via temp-file-plus-rename. *)
+
+val progress_line : snapshot -> string
+(** One human line: ["[phase] 42/300 done, 12.3/s, ETA 21s"], with
+    casualty/retry counts when nonzero. *)
+
+type writer
+
+val writer :
+  ?interval:float ->
+  ?file:string ->
+  ?tty:out_channel ->
+  timer:(unit -> float) ->
+  unit ->
+  writer
+(** [interval] defaults to 1s.  [file] receives atomic JSON snapshots;
+    [tty] receives a carriage-returned progress line (pass stderr only
+    when it is a terminal). *)
+
+val heartbeat : writer -> snapshot -> unit
+(** Publish, rate-limited to one per interval. *)
+
+val finish : writer -> snapshot -> unit
+(** Publish unconditionally with ["running":false]; settles the TTY
+    line with a newline. *)

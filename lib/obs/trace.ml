@@ -1,5 +1,6 @@
 type t = {
   enabled : bool;
+  time_spans : bool;  (** record span wall time even with events off *)
   mutable rev_events : Event.t list;
   mutable next_seq : int;
   timer : unit -> float;
@@ -9,6 +10,7 @@ type t = {
 let null =
   {
     enabled = false;
+    time_spans = false;
     rev_events = [];
     next_seq = 0;
     timer = (fun () -> 0.0);
@@ -16,9 +18,27 @@ let null =
   }
 
 let create ?(timer = Sys.time) () =
-  { enabled = true; rev_events = []; next_seq = 0; timer; spans = Hashtbl.create 16 }
+  {
+    enabled = true;
+    time_spans = true;
+    rev_events = [];
+    next_seq = 0;
+    timer;
+    spans = Hashtbl.create 16;
+  }
+
+let timer_only ?(timer = Sys.time) () =
+  {
+    enabled = false;
+    time_spans = true;
+    rev_events = [];
+    next_seq = 0;
+    timer;
+    spans = Hashtbl.create 16;
+  }
 
 let enabled t = t.enabled
+let times_spans t = t.time_spans
 
 let emit t payload =
   if t.enabled then begin
@@ -44,9 +64,9 @@ let budget_exhausted t ~ii ~unplaced =
 let instant t name = if t.enabled then emit t (Event.Instant { name })
 
 let with_span t name f =
-  if not t.enabled then f ()
+  if not (t.enabled || t.time_spans) then f ()
   else begin
-    emit t (Event.Span_begin { name });
+    if t.enabled then emit t (Event.Span_begin { name });
     let t0 = t.timer () in
     Fun.protect
       ~finally:(fun () ->
@@ -55,15 +75,16 @@ let with_span t name f =
           Option.value ~default:(0, 0.0) (Hashtbl.find_opt t.spans name)
         in
         Hashtbl.replace t.spans name (count + 1, total +. dt);
-        emit t (Event.Span_end { name }))
+        if t.enabled then emit t (Event.Span_end { name }))
       f
   end
 
 let events t = List.rev t.rev_events
 
 let absorb dst src =
-  if dst.enabled then begin
+  if dst.enabled then
     List.iter (fun (e : Event.t) -> emit dst e.Event.payload) (List.rev src.rev_events);
+  if dst.enabled || dst.time_spans then
     Hashtbl.iter
       (fun name (count, total) ->
         let count0, total0 =
@@ -71,7 +92,6 @@ let absorb dst src =
         in
         Hashtbl.replace dst.spans name (count0 + count, total0 +. total))
       src.spans
-  end
 
 let span_times t =
   Hashtbl.fold (fun name v acc -> (name, v) :: acc) t.spans []

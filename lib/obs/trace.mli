@@ -24,7 +24,18 @@ val create : ?timer:(unit -> float) -> unit -> t
     [Sys.time] — the stdlib's process-CPU clock, which keeps this
     library dependency-free.  Inject a wall clock here if preferred. *)
 
+val timer_only : ?timer:(unit -> float) -> unit -> t
+(** A trace that records {e only} the span table: [enabled] is false,
+    every typed emission is the usual single branch and {!events}
+    stays empty, but {!with_span} still accumulates per-phase wall
+    time.  This is what run-level profiling threads through each job
+    when full event tracing would be too heavy. *)
+
 val enabled : t -> bool
+
+val times_spans : t -> bool
+(** True for {!create}d and {!timer_only} traces: {!with_span} is
+    accumulating the phase table. *)
 
 val emit : t -> Event.payload -> unit
 (** Appends (when enabled).  Prefer the typed emitters below on hot
@@ -58,8 +69,10 @@ val events : t -> Event.t list
 val absorb : t -> t -> unit
 (** [absorb dst src] appends [src]'s events to [dst], re-stamping each
     with [dst]'s next sequence numbers, and folds [src]'s span table
-    (counts and wall time) into [dst]'s.  A no-op when [dst] is
-    disabled; [src] is left untouched.
+    (counts and wall time) into [dst]'s.  Events are dropped when [dst]
+    is disabled, and the span fold also happens into a {!timer_only}
+    [dst]; a fully-null [dst] makes this a no-op.  [src] is left
+    untouched.
 
     This is the merge step of sharded tracing: give each worker (or
     job) its own sink, then absorb the shards into one trace {e in a

@@ -11,6 +11,7 @@ let () =
       Test_workloads.tests;
       Test_stats.tests;
       Test_obs.tests;
+      Test_runobs.tests;
       Test_check.tests;
       Test_exec.tests;
       Test_resilience.tests;

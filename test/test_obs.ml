@@ -112,16 +112,31 @@ let test_chrome_parses_as_json () =
   | Ok (Json.Obj fields) -> (
       match List.assoc_opt "traceEvents" fields with
       | Some (Json.List tes) ->
-          Alcotest.(check int) "one trace event per event"
-            (List.length events) (List.length tes);
+          (* Two metadata records (process_name, thread_name) label the
+             Perfetto track ahead of the real events. *)
+          Alcotest.(check int) "one trace event per event, plus metadata"
+            (List.length events + 2) (List.length tes);
+          (match tes with
+          | Json.Obj m :: _ ->
+              Alcotest.(check bool) "leads with process_name metadata" true
+                (List.assoc_opt "name" m = Some (Json.String "process_name")
+                && List.assoc_opt "ph" m = Some (Json.String "M"))
+          | _ -> Alcotest.fail "first trace event is not an object");
           List.iter
             (function
               | Json.Obj f ->
+                  (* Metadata records ("ph":"M") carry args instead of a
+                     timestamp. *)
+                  let keys =
+                    if List.assoc_opt "ph" f = Some (Json.String "M") then
+                      [ "name"; "ph"; "pid"; "args" ]
+                    else [ "name"; "ph"; "ts"; "pid"; "tid" ]
+                  in
                   List.iter
                     (fun key ->
                       Alcotest.(check bool) ("has " ^ key) true
                         (List.mem_assoc key f))
-                    [ "name"; "ph"; "ts"; "pid"; "tid" ]
+                    keys
               | _ -> Alcotest.fail "trace event is not an object")
             tes
       | _ -> Alcotest.fail "no traceEvents list")
