@@ -625,6 +625,27 @@ let has_substring s sub =
   let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
   n = 0 || go 0
 
+(* Expand loop-dump arguments for batch and request: a directory
+   contributes its files in sorted basename order, so the corpus order
+   (and hence the report order) is deterministic. *)
+let expand_loop_inputs ~tag paths =
+  let inputs =
+    List.concat_map
+      (fun path ->
+        if Sys.file_exists path && Sys.is_directory path then
+          Sys.readdir path |> Array.to_list |> List.sort compare
+          |> List.filter_map (fun f ->
+                 let full = Filename.concat path f in
+                 if Sys.is_directory full then None else Some (f, full))
+        else if Sys.file_exists path then [ (Filename.basename path, path) ]
+        else
+          failwith
+            (Printf.sprintf "%s: no such file or directory %S" tag path))
+      paths
+  in
+  if inputs = [] then failwith (tag ^ ": no loop dumps found");
+  inputs
+
 let cmd_batch =
   let paths_arg =
     let doc =
@@ -768,22 +789,7 @@ let cmd_batch =
         in
         let inject_spin = parse_inject "inject-spin" inject_spin in
         let inject_flaky = parse_inject "inject-flaky" inject_flaky in
-        let inputs =
-          List.concat_map
-            (fun path ->
-              if Sys.file_exists path && Sys.is_directory path then
-                Sys.readdir path |> Array.to_list |> List.sort compare
-                |> List.filter_map (fun f ->
-                       let full = Filename.concat path f in
-                       if Sys.is_directory full then None else Some (f, full))
-              else if Sys.file_exists path then
-                [ (Filename.basename path, path) ]
-              else
-                failwith
-                  (Printf.sprintf "batch: no such file or directory %S" path))
-            paths
-        in
-        if inputs = [] then failwith "batch: no loop dumps found";
+        let inputs = expand_loop_inputs ~tag:"batch" paths in
         let n = List.length inputs in
         (* The manifest hash pins everything a journaled result depends
            on: machine model, scheduling and resilience flags, and the
@@ -894,72 +900,21 @@ let cmd_batch =
         in
         (* Rendering is pure per (input, outcome), so the line journaled
            at completion time and the line in the final report are the
-           same bytes.  Quarantined loops (any final non-ok outcome)
-           additionally carry the acyclic fallback schedule when the
-           loop at least parses — the run still ships a correct, checked
-           schedule for a loop whose pipelining was cancelled. *)
+           same bytes.  The field definitions live in Ims_serve.Render —
+           shared with the serve daemon, which is what makes a served
+           (or cached) record byte-identical to a batch one.  Quarantined
+           loops (any final non-ok outcome) additionally carry the
+           acyclic fallback schedule when the loop at least parses — the
+           run still ships a correct, checked schedule for a loop whose
+           pipelining was cancelled. *)
         let render (name, path) outcome =
           let extra =
-            match outcome with
-            | Ims_exec.Outcome.Done _ -> []
-            | Ims_exec.Outcome.Cancelled { elapsed; limit } ->
-                let fb =
-                  match Loop_parse.parse_file machine path with
-                  | exception _ -> []
-                  | ddg -> (
-                      match
-                        Ims_check.Fallback.fallback ddg
-                          ~reason:
-                            (Ims_check.Fallback.Cancelled { elapsed; limit })
-                      with
-                      | exception _ -> []
-                      | h ->
-                          [
-                            ( "fallback_ii",
-                              Json.Int
-                                h.Ims_check.Fallback.schedule
-                                  .Ims_core.Schedule.ii );
-                            ( "fallback_sl",
-                              Json.Int
-                                (Ims_core.Schedule.length
-                                   h.Ims_check.Fallback.schedule) );
-                          ])
-                in
-                ("quarantined", Json.Bool true) :: fb
-            | _ -> [ ("quarantined", Json.Bool true) ]
+            Ims_serve.Render.casualty_extra
+              ~reparse:(fun () -> Loop_parse.parse_file machine path)
+              outcome
           in
           Ims_exec.Report.line ~name ~extra
-            ~fields:(fun ((h : Ims_check.Fallback.t), sl, n) ->
-              let ims_fields =
-                match h.Ims_check.Fallback.ims with
-                | None -> []
-                | Some out ->
-                    let m = out.Ims_core.Ims.mii in
-                    [
-                      ("resmii", Json.Int m.Ims_mii.Mii.resmii);
-                      ("recmii", Json.Int m.Ims_mii.Mii.recmii);
-                      ("mii", Json.Int m.Ims_mii.Mii.mii);
-                      ("attempts", Json.Int out.Ims_core.Ims.attempts);
-                      ("steps_final", Json.Int out.Ims_core.Ims.steps_final);
-                      ("steps_total", Json.Int out.Ims_core.Ims.steps_total);
-                    ]
-              in
-              let degraded_fields =
-                match h.Ims_check.Fallback.degraded with
-                | None -> [ ("degraded", Json.Bool false) ]
-                | Some r ->
-                    [
-                      ("degraded", Json.Bool true);
-                      ("reason", Json.String (Ims_check.Fallback.reason_kind r));
-                    ]
-              in
-              (("n", Json.Int n)
-               :: ( "ii",
-                    Json.Int h.Ims_check.Fallback.schedule.Ims_core.Schedule.ii
-                  )
-               :: ("sl", Json.Int sl) :: ims_fields)
-              @ degraded_fields)
-            outcome
+            ~fields:Ims_serve.Render.done_fields outcome
         in
         let retry =
           Ims_exec.Retry.create ~max_attempts:(max 1 retries) ~backoff
@@ -1013,9 +968,33 @@ let cmd_batch =
                  ~timer:Unix.gettimeofday ())
           else None
         in
+        (* The final "running":false snapshot must land on every exit
+           path — normal completion, --max-failures fail-fast, deadline
+           cancellation, or an exception escaping mid-run (say, a
+           journal write error) — so a monitor can always tell
+           "finished" from "died between heartbeats".  Idempotent: the
+           success path publishes the full stats and the protective
+           finally becomes a no-op. *)
+        let last_counts = ref (Status.zero ~total:(List.length pending)) in
+        let finished = ref false in
+        let finish_status counts =
+          Option.iter
+            (fun w ->
+              if not !finished then begin
+                finished := true;
+                Status.finish w
+                  {
+                    Status.phase = "batch";
+                    counts;
+                    elapsed = Unix.gettimeofday () -. t_start;
+                  }
+              end)
+            status_writer
+        in
         let progress =
           Option.map
             (fun w counts ->
+              last_counts := counts;
               Status.heartbeat w
                 {
                   Status.phase = "batch";
@@ -1024,30 +1003,22 @@ let cmd_batch =
                 })
             status_writer
         in
+        Fun.protect ~finally:(fun () -> finish_status !last_counts)
+        @@ fun () ->
         let outcomes, merged, stats =
           Ims_exec.Exec.run ~jobs ?timeout ?deadline ~retry
             ?cancel:run_cancel ?on_result ?profile ?progress ~sleep:Unix.sleepf
             ~timer:Unix.gettimeofday ~f:schedule_one pending
         in
-        Option.iter
-          (fun w ->
-            let counts =
-              {
-                Status.total = stats.Ims_exec.Exec.jobs;
-                ok = stats.Ims_exec.Exec.ok;
-                failed = stats.Ims_exec.Exec.failed;
-                timed_out = stats.Ims_exec.Exec.timed_out;
-                cancelled = stats.Ims_exec.Exec.cancelled;
-                retried = stats.Ims_exec.Exec.retried;
-              }
-            in
-            Status.finish w
-              {
-                Status.phase = "batch";
-                counts;
-                elapsed = Unix.gettimeofday () -. t_start;
-              })
-          status_writer;
+        finish_status
+          {
+            Status.total = stats.Ims_exec.Exec.jobs;
+            ok = stats.Ims_exec.Exec.ok;
+            failed = stats.Ims_exec.Exec.failed;
+            timed_out = stats.Ims_exec.Exec.timed_out;
+            cancelled = stats.Ims_exec.Exec.cancelled;
+            retried = stats.Ims_exec.Exec.retried;
+          };
         (match (profile_file, profile) with
         | Some file, Some p ->
             (* The achieved IIs make a deterministic series (outcomes
@@ -1160,6 +1131,315 @@ let cmd_batch =
       $ quarantine_arg $ max_failures_arg $ inject_spin_arg $ inject_flaky_arg
       $ profile_file_arg $ status_file_arg $ status_interval_arg)
 
+(* --- serve / request -------------------------------------------------------- *)
+
+let serve_log =
+  Log.create ~human:stderr ~timer:Unix.gettimeofday ~tag:"imsc serve" ()
+
+let request_log =
+  Log.create ~human:stderr ~timer:Unix.gettimeofday ~tag:"imsc request" ()
+
+let cmd_serve =
+  let socket_arg =
+    let doc =
+      "Unix-domain socket path to listen on (keep it short — sun_path is \
+       ~100 bytes)."
+    in
+    Arg.(
+      required & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+  in
+  let jobs_arg =
+    let doc = "Scheduling worker domains." in
+    Arg.(
+      value
+      & opt int (Ims_exec.Exec.default_jobs ())
+      & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+  in
+  let queue_arg =
+    let doc =
+      "Admission high-water mark: a schedule request arriving with this \
+       many jobs already queued is answered with a structured overloaded \
+       response (backpressure) instead of queueing unboundedly."
+    in
+    Arg.(value & opt int 64 & info [ "queue" ] ~docv:"N" ~doc)
+  in
+  let cache_file_arg =
+    let doc =
+      "Persist the schedule cache to $(docv) (fsync'd append-only JSONL \
+       with a version header): a restarted daemon replays it and starts \
+       warm, surviving even SIGKILL with at most one torn entry."
+    in
+    Arg.(value & opt (some string) None & info [ "cache" ] ~docv:"FILE" ~doc)
+  in
+  let cache_entries_arg =
+    let doc = "In-memory cache capacity (FIFO eviction past it)." in
+    Arg.(value & opt int 4096 & info [ "cache-entries" ] ~docv:"N" ~doc)
+  in
+  let deadline_arg =
+    let doc =
+      "Default preemptive per-request deadline in seconds, used when a \
+       request does not carry its own."
+    in
+    Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"S" ~doc)
+  in
+  let status_file_arg =
+    let doc =
+      "Heartbeat: atomically rewrite $(docv) with a JSON status snapshot \
+       (requests served, queue state) every --status-interval seconds; \
+       the shutdown write carries \"running\":false."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "status-file" ] ~docv:"FILE" ~doc)
+  in
+  let status_interval_arg =
+    let doc = "Seconds between status heartbeats." in
+    Arg.(value & opt float 1.0 & info [ "status-interval" ] ~docv:"S" ~doc)
+  in
+  let metrics_arg =
+    let doc =
+      "Write the daemon's metrics registry (cache hits/misses/evictions, \
+       queue depth, request counts) as JSON to $(docv) on shutdown."
+    in
+    Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+  in
+  let inject_spin_arg =
+    let doc =
+      "Test hook: make requests named NAME busy-wait S seconds (polling \
+       their cancellation token) before scheduling."
+    in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "inject-spin" ] ~docv:"NAME:S" ~doc)
+  in
+  let run socket jobs queue cache_file cache_entries deadline status_file
+      status_interval metrics inject_spin =
+    wrap_code (fun () ->
+        let inject_spin =
+          match inject_spin with
+          | None -> None
+          | Some s -> (
+              match String.rindex_opt s ':' with
+              | None -> failwith "serve: --inject-spin expects NAME:S"
+              | Some i -> (
+                  let name = String.sub s 0 i in
+                  let v = String.sub s (i + 1) (String.length s - i - 1) in
+                  match float_of_string_opt v with
+                  | Some f -> Some (name, f)
+                  | None ->
+                      failwith
+                        (Printf.sprintf "serve: --inject-spin: bad value %S" v)))
+        in
+        match
+          Ims_serve.Server.run
+            {
+              Ims_serve.Server.socket;
+              workers = max 1 jobs;
+              queue = max 1 queue;
+              cache_entries = max 1 cache_entries;
+              cache_file;
+              deadline;
+              status_file;
+              status_interval;
+              metrics_file = metrics;
+              inject_spin;
+            }
+            ~machine_of ~log:serve_log
+        with
+        | Ok () -> 0
+        | Error msg ->
+            Log.error serve_log "%s" msg;
+            1)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the scheduling daemon: loop-scheduling requests over a \
+          Unix-domain socket, answered through a content-addressed, \
+          disk-persistent schedule cache")
+    Term.(
+      const run $ socket_arg $ jobs_arg $ queue_arg $ cache_file_arg
+      $ cache_entries_arg $ deadline_arg $ status_file_arg
+      $ status_interval_arg $ metrics_arg $ inject_spin_arg)
+
+let cmd_request =
+  let paths_arg =
+    let doc =
+      "Loop dumps or directories of them (may be empty with --stats or \
+       --shutdown)."
+    in
+    Arg.(value & pos_all string [] & info [] ~docv:"PATH" ~doc)
+  in
+  let socket_arg =
+    let doc = "The daemon's Unix-domain socket." in
+    Arg.(
+      required & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+  in
+  let deadline_arg =
+    let doc = "Preemptive per-request deadline in seconds." in
+    Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"S" ~doc)
+  in
+  let report_arg =
+    let doc = "Write the per-loop JSONL report to $(docv) (default stdout)." in
+    Arg.(value & opt (some string) None & info [ "report" ] ~docv:"FILE" ~doc)
+  in
+  let stats_arg =
+    let doc =
+      "Fetch the daemon's metrics registry and print it (one JSON line) \
+       after the reports."
+    in
+    Arg.(value & flag & info [ "stats" ] ~doc)
+  in
+  let shutdown_arg =
+    let doc =
+      "Ask the daemon to shut down gracefully (after any scheduling \
+       requests in this invocation)."
+    in
+    Arg.(value & flag & info [ "shutdown" ] ~doc)
+  in
+  let wait_arg =
+    let doc =
+      "Seconds to keep retrying the initial connection — absorbs the \
+       launch-daemon-then-request startup race."
+    in
+    Arg.(value & opt float 5.0 & info [ "connect-wait" ] ~docv:"S" ~doc)
+  in
+  let timeout_arg =
+    let doc = "Overall exchange timeout in seconds." in
+    Arg.(value & opt float 600.0 & info [ "io-timeout" ] ~docv:"S" ~doc)
+  in
+  let run model paths socket budget max_delta_ii deadline report stats shutdown
+      wait timeout =
+    wrap_code (fun () ->
+        if paths = [] && not stats && not shutdown then
+          failwith
+            "request: nothing to do (no loop dumps, no --stats, no --shutdown)";
+        let inputs =
+          if paths = [] then []
+          else expand_loop_inputs ~tag:"request" paths
+        in
+        let n = List.length inputs in
+        let stats_id = n + 1 and bye_id = n + 2 in
+        let requests =
+          List.mapi
+            (fun i (name, path) ->
+              Ims_serve.Protocol.Schedule
+                {
+                  id = i + 1;
+                  name;
+                  machine = model;
+                  budget_ratio = budget;
+                  max_delta_ii;
+                  deadline;
+                  dump = read_file_bytes path;
+                })
+            inputs
+          @ (if stats then [ Ims_serve.Protocol.Stats { id = stats_id } ]
+             else [])
+          @
+          if shutdown then [ Ims_serve.Protocol.Shutdown { id = bye_id } ]
+          else []
+        in
+        let attempts = max 1 (int_of_float (Float.ceil (wait /. 0.1))) in
+        match Ims_serve.Client.connect ~attempts ~delay:0.1 socket with
+        | Error msg -> failwith ("request: " ^ msg)
+        | Ok fd ->
+            Fun.protect
+              ~finally:(fun () ->
+                try Unix.close fd with Unix.Unix_error _ -> ())
+            @@ fun () ->
+            let responses =
+              match Ims_serve.Client.roundtrip ~timeout fd requests with
+              | Ok rs -> rs
+              | Error msg -> failwith ("request: " ^ msg)
+            in
+            let by_id = Hashtbl.create 97 in
+            List.iter
+              (fun r ->
+                Hashtbl.replace by_id (Ims_serve.Protocol.response_id r) r)
+              responses;
+            let cached = ref 0 and casualties = ref 0 and degraded = ref 0 in
+            let buf = Buffer.create 4096 in
+            List.iteri
+              (fun i (name, _) ->
+                let emit line =
+                  Buffer.add_string buf line;
+                  Buffer.add_char buf '\n'
+                in
+                match Hashtbl.find_opt by_id (i + 1) with
+                | Some (Ims_serve.Protocol.Report { cached = c; record; _ })
+                  ->
+                    if c then incr cached;
+                    (match Json.of_string record with
+                    | Ok (Json.Obj kvs) ->
+                        (match List.assoc_opt "status" kvs with
+                        | Some (Json.String "ok") | None -> ()
+                        | Some _ -> incr casualties);
+                        (match List.assoc_opt "degraded" kvs with
+                        | Some (Json.Bool true) -> incr degraded
+                        | _ -> ())
+                    | _ -> ());
+                    emit record
+                | Some (Ims_serve.Protocol.Overloaded { depth; capacity; _ })
+                  ->
+                    incr casualties;
+                    Log.warn request_log "%s: overloaded (queue %d/%d)" name
+                      depth capacity;
+                    emit
+                      (Json.to_string
+                         (Json.Obj
+                            [
+                              ("name", Json.String name);
+                              ("status", Json.String "overloaded");
+                            ]))
+                | Some (Ims_serve.Protocol.Error { message; _ }) ->
+                    incr casualties;
+                    Log.error request_log "%s: %s" name message;
+                    emit
+                      (Json.to_string
+                         (Json.Obj
+                            [
+                              ("name", Json.String name);
+                              ("status", Json.String "error");
+                              ("error", Json.String message);
+                            ]))
+                | Some _ | None ->
+                    incr casualties;
+                    Log.error request_log "%s: no response" name;
+                    emit
+                      (Json.to_string
+                         (Json.Obj
+                            [
+                              ("name", Json.String name);
+                              ("status", Json.String "error");
+                              ("error", Json.String "no response");
+                            ])))
+              inputs;
+            (match report with
+            | Some file -> write_file file (Buffer.contents buf)
+            | None -> print_string (Buffer.contents buf));
+            (if stats then
+               match Hashtbl.find_opt by_id stats_id with
+               | Some (Ims_serve.Protocol.Stats_reply { metrics; _ }) ->
+                   print_string (Json.to_string metrics ^ "\n")
+               | _ -> Log.warn request_log "no stats reply");
+            if shutdown && Hashtbl.mem by_id bye_id then
+              Log.info request_log "daemon acknowledged shutdown";
+            if n > 0 then
+              Log.info request_log "%d of %d loop(s) served from cache"
+                !cached n;
+            if !casualties > 0 then 1 else if !degraded > 0 then 2 else 0)
+  in
+  Cmd.v
+    (Cmd.info "request"
+       ~doc:
+         "Schedule loop dumps through a running 'imsc serve' daemon and \
+          emit the same per-loop JSONL report as 'imsc batch'")
+    Term.(
+      const run $ machine_arg $ paths_arg $ socket_arg $ budget_arg
+      $ max_delta_ii_arg $ deadline_arg $ report_arg $ stats_arg
+      $ shutdown_arg $ wait_arg $ timeout_arg)
+
 (* --- suite ---------------------------------------------------------------------- *)
 
 let cmd_suite =
@@ -1270,16 +1550,47 @@ let cmd_perf =
       (Cmd.info "show" ~doc:"Render an aggregated run profile as tables")
       Term.(const run $ file_arg)
   in
+  (* Trajectory order is the numeric PR index embedded in the filename:
+     BENCH_10 belongs after BENCH_4, which both a lexicographic glob
+     and a plain sort get wrong.  Sort by the last run of digits in the
+     basename; unnumbered snapshots go last, by name. *)
+  let snapshot_order files =
+    let index file =
+      let b = Filename.basename file in
+      let is_digit c = c >= '0' && c <= '9' in
+      let rec last_digit i =
+        if i < 0 then None
+        else if is_digit b.[i] then Some i
+        else last_digit (i - 1)
+      in
+      match last_digit (String.length b - 1) with
+      | None -> None
+      | Some e ->
+          let rec start i =
+            if i >= 0 && is_digit b.[i] then start (i - 1) else i + 1
+          in
+          int_of_string_opt (String.sub b (start e) (e - start e + 1))
+    in
+    List.stable_sort
+      (fun a b ->
+        match (index a, index b) with
+        | Some i, Some j -> if i = j then compare a b else compare i j
+        | Some _, None -> -1
+        | None, Some _ -> 1
+        | None, None -> compare a b)
+      files
+  in
   let cmd_report =
     let files_arg =
       let doc =
-        "Bench snapshots in trajectory order (e.g. BENCH_*.json — the \
-         shell sorts the glob)."
+        "Bench snapshots (e.g. BENCH_*.json); tabulated in numeric PR-index \
+         order (BENCH_10 after BENCH_4), regardless of argument order."
       in
       Arg.(non_empty & pos_all string [] & info [] ~docv:"BENCH.json" ~doc)
     in
     let run files =
       wrap (fun () ->
+          let files = snapshot_order files in
           let row file =
             let j = read_json file in
             let cobj = Option.value ~default:(Json.Obj []) (get "counters" j) in
@@ -1485,5 +1796,5 @@ let () =
           [
             cmd_machine; cmd_list; cmd_show; cmd_export; cmd_report; cmd_dot;
             cmd_mii; cmd_schedule; cmd_codegen; cmd_simulate; cmd_suite;
-            cmd_batch; cmd_check; cmd_perf;
+            cmd_batch; cmd_serve; cmd_request; cmd_check; cmd_perf;
           ]))

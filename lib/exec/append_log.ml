@@ -1,0 +1,79 @@
+open Ims_obs
+
+type t = { fd : Unix.file_descr; mutable closed : bool }
+
+(* One full line per write call, then fsync: a crash can tear at most
+   the line being written, and only at the end of the file. *)
+let write_line fd json =
+  let line = Bytes.of_string (Json.to_string json ^ "\n") in
+  let len = Bytes.length line in
+  let rec push off =
+    if off < len then push (off + Unix.write fd line off (len - off))
+  in
+  push 0;
+  Unix.fsync fd
+
+let create ~path ~header =
+  let fd =
+    Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+  in
+  write_line fd header;
+  { fd; closed = false }
+
+let read_all path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* A torn trailing fragment (SIGKILL mid-append) must be cut before the
+   next append, or the fragment and the new record would fuse into one
+   corrupt line — poisoning the log for any later reader. *)
+let reopen ~path =
+  let fd = Unix.openfile path [ Unix.O_RDWR ] 0o644 in
+  let size = (Unix.fstat fd).Unix.st_size in
+  let keep =
+    if size = 0 then 0
+    else begin
+      let content = read_all path in
+      if content.[String.length content - 1] = '\n' then String.length content
+      else
+        match String.rindex_opt content '\n' with
+        | Some i -> i + 1
+        | None -> 0
+    end
+  in
+  if keep < size then Unix.ftruncate fd keep;
+  ignore (Unix.lseek fd keep Unix.SEEK_SET);
+  { fd; closed = false }
+
+let append t json = write_line t.fd json
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    Unix.close t.fd
+  end
+
+type loaded = { header : string; records : string list; torn : bool }
+
+let load ~path =
+  match read_all path with
+  | exception Sys_error msg -> Error msg
+  | "" -> Error "empty log"
+  | content ->
+      let complete = content.[String.length content - 1] = '\n' in
+      let lines =
+        String.split_on_char '\n' content |> List.filter (fun l -> l <> "")
+      in
+      let lines, torn =
+        if complete then (lines, false)
+        else
+          (* The fragment is whatever follows the last newline; drop it. *)
+          match List.rev lines with
+          | _fragment :: kept -> (List.rev kept, true)
+          | [] -> ([], true)
+      in
+      (match lines with
+      | [] -> Error "log holds no complete line"
+      | header :: records -> Ok { header; records; torn })

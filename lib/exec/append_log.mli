@@ -1,0 +1,40 @@
+(** Crash-safe append-only JSONL files: the shared substrate of the
+    batch {!Journal} and the serve-daemon schedule cache.
+
+    The contract, shared by every user:
+
+    - one complete line per {!append}, fsync'd before returning, so a
+      crash (even SIGKILL) can tear at most the line being written, and
+      only at the very end of the file;
+    - {!reopen} cuts any torn trailing fragment before the next append,
+      so the fragment and a new record can never fuse into one corrupt
+      line;
+    - the first line is a header identifying the format (written by
+      {!create}, returned raw by {!load} for the caller to validate). *)
+
+type t
+
+val create : path:string -> header:Ims_obs.Json.t -> t
+(** Truncate-create [path] and write the header line. *)
+
+val reopen : path:string -> t
+(** Open an existing log for appending, truncating a torn final line
+    (one not ending in ['\n']) first.  @raise Unix.Unix_error if the
+    file cannot be opened. *)
+
+val append : t -> Ims_obs.Json.t -> unit
+(** Append one record as a single fsync'd line. *)
+
+val close : t -> unit
+(** Idempotent. *)
+
+type loaded = {
+  header : string;  (** The first line, raw (no trailing newline). *)
+  records : string list;  (** Every complete line after the header. *)
+  torn : bool;  (** A trailing fragment was present and dropped. *)
+}
+
+val load : path:string -> (loaded, string) result
+(** Read the whole log.  A final line without ['\n'] is an interrupted
+    append: it is dropped and reported as [torn] rather than returned —
+    re-deriving the lost record is the caller's business. *)

@@ -1,0 +1,4 @@
+let of_parts parts =
+  Stdlib.Digest.to_hex (Stdlib.Digest.string (String.concat "\x00" parts))
+
+let of_string s = of_parts [ s ]

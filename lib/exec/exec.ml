@@ -15,6 +15,59 @@ type stats = {
 
 let default_jobs () = Domain.recommended_domain_count ()
 
+(* The per-job engine: one input through the attempt / retry /
+   cancellation machinery.  [token scale] mints the attempt's
+   cancellation token (the factory owns the deadline and parent-token
+   policy, so the array path and the stream path share every other
+   line).  Returns the final attempt's outcome, its telemetry shard,
+   and the attempt count. *)
+let run_job ~timer ~timeout ~retry ~sleep ~observe ~time_spans ~token ~job ~f x
+    =
+  let rec attempt_loop attempt scale prev =
+    let tok = token scale in
+    let shard = Shard.create ~observe ~time_spans ~timer ~cancel:tok ~attempt () in
+    (match prev with
+    | Some o ->
+        Trace.emit shard.Shard.trace
+          (Event.Job_retry { job; attempt; after = Outcome.status o })
+    | None -> ());
+    let t0 = timer () in
+    let outcome =
+      (* A tripped run-level gate cancels jobs not yet started without
+         ever calling [f]. *)
+      if Cancel.cancelled tok then
+        Outcome.Cancelled
+          {
+            elapsed = 0.0;
+            limit =
+              (match Cancel.deadline tok with Some d -> d | None -> infinity);
+          }
+      else
+        match f shard x with
+        | v -> (
+            match timeout with
+            | Some limit ->
+                let elapsed = timer () -. t0 in
+                if elapsed > limit then Outcome.Timed_out { elapsed; limit }
+                else Outcome.Done v
+            | None -> Outcome.Done v)
+        | exception Cancel.Cancelled { elapsed; limit } ->
+            Outcome.Cancelled { elapsed; limit }
+        | exception e ->
+            Outcome.Failed
+              {
+                Outcome.exn = Printexc.to_string e;
+                backtrace = Printexc.get_backtrace ();
+              }
+    in
+    match Retry.decide retry ~attempt outcome with
+    | Retry.Give_up -> (outcome, shard, attempt)
+    | Retry.Retry { backoff; deadline_scale } ->
+        if backoff > 0.0 then sleep backoff;
+        attempt_loop (attempt + 1) (scale *. deadline_scale) (Some outcome)
+  in
+  attempt_loop 1 1.0 None
+
 let run ?jobs ?timeout ?deadline ?(retry = Retry.none) ?cancel ?on_result
     ?(sleep = fun (_ : float) -> ()) ?(policy = Chunk.default)
     ?(observe = false) ?profile ?progress ?(timer = Sys.time) ~f inputs =
@@ -48,51 +101,11 @@ let run ?jobs ?timeout ?deadline ?(retry = Retry.none) ?cancel ?on_result
     | Some d, _ -> Cancel.create ~timer ?parent:cancel ~deadline:(d *. scale) ()
   in
   let body i =
-    let rec attempt_loop attempt scale prev =
-      let tok = token scale in
-      let shard = Shard.create ~observe ~time_spans ~timer ~cancel:tok ~attempt () in
-      (match prev with
-      | Some o ->
-          Trace.emit shard.Shard.trace
-            (Event.Job_retry { job = i; attempt; after = Outcome.status o })
-      | None -> ());
-      let t0 = timer () in
-      let outcome =
-        (* A tripped run-level gate cancels jobs not yet started without
-           ever calling [f]. *)
-        if Cancel.cancelled tok then
-          Outcome.Cancelled
-            {
-              elapsed = 0.0;
-              limit =
-                (match deadline with Some d -> d *. scale | None -> infinity);
-            }
-        else
-          match f shard inputs.(i) with
-          | v -> (
-              match timeout with
-              | Some limit ->
-                  let elapsed = timer () -. t0 in
-                  if elapsed > limit then Outcome.Timed_out { elapsed; limit }
-                  else Outcome.Done v
-              | None -> Outcome.Done v)
-          | exception Cancel.Cancelled { elapsed; limit } ->
-              Outcome.Cancelled { elapsed; limit }
-          | exception e ->
-              Outcome.Failed
-                {
-                  Outcome.exn = Printexc.to_string e;
-                  backtrace = Printexc.get_backtrace ();
-                }
-      in
-      match Retry.decide retry ~attempt outcome with
-      | Retry.Give_up -> (outcome, shard, attempt)
-      | Retry.Retry { backoff; deadline_scale } ->
-          if backoff > 0.0 then sleep backoff;
-          attempt_loop (attempt + 1) (scale *. deadline_scale) (Some outcome)
-    in
     let j0 = timer () in
-    let outcome, shard, attempts = attempt_loop 1 1.0 None in
+    let outcome, shard, attempts =
+      run_job ~timer ~timeout ~retry ~sleep ~observe ~time_spans ~token ~job:i
+        ~f inputs.(i)
+    in
     (* Only the final attempt's shard survives: abandoned attempts must
        not pollute the deterministic merged telemetry. *)
     shards.(i) <- shard;
@@ -156,6 +169,45 @@ let run ?jobs ?timeout ?deadline ?(retry = Retry.none) ?cancel ?on_result
             ~seconds:seconds_of.(i) ())
         shards);
   (outcomes, Shard.merge (Array.to_list shards), stats)
+
+(* --- stream intake ------------------------------------------------------- *)
+
+type 'a streaming = unit Domain.t array
+
+let stream ?(workers = 1) ?timeout ?(retry = Retry.none) ?cancel
+    ?(sleep = fun (_ : float) -> ()) ?(observe = false) ?(timer = Sys.time)
+    ?(deadline_of = fun _ -> None) ~f ~respond intake =
+  let seq = Atomic.make 0 in
+  let worker () =
+    let rec loop () =
+      match Intake.take intake with
+      | None -> ()
+      | Some x ->
+          let job = Atomic.fetch_and_add seq 1 in
+          let token scale =
+            match (deadline_of x, cancel) with
+            | None, None -> Cancel.null
+            | None, Some run_tok -> Cancel.create ~timer ~parent:run_tok ()
+            | Some d, _ ->
+                Cancel.create ~timer ?parent:cancel ~deadline:(d *. scale) ()
+          in
+          let outcome, shard, attempts =
+            run_job ~timer ~timeout ~retry ~sleep ~observe ~time_spans:false
+              ~token ~job ~f x
+          in
+          (* A worker that dies takes a slice of the pool's capacity
+             with it for the rest of the daemon's life, so [respond] is
+             contained like [f] is: its exceptions are the callback's
+             own business (callers log there), never the loop's. *)
+          (try respond x outcome shard attempts with _ -> ());
+          loop ()
+    in
+    loop ()
+  in
+  Array.init (max 1 workers) (fun _ -> Domain.spawn worker)
+
+let streaming_jobs (s : 'a streaming) = Array.length s
+let await (s : 'a streaming) = Array.iter Domain.join s
 
 let map ?jobs ?timeout ?policy f inputs =
   let outcomes, _, _ =

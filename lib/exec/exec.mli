@@ -121,6 +121,55 @@ val run :
     meaningful deadlines under parallelism — [Sys.time] is process-CPU
     time summed over domains. *)
 
+(** {2 Stream intake}
+
+    [run] materializes its inputs; a daemon cannot.  The stream form
+    consumes an {!Intake} — jobs arrive for the lifetime of the
+    process, workers pull as they free up, and results leave through a
+    callback instead of a returned list.  Both forms share the same
+    per-job engine (attempts, retry policy, soft timeout, cooperative
+    cancellation), so a job behaves identically whether it came from a
+    file corpus or a socket. *)
+
+type 'a streaming
+(** A running pool of stream workers. *)
+
+val stream :
+  ?workers:int ->
+  ?timeout:float ->
+  ?retry:Retry.policy ->
+  ?cancel:Ims_obs.Cancel.t ->
+  ?sleep:(float -> unit) ->
+  ?observe:bool ->
+  ?timer:(unit -> float) ->
+  ?deadline_of:('a -> float option) ->
+  f:(Shard.t -> 'a -> 'b) ->
+  respond:('a -> 'b Outcome.t -> Shard.t -> int -> unit) ->
+  'a Intake.t ->
+  'a streaming
+(** [stream ~f ~respond intake] spawns [workers] domains (all spawned —
+    the calling domain keeps running, e.g. an accept loop) that pull
+    jobs from [intake] until it is closed and drained; {!await} then
+    joins them.
+
+    [deadline_of] arms a {e per-job} preemptive deadline (the daemon's
+    per-request deadline), where [run]'s [deadline] is one value for the
+    whole batch; [cancel] is the pool-level kill switch, parent of every
+    job token as in [run].
+
+    [respond x outcome shard attempts] fires on the job's worker as it
+    completes — possibly concurrently across workers; serialize inside
+    if needed.  Its exceptions are contained (a respond bug must not
+    leak a worker out of the pool); handle and log them in the
+    callback. *)
+
+val await : 'a streaming -> unit
+(** Join the workers: returns once every worker has seen the closed,
+    drained intake.  {!Intake.close} first, or this blocks forever. *)
+
+val streaming_jobs : 'a streaming -> int
+(** The worker count of the pool. *)
+
 val map :
   ?jobs:int ->
   ?timeout:float ->

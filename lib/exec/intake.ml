@@ -1,0 +1,44 @@
+type 'a t = {
+  cap : int;
+  q : 'a Queue.t;
+  m : Mutex.t;
+  nonempty : Condition.t;
+  mutable closed : bool;
+}
+
+let create ~capacity =
+  {
+    cap = max 1 capacity;
+    q = Queue.create ();
+    m = Mutex.create ();
+    nonempty = Condition.create ();
+    closed = false;
+  }
+
+let with_lock t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+let try_add t x =
+  with_lock t (fun () ->
+      if t.closed || Queue.length t.q >= t.cap then false
+      else begin
+        Queue.push x t.q;
+        Condition.signal t.nonempty;
+        true
+      end)
+
+let take t =
+  with_lock t (fun () ->
+      while Queue.is_empty t.q && not t.closed do
+        Condition.wait t.nonempty t.m
+      done;
+      if Queue.is_empty t.q then None else Some (Queue.pop t.q))
+
+let close t =
+  with_lock t (fun () ->
+      t.closed <- true;
+      Condition.broadcast t.nonempty)
+
+let depth t = with_lock t (fun () -> Queue.length t.q)
+let capacity t = t.cap

@@ -3,9 +3,7 @@ open Ims_obs
 type manifest = { version : int; tool : string; hash : string; jobs : int }
 
 let format_version = 1
-
-let manifest_hash parts =
-  Digest.to_hex (Digest.string (String.concat "\x00" parts))
+let manifest_hash = Content_hash.of_parts
 
 let manifest_json m =
   Json.Obj
@@ -17,52 +15,18 @@ let manifest_json m =
       ("jobs", Json.Int m.jobs);
     ]
 
-type writer = { fd : Unix.file_descr; mutable closed : bool }
-
-(* One full line per write call, then fsync: a crash can tear at most
-   the line being written, and only at the end of the file. *)
-let write_line fd json =
-  let line = Bytes.of_string (Json.to_string json ^ "\n") in
-  let len = Bytes.length line in
-  let rec push off =
-    if off < len then push (off + Unix.write fd line off (len - off))
-  in
-  push 0;
-  Unix.fsync fd
+(* The fsync'd append / torn-tail-truncation machinery is shared with
+   the serve daemon's schedule cache (Append_log); the journal adds the
+   manifest and the per-job record schema on top. *)
+type writer = Append_log.t
 
 let create ~path m =
-  let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
-  write_line fd (manifest_json { m with version = format_version });
-  { fd; closed = false }
+  Append_log.create ~path ~header:(manifest_json { m with version = format_version })
 
-(* A torn trailing fragment (SIGKILL mid-append) must be cut before the
-   next append, or the fragment and the new record would fuse into one
-   corrupt line — poisoning the journal for any later resume. *)
-let reopen ~path =
-  let fd = Unix.openfile path [ Unix.O_RDWR ] 0o644 in
-  let size = (Unix.fstat fd).Unix.st_size in
-  let keep =
-    if size = 0 then 0
-    else begin
-      let ic = open_in_bin path in
-      let content =
-        Fun.protect
-          ~finally:(fun () -> close_in_noerr ic)
-          (fun () -> really_input_string ic (in_channel_length ic))
-      in
-      if content.[String.length content - 1] = '\n' then String.length content
-      else
-        match String.rindex_opt content '\n' with
-        | Some i -> i + 1
-        | None -> 0
-    end
-  in
-  if keep < size then Unix.ftruncate fd keep;
-  ignore (Unix.lseek fd keep Unix.SEEK_SET);
-  { fd; closed = false }
+let reopen ~path = Append_log.reopen ~path
 
 let append w ~index payload =
-  write_line w.fd
+  Append_log.append w
     (Json.Obj
        [
          ("kind", Json.String "job");
@@ -70,11 +34,7 @@ let append w ~index payload =
          ("line", payload);
        ])
 
-let close w =
-  if not w.closed then begin
-    w.closed <- true;
-    Unix.close w.fd
-  end
+let close = Append_log.close
 
 type recovered = {
   manifest : manifest;

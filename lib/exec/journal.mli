@@ -33,7 +33,9 @@ val format_version : int
 
 val manifest_hash : string list -> string
 (** Hex digest over the parts (order-sensitive); include everything
-    that must match for journaled results to be reusable. *)
+    that must match for journaled results to be reusable.  This is
+    {!Content_hash.of_parts} — the same definition keys the serve
+    daemon's schedule cache. *)
 
 type writer
 

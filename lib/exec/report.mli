@@ -19,6 +19,20 @@ val line :
 (** [extra] fields (e.g. quarantine annotations) are appended to every
     line regardless of status. *)
 
+val body :
+  ?extra:(string * Json.t) list ->
+  fields:('a -> (string * Json.t) list) ->
+  'a Outcome.t ->
+  (string * Json.t) list
+(** The members of {!line} minus the leading [name] — the
+    request-independent part a content-addressed cache may store. *)
+
+val with_name : name:string -> string -> string
+(** [with_name ~name body_str] splices ["name"] as the first member
+    into a rendered [Json.Obj] body, byte-compatibly with {!line}:
+    [to_string (line ~name ~fields o) =
+     with_name ~name (to_string (Obj (body ~fields o)))]. *)
+
 val jsonl_string : Json.t list -> string
 (** One line per object, each ["\n"]-terminated. *)
 

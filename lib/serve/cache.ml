@@ -1,0 +1,184 @@
+open Ims_obs
+open Ims_exec
+
+let format_version = 1
+let header_kind = "imsc-schedule-cache"
+
+let header_json =
+  Json.Obj
+    [
+      ("kind", Json.String header_kind);
+      ("version", Json.Int format_version);
+    ]
+
+type t = {
+  capacity : int;
+  table : (string, string) Hashtbl.t;
+  order : string Queue.t;  (* insertion order, for FIFO eviction *)
+  log : Append_log.t option;
+  m : Mutex.t;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  loaded : int;
+  torn : bool;
+}
+
+let field obj k =
+  match obj with Json.Obj kvs -> List.assoc_opt k kvs | _ -> None
+
+let str_field obj k =
+  match field obj k with Some (Json.String s) -> Some s | _ -> None
+
+let int_field obj k =
+  match field obj k with Some (Json.Int i) -> Some i | _ -> None
+
+let parse_header line =
+  match Json.of_string line with
+  | Error e -> Error ("malformed cache header: " ^ e)
+  | Ok obj -> (
+      match (str_field obj "kind", int_field obj "version") with
+      | Some kind, _ when kind <> header_kind ->
+          Error (Printf.sprintf "not a schedule cache (kind %S)" kind)
+      | Some _, Some v when v > format_version ->
+          Error
+            (Printf.sprintf
+               "cache format version %d is newer than this build understands \
+                (%d)"
+               v format_version)
+      | Some _, Some _ -> Ok ()
+      | _ -> Error "first line is not a schedule-cache header")
+
+let parse_entry line =
+  match Json.of_string line with
+  | Error _ -> None
+  | Ok obj -> (
+      match (str_field obj "key", str_field obj "record") with
+      | Some key, Some record -> Some (key, record)
+      | _ -> None)
+
+(* Unsynchronized insert used under the caller's lock (and during
+   replay, before the cache is shared). *)
+let insert t ~key record =
+  if not (Hashtbl.mem t.table key) then begin
+    Hashtbl.replace t.table key record;
+    Queue.push key t.order;
+    if Hashtbl.length t.table > t.capacity then begin
+      let victim = Queue.pop t.order in
+      Hashtbl.remove t.table victim;
+      t.evictions <- t.evictions + 1
+    end
+  end
+
+let open_ ?(capacity = 4096) ?path () =
+  let capacity = max 1 capacity in
+  let fresh ?log ?(loaded = 0) ?(torn = false) () =
+    {
+      capacity;
+      table = Hashtbl.create (min capacity 1024);
+      order = Queue.create ();
+      log;
+      m = Mutex.create ();
+      hits = 0;
+      misses = 0;
+      evictions = 0;
+      loaded;
+      torn;
+    }
+  in
+  match path with
+  | None -> Ok (fresh ())
+  | Some path ->
+      let size =
+        match (Unix.stat path).Unix.st_size with
+        | s -> s
+        | exception Unix.Unix_error (Unix.ENOENT, _, _) -> 0
+      in
+      if size = 0 then
+        match Append_log.create ~path ~header:header_json with
+        | log -> Ok (fresh ~log ())
+        | exception Unix.Unix_error (e, _, _) ->
+            Error
+              (Printf.sprintf "cannot create cache %s: %s" path
+                 (Unix.error_message e))
+      else (
+        match Append_log.load ~path with
+        | Error e -> Error (Printf.sprintf "cannot read cache %s: %s" path e)
+        | Ok { Append_log.header; records; torn } -> (
+            match parse_header header with
+            | Error e -> Error (Printf.sprintf "%s: %s" path e)
+            | Ok () ->
+                (* Replay in file order: duplicates are first-wins like
+                   [add], evictions replay identically, so the resident
+                   set equals what the dying daemon held (minus any torn
+                   tail). *)
+                let t = fresh ~torn () in
+                let loaded = ref 0 in
+                List.iter
+                  (fun line ->
+                    match parse_entry line with
+                    | Some (key, record) ->
+                        insert t ~key record;
+                        incr loaded
+                    | None -> ())
+                  records;
+                let t = { t with loaded = !loaded } in
+                let t =
+                  { t with evictions = 0 (* replay evictions don't count *) }
+                in
+                (match Append_log.reopen ~path with
+                | log -> Ok { t with log = Some log }
+                | exception Unix.Unix_error (e, _, _) ->
+                    Error
+                      (Printf.sprintf "cannot reopen cache %s: %s" path
+                         (Unix.error_message e)))))
+
+let with_lock t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+let find t ~key =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.table key with
+      | Some r ->
+          t.hits <- t.hits + 1;
+          Some r
+      | None ->
+          t.misses <- t.misses + 1;
+          None)
+
+let add t ~key record =
+  with_lock t (fun () ->
+      if not (Hashtbl.mem t.table key) then begin
+        insert t ~key record;
+        match t.log with
+        | Some log ->
+            Append_log.append log
+              (Json.Obj
+                 [ ("key", Json.String key); ("record", Json.String record) ])
+        | None -> ()
+      end)
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  entries : int;
+  loaded : int;
+  torn : bool;
+}
+
+let stats t =
+  with_lock t (fun () ->
+      {
+        hits = t.hits;
+        misses = t.misses;
+        evictions = t.evictions;
+        entries = Hashtbl.length t.table;
+        loaded = t.loaded;
+        torn = t.torn;
+      })
+
+let close t =
+  with_lock t (fun () ->
+      match t.log with Some log -> Append_log.close log | None -> ())

@@ -1,0 +1,53 @@
+(** The content-addressed schedule cache.
+
+    Keys are {!Ims_exec.Content_hash} digests of (machine dump,
+    scheduling flags, loop dump) — the same definition that pins batch
+    journal manifests, so "the same loop under the same configuration"
+    means the same thing everywhere.  Values are rendered report-record
+    bodies (the record minus its request-specific ["name"] member),
+    stored as verbatim bytes: a hit re-emits exactly what a cold
+    schedule emitted, which is what makes cached responses
+    byte-identical.
+
+    Persistence is an {!Ims_exec.Append_log}: a version header then one
+    fsync'd line per insertion, so a SIGKILLed daemon loses at most the
+    entry being written; {!open_} truncates a torn tail and replays the
+    rest, making a restarted daemon warm.  The file is append-only —
+    in-memory eviction (FIFO past [capacity]) does not rewrite it, and
+    replay re-evicts the same way, so disk and memory agree after any
+    restart.
+
+    All operations are thread-safe (one internal mutex): the accept
+    loop probes while worker domains insert. *)
+
+type t
+
+val open_ :
+  ?capacity:int -> ?path:string -> unit -> (t, string) result
+(** [capacity] defaults to 4096 entries.  Without [path] the cache is
+    memory-only.  With [path]: a missing or empty file is created; an
+    existing one is validated (header kind and version) and replayed.
+    [Error] on a foreign or newer-versioned file — refusing is safer
+    than silently serving another configuration's schedules. *)
+
+val find : t -> key:string -> string option
+(** The stored record body, counting a hit or a miss. *)
+
+val add : t -> key:string -> string -> unit
+(** Insert (first writer wins; re-adding an existing key is a no-op —
+    concurrent workers computing the same key produce identical bytes
+    anyway), append to disk, evict FIFO past capacity. *)
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  entries : int;  (** Currently resident. *)
+  loaded : int;  (** Entries replayed from disk at {!open_}. *)
+  torn : bool;  (** A torn tail was truncated at {!open_}. *)
+}
+
+val stats : t -> stats
+val close : t -> unit
+
+val format_version : int

@@ -1,0 +1,89 @@
+open Ims_obs
+module U = Unix
+
+let connect ?(attempts = 50) ?(delay = 0.1) path =
+  let rec go n =
+    let fd = U.socket ~cloexec:true U.PF_UNIX U.SOCK_STREAM 0 in
+    match U.connect fd (U.ADDR_UNIX path) with
+    | () -> Ok fd
+    | exception U.Unix_error ((U.ENOENT | U.ECONNREFUSED), _, _) when n > 1 ->
+        U.close fd;
+        U.sleepf delay;
+        go (n - 1)
+    | exception U.Unix_error (e, _, _) ->
+        U.close fd;
+        Error
+          (Printf.sprintf "cannot connect to %s: %s" path (U.error_message e))
+  in
+  go (max 1 attempts)
+
+let roundtrip ?(timeout = 600.) fd requests =
+  let n = List.length requests in
+  let out =
+    String.concat ""
+      (List.map
+         (fun r -> Wire.frame (Json.to_string (Protocol.request_to_json r)))
+         requests)
+  in
+  let total = String.length out in
+  let off = ref 0 in
+  let dec = Wire.decoder () in
+  let buf = Bytes.create 65536 in
+  let resps = ref [] in
+  let got = ref 0 in
+  let limit = U.gettimeofday () +. timeout in
+  let err = ref None in
+  let fail msg = if !err = None then err := Some msg in
+  U.set_nonblock fd;
+  while !err = None && !got < n do
+    let remaining = limit -. U.gettimeofday () in
+    if remaining <= 0. then
+      fail
+        (Printf.sprintf "timed out with %d response(s) outstanding" (n - !got))
+    else
+      match U.select [ fd ] (if !off < total then [ fd ] else []) []
+              (Float.min remaining 1.0)
+      with
+      | exception U.Unix_error (U.EINTR, _, _) -> ()
+      | readable, writable, _ ->
+          (if writable <> [] then
+             match U.write_substring fd out !off (total - !off) with
+             | k -> off := !off + k
+             | exception
+                 U.Unix_error ((U.EAGAIN | U.EWOULDBLOCK | U.EINTR), _, _) ->
+                 ()
+             | exception U.Unix_error (e, _, _) ->
+                 fail (Printf.sprintf "write: %s" (U.error_message e)));
+          if !err = None && readable <> [] then (
+            match U.read fd buf 0 (Bytes.length buf) with
+            | 0 ->
+                fail
+                  (Printf.sprintf
+                     "the daemon closed the connection with %d response(s) \
+                      outstanding"
+                     (n - !got))
+            | k ->
+                Wire.feed dec (Bytes.sub_string buf 0 k);
+                let rec drain () =
+                  if !err = None && !got < n then
+                    match Wire.next dec with
+                    | Ok None -> ()
+                    | Error e -> fail ("corrupt response stream: " ^ e)
+                    | Ok (Some payload) -> (
+                        match Json.of_string payload with
+                        | Error e -> fail ("malformed response: " ^ e)
+                        | Ok obj -> (
+                            match Protocol.response_of_json obj with
+                            | Error e -> fail e
+                            | Ok resp ->
+                                resps := resp :: !resps;
+                                incr got;
+                                drain ()))
+                in
+                drain ()
+            | exception
+                U.Unix_error ((U.EAGAIN | U.EWOULDBLOCK | U.EINTR), _, _) ->
+                ())
+  done;
+  (try U.clear_nonblock fd with U.Unix_error _ -> ());
+  match !err with Some e -> Error e | None -> Ok (List.rev !resps)

@@ -1,0 +1,24 @@
+(** The client side of the serve protocol — what [imsc request] runs.
+
+    {!roundtrip} pipelines every request before collecting responses,
+    with a duplex select loop (reads interleave with the remaining
+    writes), so a corpus larger than the socket buffers cannot deadlock
+    against a daemon that is already answering. *)
+
+val connect :
+  ?attempts:int -> ?delay:float -> string -> (Unix.file_descr, string) result
+(** Connect to the daemon's socket, retrying [attempts] times (default
+    50) every [delay] seconds (default 0.1) while the socket is missing
+    or refusing — the startup race of "launch daemon, immediately
+    request" resolves here rather than in every caller's sleep. *)
+
+val roundtrip :
+  ?timeout:float ->
+  Unix.file_descr ->
+  Protocol.request list ->
+  (Protocol.response list, string) result
+(** Send every request, read exactly one response per request, and
+    return them in {e arrival} order (correlate by id — cache hits
+    overtake scheduling work).  [timeout] (default 600s) bounds the
+    whole exchange.  [Error] on timeout, EOF with responses
+    outstanding, or a corrupt stream. *)

@@ -1,0 +1,53 @@
+(** The serve request/response schema: JSON payloads inside {!Wire}
+    frames.
+
+    A request names everything the schedule depends on — the loop dump
+    bytes, the machine, the scheduling flags — because the daemon's
+    cache key is a content hash over exactly those; the optional
+    deadline is {e not} part of the key (it bounds the search, it does
+    not change a completed search's answer — and preempted results are
+    never cached).
+
+    A [Report] response carries the per-loop report record {e as a
+    string}, verbatim — the same bytes [imsc batch] would emit for that
+    loop, whether the schedule was computed cold or served from cache.
+
+    [id] is a client-chosen correlation token: responses may arrive out
+    of request order (cache hits are answered from the accept loop in
+    microseconds while misses queue for a worker). *)
+
+open Ims_obs
+
+type request =
+  | Schedule of {
+      id : int;
+      name : string;  (** Echoed into the report record's ["name"]. *)
+      machine : string;  (** Model name or description-file path. *)
+      budget_ratio : float;
+      max_delta_ii : int;
+      deadline : float option;  (** Per-request preemptive deadline, s. *)
+      dump : string;  (** The loop in the textual dump format. *)
+    }
+  | Stats of { id : int }  (** Read the daemon's metrics registry. *)
+  | Shutdown of { id : int }  (** Graceful stop: drain, persist, exit. *)
+
+type response =
+  | Report of { id : int; cached : bool; record : string }
+  | Overloaded of { id : int; depth : int; capacity : int }
+      (** Admission queue at its high-water mark; retry later. *)
+  | Error of { id : int; message : string }
+      (** Malformed request or unknown machine; [id] 0 when the request
+          was too broken to carry one. *)
+  | Stats_reply of { id : int; metrics : Json.t }
+  | Bye of { id : int }
+
+val request_to_json : request -> Json.t
+val request_of_json : Json.t -> (request, string) result
+
+(** Best-effort ["id"] extraction from a request that failed to decode,
+    so the error response can still be correlated; 0 when absent. *)
+val request_id_of_json : Json.t -> int
+val response_to_json : response -> Json.t
+val response_of_json : Json.t -> (response, string) result
+
+val response_id : response -> int

@@ -1,0 +1,61 @@
+let max_payload = 16 * 1024 * 1024
+
+(* The length header is tiny; 32 bytes is beyond any valid rendering
+   of a length <= max_payload, so a headerless byte stream is detected
+   after a bounded prefix. *)
+let max_header = 32
+
+let frame payload = string_of_int (String.length payload) ^ "\n" ^ payload ^ "\n"
+
+let write_frame fd payload =
+  let frame = Bytes.of_string (frame payload) in
+  let len = Bytes.length frame in
+  let rec push off =
+    if off < len then push (off + Unix.write fd frame off (len - off))
+  in
+  push 0
+
+type decoder = { mutable pending : string }
+
+let decoder () = { pending = "" }
+let feed d s = if s <> "" then d.pending <- d.pending ^ s
+
+let next d =
+  match String.index_opt d.pending '\n' with
+  | None ->
+      if String.length d.pending > max_header then
+        Error "frame header is not a length"
+      else Ok None
+  | Some i -> (
+      let header = String.sub d.pending 0 i in
+      match int_of_string_opt header with
+      | None -> Error (Printf.sprintf "frame header %S is not a length" header)
+      | Some len when len < 0 || len > max_payload ->
+          Error (Printf.sprintf "frame length %d out of range" len)
+      | Some len ->
+          let total = i + 1 + len + 1 in
+          if String.length d.pending < total then Ok None
+          else if d.pending.[total - 1] <> '\n' then
+            Error "frame guard byte missing (length disagreement)"
+          else begin
+            let payload = String.sub d.pending (i + 1) len in
+            d.pending <-
+              String.sub d.pending total (String.length d.pending - total);
+            Ok (Some payload)
+          end)
+
+let read_frame fd d =
+  let buf = Bytes.create 65536 in
+  let rec go () =
+    match next d with
+    | Error _ as e -> e
+    | Ok (Some p) -> Ok (Some p)
+    | Ok None -> (
+        match Unix.read fd buf 0 (Bytes.length buf) with
+        | 0 -> Ok None
+        | n ->
+            feed d (Bytes.sub_string buf 0 n);
+            go ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ())
+  in
+  go ()

@@ -1,0 +1,41 @@
+(** Length-delimited framing for the serve protocol.
+
+    A frame is
+
+    {v <decimal payload length> '\n' <payload bytes> '\n' v}
+
+    — a JSONL line with an explicit byte count in front, so the reader
+    never has to scan a payload for newlines (loop dumps embed them)
+    and a torn connection is detected as a short read, not a parse
+    error.  The trailing ['\n'] is a frame guard: its absence means the
+    peer and we disagree about the length, and the connection is
+    poisoned. *)
+
+val max_payload : int
+(** Frames above this (16 MiB) are rejected — a corrupt length header
+    must not make the reader allocate unboundedly. *)
+
+val frame : string -> string
+(** The encoded frame bytes for [payload] — for callers that batch
+    several frames into one output buffer. *)
+
+val write_frame : Unix.file_descr -> string -> unit
+(** Write one complete frame (single [write] loop, no buffering).
+    @raise Unix.Unix_error as [Unix.write] does (e.g. [EPIPE]). *)
+
+(** Incremental decoder for the reading side: feed raw bytes as they
+    arrive, pull complete payloads out. *)
+type decoder
+
+val decoder : unit -> decoder
+
+val feed : decoder -> string -> unit
+
+val next : decoder -> (string option, string) result
+(** [Ok None]: no complete frame buffered yet.  [Error _]: the stream
+    is corrupt (bad length header or missing frame guard) — close the
+    connection; the decoder is not recoverable. *)
+
+val read_frame : Unix.file_descr -> decoder -> (string option, string) result
+(** Blocking convenience for clients: feed from [fd] until a frame
+    completes.  [Ok None] means EOF before a complete frame. *)

@@ -65,10 +65,13 @@ grep -qi "mismatch" mismatch.stderr
 t0=$(date +%s)
 if "$IMSC" batch rcorpus --jobs 2 --deadline 0.2 --retries 2 --escalate 2.0 \
      --inject-spin lfk03.loop:30 --quarantine quarantine.txt \
+     --status-file spin-status.json --status-interval 0.05 \
      --report spin.jsonl 2> spin.stderr; then
   echo "a quarantined loop must exit 1" >&2
   exit 1
 fi
+# The casualty exit still publishes a complete final status snapshot.
+grep -q '"running":false' spin-status.json
 t1=$(date +%s)
 # Two attempts at 0.2 s and 0.4 s against a 30 s spin: the deadline,
 # not the spin, must bound the wall clock.
@@ -95,6 +98,7 @@ mkdir -p rcorpus-bad
 printf 'x = load a\ny =\n' > rcorpus-bad/aaa-bad.loop
 cp rcorpus/*.loop rcorpus-bad/
 if "$IMSC" batch rcorpus-bad --jobs 1 --max-failures 0 \
+     --status-file failfast-status.json --status-interval 0.05 \
      --report failfast.jsonl 2> failfast.stderr; then
   echo "fail-fast run must exit 1" >&2
   exit 1
@@ -102,3 +106,5 @@ fi
 grep -q "cancelling outstanding" failfast.stderr
 grep -q '"status":"failed"' failfast.jsonl
 test "$(grep -c '"status":"cancelled"' failfast.jsonl)" -eq 8
+# Fail-fast must not skip the final "running":false heartbeat either.
+grep -q '"running":false' failfast-status.json

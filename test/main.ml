@@ -15,5 +15,6 @@ let () =
       Test_check.tests;
       Test_exec.tests;
       Test_resilience.tests;
+      Test_serve.tests;
       Test_integration.tests;
     ]

@@ -1,0 +1,415 @@
+(* The serve subsystem: the content-hash wire format, the bounded
+   intake queue, frame codec, protocol codec, the report-body splice
+   law, and the persistent schedule cache (warm reopen, torn tail,
+   eviction, foreign-file refusal). *)
+
+open Ims_obs
+module Exec = Ims_exec
+module Serve = Ims_serve
+
+let tmp_file name =
+  let path = Filename.temp_file "ims_serve_test" name in
+  at_exit (fun () -> try Sys.remove path with Sys_error _ -> ());
+  path
+
+(* --- content hash ----------------------------------------------------------- *)
+
+(* The digest is a wire format: journals and schedule caches in the
+   wild are keyed by it.  These pins fail if anyone changes the
+   definition (hash function, separator, joining) in any way. *)
+let test_content_hash_pinned () =
+  Alcotest.(check string)
+    "fixed corpus" "3929b7d4ba1203117a22960e040749c2"
+    (Exec.Content_hash.of_parts [ "cydra5"; "2."; "1000"; "loop body" ]);
+  Alcotest.(check string)
+    "empty" "d41d8cd98f00b204e9800998ecf8427e"
+    (Exec.Content_hash.of_parts []);
+  Alcotest.(check string)
+    "one part" "abcdf51414383cb4ddb47c092f585c46"
+    (Exec.Content_hash.of_string "one part")
+
+let test_content_hash_part_boundaries () =
+  (* The NUL separator makes part boundaries significant: ["ab";"c"]
+     and ["a";"bc"] must not collide by concatenation. *)
+  Alcotest.(check string)
+    "ab|c" "cf1aa1426d75f0e4c1a49da3b28808ef"
+    (Exec.Content_hash.of_parts [ "ab"; "c" ]);
+  Alcotest.(check string)
+    "a|bc" "a5f5d1ebd362d6639389a7e1fede534d"
+    (Exec.Content_hash.of_parts [ "a"; "bc" ]);
+  Alcotest.(check bool)
+    "of_string = singleton of_parts" true
+    (Exec.Content_hash.of_string "xyz"
+    = Exec.Content_hash.of_parts [ "xyz" ])
+
+let test_journal_manifest_hash_is_content_hash () =
+  Alcotest.(check string)
+    "one definition"
+    (Exec.Content_hash.of_parts [ "m"; "flags"; "corpus" ])
+    (Exec.Journal.manifest_hash [ "m"; "flags"; "corpus" ])
+
+(* --- intake ------------------------------------------------------------------ *)
+
+let test_intake_backpressure () =
+  let q = Exec.Intake.create ~capacity:2 in
+  Alcotest.(check int) "capacity" 2 (Exec.Intake.capacity q);
+  Alcotest.(check bool) "add 1" true (Exec.Intake.try_add q 1);
+  Alcotest.(check bool) "add 2" true (Exec.Intake.try_add q 2);
+  Alcotest.(check bool) "full" false (Exec.Intake.try_add q 3);
+  Alcotest.(check int) "depth" 2 (Exec.Intake.depth q);
+  Alcotest.(check (option int)) "fifo" (Some 1) (Exec.Intake.take q);
+  Alcotest.(check bool) "space again" true (Exec.Intake.try_add q 4);
+  Alcotest.(check (option int)) "fifo 2" (Some 2) (Exec.Intake.take q);
+  Alcotest.(check (option int)) "fifo 3" (Some 4) (Exec.Intake.take q)
+
+let test_intake_close_drains () =
+  let q = Exec.Intake.create ~capacity:4 in
+  ignore (Exec.Intake.try_add q "a");
+  ignore (Exec.Intake.try_add q "b");
+  Exec.Intake.close q;
+  Alcotest.(check bool) "closed admits nothing" false
+    (Exec.Intake.try_add q "c");
+  Alcotest.(check (option string)) "drains a" (Some "a") (Exec.Intake.take q);
+  Alcotest.(check (option string)) "drains b" (Some "b") (Exec.Intake.take q);
+  Alcotest.(check (option string)) "then eos" None (Exec.Intake.take q);
+  Exec.Intake.close q (* idempotent *)
+
+let test_intake_wakes_blocked_taker () =
+  let q = Exec.Intake.create ~capacity:1 in
+  let taker = Domain.spawn (fun () -> Exec.Intake.take q) in
+  Unix.sleepf 0.05;
+  ignore (Exec.Intake.try_add q 42);
+  Alcotest.(check (option int)) "woken with the job" (Some 42)
+    (Domain.join taker);
+  let eos = Domain.spawn (fun () -> Exec.Intake.take q) in
+  Unix.sleepf 0.05;
+  Exec.Intake.close q;
+  Alcotest.(check (option int)) "woken by close" None (Domain.join eos)
+
+(* --- wire codec -------------------------------------------------------------- *)
+
+let test_wire_roundtrip () =
+  let d = Serve.Wire.decoder () in
+  let payloads = [ "{}"; "payload\nwith\nnewlines"; ""; "last" ] in
+  Serve.Wire.feed d (String.concat "" (List.map Serve.Wire.frame payloads));
+  List.iter
+    (fun expect ->
+      match Serve.Wire.next d with
+      | Ok (Some got) -> Alcotest.(check string) "payload" expect got
+      | Ok None -> Alcotest.fail "frame should be complete"
+      | Error e -> Alcotest.fail e)
+    payloads;
+  Alcotest.(check bool) "drained" true (Serve.Wire.next d = Ok None)
+
+let test_wire_incremental () =
+  let d = Serve.Wire.decoder () in
+  let frame = Serve.Wire.frame "abc" in
+  String.iteri
+    (fun i c ->
+      (* Before the last byte arrives the decoder must keep waiting. *)
+      if i < String.length frame - 1 then begin
+        Serve.Wire.feed d (String.make 1 c);
+        Alcotest.(check bool)
+          (Printf.sprintf "incomplete at %d" i)
+          true
+          (Serve.Wire.next d = Ok None)
+      end
+      else Serve.Wire.feed d (String.make 1 c))
+    frame;
+  Alcotest.(check bool) "complete" true (Serve.Wire.next d = Ok (Some "abc"))
+
+let test_wire_rejects_corruption () =
+  let bad_header = Serve.Wire.decoder () in
+  Serve.Wire.feed bad_header "notalength\n{}\n";
+  (match Serve.Wire.next bad_header with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "non-numeric header must poison the stream");
+  let bad_guard = Serve.Wire.decoder () in
+  (* Length says 2 but the guard position holds 'x', not '\n'. *)
+  Serve.Wire.feed bad_guard "2\nabx";
+  (match Serve.Wire.next bad_guard with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing frame guard must poison the stream");
+  let headerless = Serve.Wire.decoder () in
+  Serve.Wire.feed headerless (String.make 64 'j');
+  match Serve.Wire.next headerless with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "a headerless stream must be detected"
+
+(* --- protocol ---------------------------------------------------------------- *)
+
+let test_protocol_roundtrip () =
+  let reqs =
+    [
+      Serve.Protocol.Schedule
+        {
+          id = 7;
+          name = "lfk03.loop";
+          machine = "cydra5";
+          budget_ratio = 2.5;
+          max_delta_ii = 10;
+          deadline = Some 1.5;
+          dump = "op1\nop2\n";
+        };
+      Serve.Protocol.Stats { id = 8 };
+      Serve.Protocol.Shutdown { id = 9 };
+    ]
+  in
+  List.iter
+    (fun r ->
+      match Serve.Protocol.(request_of_json (request_to_json r)) with
+      | Ok r' -> Alcotest.(check bool) "request roundtrip" true (r = r')
+      | Error e -> Alcotest.fail e)
+    reqs;
+  let resps =
+    [
+      Serve.Protocol.Report { id = 1; cached = true; record = "{\"x\":1}" };
+      Serve.Protocol.Overloaded { id = 2; depth = 64; capacity = 64 };
+      Serve.Protocol.Error { id = 3; message = "unknown machine" };
+      Serve.Protocol.Bye { id = 4 };
+    ]
+  in
+  List.iter
+    (fun r ->
+      match Serve.Protocol.(response_of_json (response_to_json r)) with
+      | Ok r' -> Alcotest.(check bool) "response roundtrip" true (r = r')
+      | Error e -> Alcotest.fail e)
+    resps
+
+let test_protocol_defaults () =
+  let j =
+    Json.Obj
+      [
+        ("op", Json.String "schedule");
+        ("name", Json.String "n");
+        ("loop", Json.String "dump");
+      ]
+  in
+  (match Serve.Protocol.request_of_json j with
+  | Ok
+      (Serve.Protocol.Schedule
+         { id; machine; budget_ratio; max_delta_ii; deadline; _ }) ->
+      Alcotest.(check int) "id defaults to 0" 0 id;
+      Alcotest.(check string) "machine default" "cydra5" machine;
+      Alcotest.(check (float 1e-9)) "budget default" 2.0 budget_ratio;
+      Alcotest.(check int) "max_delta_ii default" 1000 max_delta_ii;
+      Alcotest.(check bool) "no deadline" true (deadline = None)
+  | Ok _ -> Alcotest.fail "decoded as the wrong op"
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check int) "id recoverable from junk" 5
+    (Serve.Protocol.request_id_of_json
+       (Json.Obj [ ("id", Json.Int 5); ("op", Json.Int 3) ]))
+
+(* --- report body / with_name ------------------------------------------------- *)
+
+(* The byte-compatibility law the cache depends on: storing the body
+   and splicing the name later must equal rendering the full line. *)
+let test_with_name_law () =
+  let fields (ii : int) = [ ("ii", Json.Int ii); ("f", Json.Float 0.25) ] in
+  let outcomes =
+    [
+      Exec.Outcome.Done 42;
+      Exec.Outcome.Failed { exn = "Failure(\"x\")"; backtrace = "" };
+      Exec.Outcome.Timed_out { elapsed = 1.5; limit = 1.0 };
+      Exec.Outcome.Cancelled { elapsed = 0.5; limit = infinity };
+    ]
+  in
+  List.iter
+    (fun outcome ->
+      let extra = [ ("quarantined", Json.Bool true) ] in
+      let via_line =
+        Json.to_string (Exec.Report.line ~name:"a.loop" ~extra ~fields outcome)
+      in
+      let via_splice =
+        Exec.Report.with_name ~name:"a.loop"
+          (Json.to_string (Json.Obj (Exec.Report.body ~extra ~fields outcome)))
+      in
+      Alcotest.(check string) "line = splice(body)" via_line via_splice)
+    outcomes;
+  Alcotest.(check string)
+    "empty body" "{\"name\":\"n\"}"
+    (Exec.Report.with_name ~name:"n" "{}")
+
+(* --- cache ------------------------------------------------------------------- *)
+
+let test_cache_memory_roundtrip () =
+  match Serve.Cache.open_ ~capacity:8 () with
+  | Error e -> Alcotest.fail e
+  | Ok c ->
+      Alcotest.(check (option string)) "miss" None (Serve.Cache.find c ~key:"k");
+      Serve.Cache.add c ~key:"k" "{\"v\":1}";
+      Alcotest.(check (option string))
+        "hit" (Some "{\"v\":1}")
+        (Serve.Cache.find c ~key:"k");
+      Serve.Cache.add c ~key:"k" "{\"v\":2}";
+      Alcotest.(check (option string))
+        "first writer wins" (Some "{\"v\":1}")
+        (Serve.Cache.find c ~key:"k");
+      let s = Serve.Cache.stats c in
+      Alcotest.(check int) "hits" 2 s.Serve.Cache.hits;
+      Alcotest.(check int) "misses" 1 s.Serve.Cache.misses;
+      Alcotest.(check int) "entries" 1 s.Serve.Cache.entries;
+      Serve.Cache.close c
+
+let test_cache_fifo_eviction () =
+  match Serve.Cache.open_ ~capacity:2 () with
+  | Error e -> Alcotest.fail e
+  | Ok c ->
+      Serve.Cache.add c ~key:"a" "1";
+      Serve.Cache.add c ~key:"b" "2";
+      Serve.Cache.add c ~key:"c" "3";
+      Alcotest.(check (option string))
+        "oldest evicted" None
+        (Serve.Cache.find c ~key:"a");
+      Alcotest.(check (option string))
+        "newer kept" (Some "2")
+        (Serve.Cache.find c ~key:"b");
+      let s = Serve.Cache.stats c in
+      Alcotest.(check int) "evictions" 1 s.Serve.Cache.evictions;
+      Serve.Cache.close c
+
+let test_cache_persistence_roundtrip () =
+  let path = tmp_file ".cache" in
+  Sys.remove path;
+  (match Serve.Cache.open_ ~capacity:8 ~path () with
+  | Error e -> Alcotest.fail e
+  | Ok c ->
+      Serve.Cache.add c ~key:"k1" "{\"ii\":3}";
+      Serve.Cache.add c ~key:"k2" "{\"ii\":5}";
+      Serve.Cache.close c);
+  match Serve.Cache.open_ ~capacity:8 ~path () with
+  | Error e -> Alcotest.fail e
+  | Ok c ->
+      let s = Serve.Cache.stats c in
+      Alcotest.(check int) "loaded" 2 s.Serve.Cache.loaded;
+      Alcotest.(check bool) "not torn" false s.Serve.Cache.torn;
+      Alcotest.(check (option string))
+        "warm hit, verbatim bytes" (Some "{\"ii\":3}")
+        (Serve.Cache.find c ~key:"k1");
+      (* A key inserted after the reopen persists alongside the
+         replayed ones. *)
+      Serve.Cache.add c ~key:"k3" "{\"ii\":7}";
+      Serve.Cache.close c;
+      (match Serve.Cache.open_ ~capacity:8 ~path () with
+      | Error e -> Alcotest.fail e
+      | Ok c2 ->
+          Alcotest.(check int) "all three" 3
+            (Serve.Cache.stats c2).Serve.Cache.loaded;
+          Serve.Cache.close c2)
+
+let test_cache_torn_tail_truncated () =
+  let path = tmp_file ".cache" in
+  Sys.remove path;
+  (match Serve.Cache.open_ ~capacity:8 ~path () with
+  | Error e -> Alcotest.fail e
+  | Ok c ->
+      Serve.Cache.add c ~key:"good" "{\"ii\":2}";
+      Serve.Cache.close c);
+  (* A SIGKILL mid-append leaves a final line without its newline. *)
+  let oc = open_out_gen [ Open_append ] 0o644 path in
+  output_string oc "{\"key\":\"torn\",\"record\":\"{}\"";
+  close_out oc;
+  match Serve.Cache.open_ ~capacity:8 ~path () with
+  | Error e -> Alcotest.fail e
+  | Ok c ->
+      let s = Serve.Cache.stats c in
+      Alcotest.(check bool) "torn flagged" true s.Serve.Cache.torn;
+      Alcotest.(check int) "complete entries kept" 1 s.Serve.Cache.loaded;
+      Alcotest.(check (option string))
+        "still hits" (Some "{\"ii\":2}")
+        (Serve.Cache.find c ~key:"good");
+      Alcotest.(check (option string))
+        "torn entry dropped" None
+        (Serve.Cache.find c ~key:"torn");
+      (* The reopen truncated the torn bytes, so appends extend a
+         well-formed file. *)
+      Serve.Cache.add c ~key:"after" "{\"ii\":9}";
+      Serve.Cache.close c;
+      (match Serve.Cache.open_ ~capacity:8 ~path () with
+      | Error e -> Alcotest.fail e
+      | Ok c2 ->
+          Alcotest.(check bool) "clean after truncation" false
+            (Serve.Cache.stats c2).Serve.Cache.torn;
+          Alcotest.(check int) "both survive" 2
+            (Serve.Cache.stats c2).Serve.Cache.loaded;
+          Serve.Cache.close c2)
+
+let test_cache_refuses_foreign_files () =
+  let path = tmp_file ".cache" in
+  let write s =
+    let oc = open_out path in
+    output_string oc s;
+    close_out oc
+  in
+  write "{\"kind\":\"imsc-batch-journal\",\"version\":1}\n";
+  (match Serve.Cache.open_ ~path () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "a foreign kind must be refused");
+  write "{\"kind\":\"imsc-schedule-cache\",\"version\":99}\n";
+  (match Serve.Cache.open_ ~path () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "a newer format version must be refused");
+  write "not json\n";
+  match Serve.Cache.open_ ~path () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "a corrupt header must be refused"
+
+let test_cache_concurrent_inserts () =
+  match Serve.Cache.open_ ~capacity:128 () with
+  | Error e -> Alcotest.fail e
+  | Ok c ->
+      let worker seed () =
+        for i = 0 to 63 do
+          let key = Printf.sprintf "k%d" i in
+          (* Both domains race the same keys with the same values, as
+             serve workers computing the same loop do. *)
+          Serve.Cache.add c ~key (Printf.sprintf "v%d" i);
+          ignore (Serve.Cache.find c ~key);
+          ignore seed
+        done
+      in
+      let d1 = Domain.spawn (worker 1) and d2 = Domain.spawn (worker 2) in
+      Domain.join d1;
+      Domain.join d2;
+      Alcotest.(check int) "one entry per key" 64
+        (Serve.Cache.stats c).Serve.Cache.entries;
+      Serve.Cache.close c
+
+let tests =
+  ( "serve",
+    [
+      Alcotest.test_case "content hash: pinned corpus" `Quick
+        test_content_hash_pinned;
+      Alcotest.test_case "content hash: part boundaries" `Quick
+        test_content_hash_part_boundaries;
+      Alcotest.test_case "content hash: journal uses the same definition"
+        `Quick test_journal_manifest_hash_is_content_hash;
+      Alcotest.test_case "intake: backpressure at the high-water mark" `Quick
+        test_intake_backpressure;
+      Alcotest.test_case "intake: close drains then ends" `Quick
+        test_intake_close_drains;
+      Alcotest.test_case "intake: blocked takers are woken" `Quick
+        test_intake_wakes_blocked_taker;
+      Alcotest.test_case "wire: frame roundtrip" `Quick test_wire_roundtrip;
+      Alcotest.test_case "wire: byte-at-a-time reassembly" `Quick
+        test_wire_incremental;
+      Alcotest.test_case "wire: corruption poisons the stream" `Quick
+        test_wire_rejects_corruption;
+      Alcotest.test_case "protocol: request/response roundtrip" `Quick
+        test_protocol_roundtrip;
+      Alcotest.test_case "protocol: schedule defaults" `Quick
+        test_protocol_defaults;
+      Alcotest.test_case "report: with_name splice law" `Quick
+        test_with_name_law;
+      Alcotest.test_case "cache: memory roundtrip" `Quick
+        test_cache_memory_roundtrip;
+      Alcotest.test_case "cache: FIFO eviction" `Quick test_cache_fifo_eviction;
+      Alcotest.test_case "cache: persistence roundtrip" `Quick
+        test_cache_persistence_roundtrip;
+      Alcotest.test_case "cache: torn tail truncated on reopen" `Quick
+        test_cache_torn_tail_truncated;
+      Alcotest.test_case "cache: foreign files refused" `Quick
+        test_cache_refuses_foreign_files;
+      Alcotest.test_case "cache: concurrent inserts" `Quick
+        test_cache_concurrent_inserts;
+    ] )
