@@ -1172,8 +1172,85 @@ let cmd_serve =
     Arg.(value & opt (some string) None & info [ "cache" ] ~docv:"FILE" ~doc)
   in
   let cache_entries_arg =
-    let doc = "In-memory cache capacity (FIFO eviction past it)." in
+    let doc = "In-memory cache capacity in entries (eviction past it)." in
     Arg.(value & opt int 4096 & info [ "cache-entries" ] ~docv:"N" ~doc)
+  in
+  let cache_policy_arg =
+    let doc =
+      "Cache eviction policy: fifo (insertion age) or lru (a hit \
+       refreshes the entry)."
+    in
+    Arg.(value & opt string "fifo" & info [ "cache-policy" ] ~docv:"POLICY" ~doc)
+  in
+  let cache_max_bytes_arg =
+    let doc =
+      "Byte cap on the resident cache and its on-disk log: eviction \
+       keeps the live set under it, and compaction (rewrite live \
+       entries, fsync, rename) keeps the append-only file under it."
+    in
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "cache-max-bytes" ] ~docv:"BYTES" ~doc)
+  in
+  let conn_timeout_arg =
+    let doc =
+      "Per-connection I/O deadline in seconds: a client that holds a \
+       request frame incomplete this long (slow-loris) or will not \
+       accept a response is disconnected."
+    in
+    Arg.(
+      value & opt (some float) None & info [ "conn-timeout" ] ~docv:"S" ~doc)
+  in
+  let max_conns_arg =
+    let doc =
+      "Admission cap on simultaneous connections; excess connections \
+       get a structured overloaded reply and are closed (0 = \
+       unlimited)."
+    in
+    Arg.(value & opt int 0 & info [ "max-connections" ] ~docv:"N" ~doc)
+  in
+  let supervise_arg =
+    let doc =
+      "Run the daemon under a supervisor: restart it on crash with \
+       capped exponential backoff, re-attaching the persistent cache \
+       warm; a crash loop opens a circuit breaker instead of spinning."
+    in
+    Arg.(value & flag & info [ "supervise" ] ~doc)
+  in
+  let max_restarts_arg =
+    let doc =
+      "Circuit breaker: give up after this many consecutive fast \
+       crashes (a daemon that stays up resets the streak)."
+    in
+    Arg.(value & opt int 10 & info [ "max-restarts" ] ~docv:"N" ~doc)
+  in
+  let backoff_arg =
+    let doc =
+      "First restart delay in seconds (doubles per consecutive crash)."
+    in
+    Arg.(value & opt float 0.25 & info [ "backoff" ] ~docv:"S" ~doc)
+  in
+  let backoff_cap_arg =
+    let doc = "Upper bound on the restart delay in seconds." in
+    Arg.(value & opt float 8.0 & info [ "backoff-cap" ] ~docv:"S" ~doc)
+  in
+  let pidfile_arg =
+    let doc =
+      "Atomically rewrite $(docv) with the serving process's pid — \
+       under --supervise, the current daemon generation's pid at every \
+       restart."
+    in
+    Arg.(value & opt (some string) None & info [ "pidfile" ] ~docv:"FILE" ~doc)
+  in
+  let chaos_arg =
+    let doc =
+      "Test hook: seeded socket-level fault injection on response \
+       writes, e.g. seed=42,torn=0.15,garbage=0.1,sever=0.05 — frames \
+       are torn, corrupted, or withheld and the connection severed, \
+       exercising the client's reconnect-and-replay path."
+    in
+    Arg.(value & opt (some string) None & info [ "chaos" ] ~docv:"SPEC" ~doc)
   in
   let deadline_arg =
     let doc =
@@ -1212,8 +1289,10 @@ let cmd_serve =
       & opt (some string) None
       & info [ "inject-spin" ] ~docv:"NAME:S" ~doc)
   in
-  let run socket jobs queue cache_file cache_entries deadline status_file
-      status_interval metrics inject_spin =
+  let run socket jobs queue cache_file cache_entries cache_policy
+      cache_max_bytes conn_timeout max_conns supervise max_restarts backoff
+      backoff_cap pidfile chaos deadline status_file status_interval metrics
+      inject_spin =
     wrap_code (fun () ->
         let inject_spin =
           match inject_spin with
@@ -1230,26 +1309,69 @@ let cmd_serve =
                       failwith
                         (Printf.sprintf "serve: --inject-spin: bad value %S" v)))
         in
-        match
-          Ims_serve.Server.run
-            {
-              Ims_serve.Server.socket;
-              workers = max 1 jobs;
-              queue = max 1 queue;
-              cache_entries = max 1 cache_entries;
-              cache_file;
-              deadline;
-              status_file;
-              status_interval;
-              metrics_file = metrics;
-              inject_spin;
-            }
-            ~machine_of ~log:serve_log
-        with
-        | Ok () -> 0
-        | Error msg ->
-            Log.error serve_log "%s" msg;
-            1)
+        let cache_policy =
+          match Ims_serve.Cache.policy_of_string cache_policy with
+          | Ok p -> p
+          | Error e -> failwith ("serve: --cache-policy: " ^ e)
+        in
+        let chaos =
+          match chaos with
+          | None -> None
+          | Some spec -> (
+              match Ims_serve.Chaos.of_spec spec with
+              | Ok c -> Some c
+              | Error e -> failwith ("serve: --chaos: " ^ e))
+        in
+        let config restarts =
+          {
+            Ims_serve.Server.socket;
+            workers = max 1 jobs;
+            queue = max 1 queue;
+            cache_entries = max 1 cache_entries;
+            cache_max_bytes;
+            cache_policy;
+            cache_file;
+            deadline;
+            conn_timeout;
+            max_conns;
+            restarts;
+            status_file;
+            status_interval;
+            metrics_file = metrics;
+            inject_spin;
+            chaos;
+          }
+        in
+        let serve restarts =
+          match Ims_serve.Server.run (config restarts) ~machine_of ~log:serve_log with
+          | Ok () -> 0
+          | Error msg ->
+              Log.error serve_log "%s" msg;
+              1
+        in
+        if supervise then begin
+          let backoff =
+            Ims_serve.Supervisor.Backoff.create ~base:backoff ~cap:backoff_cap
+              ~max_restarts ()
+          in
+          match
+            Ims_serve.Supervisor.run ~backoff ?pidfile ~log:serve_log
+              ~child:(fun ~restarts -> serve restarts)
+              ()
+          with
+          | Ok () -> 0
+          | Error msg ->
+              Log.error serve_log "supervisor: %s" msg;
+              1
+        end
+        else begin
+          (match pidfile with
+          | Some path ->
+              Ims_obs.Status.write_atomic ~path
+                (string_of_int (Unix.getpid ()) ^ "\n")
+          | None -> ());
+          serve 0
+        end)
   in
   Cmd.v
     (Cmd.info "serve"
@@ -1259,8 +1381,11 @@ let cmd_serve =
           disk-persistent schedule cache")
     Term.(
       const run $ socket_arg $ jobs_arg $ queue_arg $ cache_file_arg
-      $ cache_entries_arg $ deadline_arg $ status_file_arg
-      $ status_interval_arg $ metrics_arg $ inject_spin_arg)
+      $ cache_entries_arg $ cache_policy_arg $ cache_max_bytes_arg
+      $ conn_timeout_arg $ max_conns_arg $ supervise_arg $ max_restarts_arg
+      $ backoff_arg $ backoff_cap_arg $ pidfile_arg $ chaos_arg
+      $ deadline_arg $ status_file_arg $ status_interval_arg $ metrics_arg
+      $ inject_spin_arg)
 
 let cmd_request =
   let paths_arg =
@@ -1299,18 +1424,56 @@ let cmd_request =
   in
   let wait_arg =
     let doc =
-      "Seconds to keep retrying the initial connection — absorbs the \
-       launch-daemon-then-request startup race."
+      "Per-attempt connection deadline in seconds — absorbs the \
+       launch-daemon-then-request startup race and bounds each \
+       reconnection during replay."
     in
-    Arg.(value & opt float 5.0 & info [ "connect-wait" ] ~docv:"S" ~doc)
+    Arg.(
+      value & opt float 5.0
+      & info [ "connect-timeout"; "connect-wait" ] ~docv:"S" ~doc)
   in
   let timeout_arg =
-    let doc = "Overall exchange timeout in seconds." in
-    Arg.(value & opt float 600.0 & info [ "io-timeout" ] ~docv:"S" ~doc)
+    let doc =
+      "Overall exchange timeout in seconds, reconnections and replays \
+       included — on expiry the command fails with a structured error, \
+       never hangs."
+    in
+    Arg.(value & opt float 600.0 & info [ "timeout"; "io-timeout" ] ~docv:"S" ~doc)
+  in
+  let retries_arg =
+    let doc =
+      "Connection attempts before giving up: when the daemon crashes, \
+       restarts, or a response frame arrives torn, the client reconnects \
+       with jittered exponential backoff and replays exactly the \
+       unanswered requests (idempotent: content-hash keys, cached Done \
+       results, deterministic recompute)."
+    in
+    Arg.(value & opt int 8 & info [ "retries" ] ~docv:"N" ~doc)
+  in
+  let inject_dribble_arg =
+    let doc =
+      "Test hook (slow-loris probe): instead of scheduling, drip an \
+       incomplete request frame one byte every $(docv) seconds and \
+       succeed iff the daemon severs the connection — verifies \
+       --conn-timeout defends the accept loop."
+    in
+    Arg.(
+      value & opt (some float) None & info [ "inject-dribble" ] ~docv:"S" ~doc)
   in
   let run model paths socket budget max_delta_ii deadline report stats shutdown
-      wait timeout =
+      wait timeout retries inject_dribble =
     wrap_code (fun () ->
+        match inject_dribble with
+        | Some delay -> (
+            match
+              Ims_serve.Client.dribble_probe ~delay ~deadline:timeout ~socket ()
+            with
+            | Ok () ->
+                Log.info request_log
+                  "dribble probe: daemon severed the slow connection";
+                0
+            | Error msg -> failwith ("request: dribble probe: " ^ msg))
+        | None ->
         if paths = [] && not stats && not shutdown then
           failwith
             "request: nothing to do (no loop dumps, no --stats, no --shutdown)";
@@ -1340,20 +1503,16 @@ let cmd_request =
           if shutdown then [ Ims_serve.Protocol.Shutdown { id = bye_id } ]
           else []
         in
-        let attempts = max 1 (int_of_float (Float.ceil (wait /. 0.1))) in
-        match Ims_serve.Client.connect ~attempts ~delay:0.1 socket with
-        | Error msg -> failwith ("request: " ^ msg)
-        | Ok fd ->
-            Fun.protect
-              ~finally:(fun () ->
-                try Unix.close fd with Unix.Unix_error _ -> ())
-            @@ fun () ->
-            let responses =
-              match Ims_serve.Client.roundtrip ~timeout fd requests with
-              | Ok rs -> rs
-              | Error msg -> failwith ("request: " ^ msg)
-            in
-            let by_id = Hashtbl.create 97 in
+        let retry = Ims_serve.Client.retry ~attempts:(max 1 retries) () in
+        let responses =
+          match
+            Ims_serve.Client.exchange ~connect_timeout:wait ~timeout ~retry
+              ~socket requests
+          with
+          | Ok rs -> rs
+          | Error msg -> failwith ("request: " ^ msg)
+        in
+        let by_id = Hashtbl.create 97 in
             List.iter
               (fun r ->
                 Hashtbl.replace by_id (Ims_serve.Protocol.response_id r) r)
@@ -1438,7 +1597,88 @@ let cmd_request =
     Term.(
       const run $ machine_arg $ paths_arg $ socket_arg $ budget_arg
       $ max_delta_ii_arg $ deadline_arg $ report_arg $ stats_arg
-      $ shutdown_arg $ wait_arg $ timeout_arg)
+      $ shutdown_arg $ wait_arg $ timeout_arg $ retries_arg
+      $ inject_dribble_arg)
+
+(* --- cache ---------------------------------------------------------------------- *)
+
+let cmd_cache =
+  let file_arg =
+    let doc = "The daemon's persistent schedule-cache file." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+  in
+  let open_offline file =
+    (* Entry bounds are a serving-time policy; offline tooling loads the
+       whole file so stats/compaction see every live entry. *)
+    match Ims_serve.Cache.open_ ~capacity:max_int ~path:file () with
+    | Ok c -> c
+    | Error msg -> failwith ("cache: " ^ msg)
+  in
+  let file_size file =
+    match Unix.stat file with
+    | { Unix.st_size; _ } -> st_size
+    | exception Unix.Unix_error (e, _, _) ->
+        failwith
+          (Printf.sprintf "cache: %s: %s" file (Unix.error_message e))
+  in
+  let cmd_stats =
+    let run file =
+      wrap (fun () ->
+          let c = open_offline file in
+          Fun.protect ~finally:(fun () -> Ims_serve.Cache.close c)
+          @@ fun () ->
+          let s = Ims_serve.Cache.stats c in
+          print_string
+            (Json.to_string
+               (Json.Obj
+                  [
+                    ("file", Json.String file);
+                    ("entries", Json.Int s.entries);
+                    ("loaded", Json.Int s.loaded);
+                    ("live_bytes", Json.Int s.bytes);
+                    ("log_bytes", Json.Int s.log_bytes);
+                    ("torn_tail_truncated", Json.Bool s.torn);
+                  ])
+            ^ "\n"))
+    in
+    Cmd.v
+      (Cmd.info "stats"
+         ~doc:
+           "Print a cache file's live/on-disk sizes and entry counts as \
+            one JSON line")
+      Term.(const run $ file_arg)
+  in
+  let cmd_compact =
+    let run file =
+      wrap (fun () ->
+          let before = file_size file in
+          let c = open_offline file in
+          Fun.protect ~finally:(fun () -> Ims_serve.Cache.close c)
+          @@ fun () ->
+          (* open_ may already have auto-compacted a badly bloated log;
+             forcing again is then a no-op.  Either way, report the
+             observed shrink. *)
+          let rewritten = Ims_serve.Cache.compact c in
+          let s = Ims_serve.Cache.stats c in
+          let after = s.log_bytes in
+          Log.info log
+            "%s: %d -> %d bytes (%d live entr%s)%s" file before after s.entries
+            (if s.entries = 1 then "y" else "ies")
+            (if rewritten || after < before then "" else "; nothing to reclaim"))
+    in
+    Cmd.v
+      (Cmd.info "compact"
+         ~doc:
+           "Rewrite a cache file down to its live entries (temp file, \
+            fsync, atomic rename) — reclaims space left by eviction")
+      Term.(const run $ file_arg)
+  in
+  Cmd.group
+    (Cmd.info "cache"
+       ~doc:
+         "Inspect and compact the serve daemon's persistent schedule \
+          cache offline")
+    [ cmd_stats; cmd_compact ]
 
 (* --- suite ---------------------------------------------------------------------- *)
 
@@ -1796,5 +2036,5 @@ let () =
           [
             cmd_machine; cmd_list; cmd_show; cmd_export; cmd_report; cmd_dot;
             cmd_mii; cmd_schedule; cmd_codegen; cmd_simulate; cmd_suite;
-            cmd_batch; cmd_serve; cmd_request; cmd_check; cmd_perf;
+            cmd_batch; cmd_serve; cmd_request; cmd_cache; cmd_check; cmd_perf;
           ]))

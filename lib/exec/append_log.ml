@@ -49,6 +49,38 @@ let reopen ~path =
 
 let append t json = write_line t.fd json
 
+(* Compaction: the whole replacement is staged in [path ^ ".rewrite"],
+   fsync'd, then renamed over [path] — the same atomicity discipline as
+   Status.write_atomic, so a crash at any point leaves either the old
+   complete log or the new complete log, never a hybrid.  The staged fd
+   survives the rename (same inode) and becomes the append fd. *)
+let rewrite ~path ~header ~records =
+  let tmp = path ^ ".rewrite" in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  match
+    let buf = Buffer.create 65536 in
+    Buffer.add_string buf (Ims_obs.Json.to_string header);
+    Buffer.add_char buf '\n';
+    List.iter
+      (fun r ->
+        Buffer.add_string buf (Ims_obs.Json.to_string r);
+        Buffer.add_char buf '\n')
+      records;
+    let line = Buffer.to_bytes buf in
+    let len = Bytes.length line in
+    let rec push off =
+      if off < len then push (off + Unix.write fd line off (len - off))
+    in
+    push 0;
+    Unix.fsync fd;
+    Unix.rename tmp path
+  with
+  | () -> { fd; closed = false }
+  | exception e ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      (try Unix.unlink tmp with Unix.Unix_error _ -> ());
+      raise e
+
 let close t =
   if not t.closed then begin
     t.closed <- true;

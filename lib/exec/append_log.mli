@@ -25,6 +25,15 @@ val reopen : path:string -> t
 val append : t -> Ims_obs.Json.t -> unit
 (** Append one record as a single fsync'd line. *)
 
+val rewrite :
+  path:string -> header:Ims_obs.Json.t -> records:Ims_obs.Json.t list -> t
+(** Atomically replace the log at [path] with [header] + [records]:
+    stage everything in [path ^ ".rewrite"], fsync, rename over [path],
+    and return the staged descriptor (now [path]'s) open for appending.
+    A crash at any point leaves either the old or the new log complete —
+    this is the compaction substrate for bounded append-only files.
+    @raise Unix.Unix_error on I/O failure (the temp file is removed). *)
+
 val close : t -> unit
 (** Idempotent. *)
 

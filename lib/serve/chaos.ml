@@ -1,0 +1,81 @@
+type fault =
+  | Pass
+  | Torn of int
+  | Garbage of int
+  | Sever
+
+type t = {
+  rng : Random.State.t;
+  m : Mutex.t;
+  torn : float;
+  garbage : float;
+  sever : float;
+  mutable injected : int;
+}
+
+let of_spec spec =
+  let seed = ref 0 and torn = ref 0. and garbage = ref 0. and sever = ref 0. in
+  let parse_field f =
+    match String.index_opt f '=' with
+    | None -> Error (Printf.sprintf "chaos: field %S is not key=value" f)
+    | Some i -> (
+        let k = String.sub f 0 i in
+        let v = String.sub f (i + 1) (String.length f - i - 1) in
+        let prob r =
+          match float_of_string_opt v with
+          | Some p when p >= 0. && p <= 1. ->
+              r := p;
+              Ok ()
+          | _ -> Error (Printf.sprintf "chaos: %s needs a probability, got %S" k v)
+        in
+        match k with
+        | "seed" -> (
+            match int_of_string_opt v with
+            | Some s ->
+                seed := s;
+                Ok ()
+            | None -> Error (Printf.sprintf "chaos: bad seed %S" v))
+        | "torn" -> prob torn
+        | "garbage" -> prob garbage
+        | "sever" -> prob sever
+        | _ -> Error (Printf.sprintf "chaos: unknown field %S" k))
+  in
+  let rec go = function
+    | [] ->
+        if !torn +. !garbage +. !sever > 1. then
+          Error "chaos: probabilities sum past 1"
+        else
+          Ok
+            {
+              rng = Random.State.make [| !seed |];
+              m = Mutex.create ();
+              torn = !torn;
+              garbage = !garbage;
+              sever = !sever;
+              injected = 0;
+            }
+    | f :: rest -> ( match parse_field f with Ok () -> go rest | Error _ as e -> e)
+  in
+  go (List.filter (fun s -> s <> "") (String.split_on_char ',' spec))
+
+let on_write t ~frame_len =
+  Mutex.lock t.m;
+  let u = Random.State.float t.rng 1.0 in
+  let fault =
+    if u < t.torn then
+      if frame_len < 2 then Sever
+      else Torn (1 + Random.State.int t.rng (frame_len - 1))
+    else if u < t.torn +. t.garbage then
+      Garbage (Random.State.int t.rng (max 1 frame_len))
+    else if u < t.torn +. t.garbage +. t.sever then Sever
+    else Pass
+  in
+  if fault <> Pass then t.injected <- t.injected + 1;
+  Mutex.unlock t.m;
+  fault
+
+let injected t =
+  Mutex.lock t.m;
+  let n = t.injected in
+  Mutex.unlock t.m;
+  n

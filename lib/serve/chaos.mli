@@ -1,0 +1,35 @@
+(** Seeded socket-level fault injection — test-only, the wire
+    counterpart of [imsc check mutate]'s semantic mutations.
+
+    The daemon consults {!on_write} before every response frame and,
+    per the drawn fault, delivers a torn prefix, a corrupted byte, or
+    nothing at all, then severs the connection.  Every fault is
+    client-visible as a transport error (truncated frame, corrupt
+    stream, EOF), which is exactly the surface the retrying client must
+    absorb: the chaos CI gate asserts that a supervised daemon plus
+    {!Client.exchange} still converges to output byte-identical to a
+    cold [imsc batch] run.
+
+    Draws are serialized under an internal mutex (workers write
+    concurrently) from a {!Random.State} seeded by the spec, so a
+    failing run replays with the same fault sequence. *)
+
+type fault =
+  | Pass  (** Deliver the frame intact. *)
+  | Torn of int  (** Write only this many bytes, then sever. *)
+  | Garbage of int  (** Corrupt the byte at this offset, then sever. *)
+  | Sever  (** Write nothing; sever immediately. *)
+
+type t
+
+val of_spec : string -> (t, string) result
+(** Parse a spec like ["seed=42,torn=0.15,garbage=0.1,sever=0.05"] —
+    comma-separated [key=value] with per-fault probabilities in [0,1]
+    (missing fields default to 0; probabilities must sum to at most 1;
+    [seed] defaults to 0). *)
+
+val on_write : t -> frame_len:int -> fault
+(** Draw the fault for one response frame of [frame_len] bytes. *)
+
+val injected : t -> int
+(** Faults injected so far (for shutdown-time logging). *)

@@ -1,24 +1,43 @@
 open Ims_obs
 module U = Unix
 
-let connect ?(attempts = 50) ?(delay = 0.1) path =
-  let rec go n =
+let connect ?(deadline = 0.) ?(delay = 0.1) path =
+  let deadline = if deadline > 0. then deadline else U.gettimeofday () +. 5. in
+  let rec go () =
     let fd = U.socket ~cloexec:true U.PF_UNIX U.SOCK_STREAM 0 in
     match U.connect fd (U.ADDR_UNIX path) with
     | () -> Ok fd
-    | exception U.Unix_error ((U.ENOENT | U.ECONNREFUSED), _, _) when n > 1 ->
+    | exception U.Unix_error ((U.ENOENT | U.ECONNREFUSED) as e, _, _) ->
         U.close fd;
-        U.sleepf delay;
-        go (n - 1)
+        if U.gettimeofday () +. delay > deadline then
+          Error
+            (Printf.sprintf "cannot connect to %s: %s" path (U.error_message e))
+        else begin
+          U.sleepf delay;
+          go ()
+        end
     | exception U.Unix_error (e, _, _) ->
         U.close fd;
         Error
           (Printf.sprintf "cannot connect to %s: %s" path (U.error_message e))
   in
-  go (max 1 attempts)
+  go ()
 
-let roundtrip ?(timeout = 600.) fd requests =
-  let n = List.length requests in
+(* One connection's worth of pipelined exchange: write every request,
+   collect responses until each pending id is answered, the [deadline]
+   passes, or the transport fails.  Returns the responses that did
+   arrive (in arrival order) alongside the error, so a caller can
+   settle the answered ids and replay only the remainder. *)
+let pump ~deadline fd requests =
+  let pending = Hashtbl.create 97 in
+  List.iter
+    (fun r ->
+      match r with
+      | Protocol.Schedule { id; _ }
+      | Protocol.Stats { id }
+      | Protocol.Shutdown { id } ->
+          Hashtbl.replace pending id ())
+    requests;
   let out =
     String.concat ""
       (List.map
@@ -30,19 +49,20 @@ let roundtrip ?(timeout = 600.) fd requests =
   let dec = Wire.decoder () in
   let buf = Bytes.create 65536 in
   let resps = ref [] in
-  let got = ref 0 in
-  let limit = U.gettimeofday () +. timeout in
   let err = ref None in
   let fail msg = if !err = None then err := Some msg in
   U.set_nonblock fd;
-  while !err = None && !got < n do
-    let remaining = limit -. U.gettimeofday () in
+  while !err = None && Hashtbl.length pending > 0 do
+    let remaining = deadline -. U.gettimeofday () in
     if remaining <= 0. then
       fail
-        (Printf.sprintf "timed out with %d response(s) outstanding" (n - !got))
+        (Printf.sprintf "timed out with %d response(s) outstanding"
+           (Hashtbl.length pending))
     else
-      match U.select [ fd ] (if !off < total then [ fd ] else []) []
-              (Float.min remaining 1.0)
+      match
+        U.select [ fd ]
+          (if !off < total then [ fd ] else [])
+          [] (Float.min remaining 1.0)
       with
       | exception U.Unix_error (U.EINTR, _, _) -> ()
       | readable, writable, _ ->
@@ -57,15 +77,22 @@ let roundtrip ?(timeout = 600.) fd requests =
           if !err = None && readable <> [] then (
             match U.read fd buf 0 (Bytes.length buf) with
             | 0 ->
-                fail
-                  (Printf.sprintf
-                     "the daemon closed the connection with %d response(s) \
-                      outstanding"
-                     (n - !got))
+                if Wire.has_partial dec then
+                  fail
+                    (Printf.sprintf
+                       "truncated frame: the daemon hung up mid-response \
+                        (%d byte(s) pending, %d response(s) outstanding)"
+                       (Wire.buffered dec) (Hashtbl.length pending))
+                else
+                  fail
+                    (Printf.sprintf
+                       "the daemon closed the connection with %d response(s) \
+                        outstanding"
+                       (Hashtbl.length pending))
             | k ->
                 Wire.feed dec (Bytes.sub_string buf 0 k);
                 let rec drain () =
-                  if !err = None && !got < n then
+                  if !err = None && Hashtbl.length pending > 0 then
                     match Wire.next dec with
                     | Ok None -> ()
                     | Error e -> fail ("corrupt response stream: " ^ e)
@@ -76,9 +103,28 @@ let roundtrip ?(timeout = 600.) fd requests =
                             match Protocol.response_of_json obj with
                             | Error e -> fail e
                             | Ok resp ->
-                                resps := resp :: !resps;
-                                incr got;
-                                drain ()))
+                                let id = Protocol.response_id resp in
+                                if Hashtbl.mem pending id then begin
+                                  Hashtbl.remove pending id;
+                                  resps := resp :: !resps;
+                                  drain ()
+                                end
+                                else
+                                  (* An unsolicited id — notably the
+                                     admission cap's [Overloaded] with
+                                     id 0 — is a whole-connection
+                                     rejection, not an answer. *)
+                                  fail
+                                    (match resp with
+                                    | Protocol.Overloaded { depth; capacity; _ }
+                                      ->
+                                        Printf.sprintf
+                                          "daemon refused the connection \
+                                           (%d/%d connections)"
+                                          depth capacity
+                                    | _ ->
+                                        Printf.sprintf
+                                          "unexpected response id %d" id)))
                 in
                 drain ()
             | exception
@@ -86,4 +132,137 @@ let roundtrip ?(timeout = 600.) fd requests =
                 ())
   done;
   (try U.clear_nonblock fd with U.Unix_error _ -> ());
-  match !err with Some e -> Error e | None -> Ok (List.rev !resps)
+  (List.rev !resps, !err)
+
+let roundtrip ?(timeout = 600.) fd requests =
+  match pump ~deadline:(U.gettimeofday () +. timeout) fd requests with
+  | resps, None -> Ok resps
+  | _, Some e -> Error e
+
+type retry = {
+  attempts : int;
+  base_delay : float;
+  max_delay : float;
+  jitter : Random.State.t;
+}
+
+let retry ?(attempts = 8) ?(base_delay = 0.1) ?(max_delay = 2.0) ?(seed = 0) ()
+    =
+  {
+    attempts = max 1 attempts;
+    base_delay = Float.max 0.001 base_delay;
+    max_delay = Float.max 0.001 max_delay;
+    jitter = Random.State.make [| seed |];
+  }
+
+let request_id = function
+  | Protocol.Schedule { id; _ } | Protocol.Stats { id } | Protocol.Shutdown { id }
+    ->
+      id
+
+let exchange ?(connect_timeout = 5.) ?(timeout = 600.) ?retry:r ~socket requests
+    =
+  let r = match r with Some r -> r | None -> retry () in
+  let overall = U.gettimeofday () +. timeout in
+  (* Outstanding requests, in submission order; transport failures
+     replay exactly these.  Safe because requests are idempotent: keys
+     are content hashes, only [Done] outcomes are cached, and a
+     re-scheduled loop produces byte-identical records. *)
+  let outstanding = ref requests in
+  let answered = ref [] in
+  let rec attempt k last_err =
+    if !outstanding = [] then Ok (List.rev !answered)
+    else if U.gettimeofday () >= overall then
+      Error
+        (Printf.sprintf
+           "timed out after %.0fs with %d response(s) outstanding (attempt \
+            %d%s)"
+           timeout
+           (List.length !outstanding)
+           k
+           (match last_err with Some e -> "; last error: " ^ e | None -> ""))
+    else if k > r.attempts then
+      Error
+        (Printf.sprintf "gave up after %d attempt(s)%s" r.attempts
+           (match last_err with Some e -> ": " ^ e | None -> ""))
+    else begin
+      (if k > 1 then
+         (* Jittered exponential backoff, clipped to the overall
+            deadline: reconnect storms against a restarting daemon help
+            nobody. *)
+         let backoff =
+           Float.min r.max_delay
+             (r.base_delay *. (2. ** float_of_int (k - 2)))
+           *. (0.5 +. Random.State.float r.jitter 1.0)
+         in
+         let backoff =
+           Float.max 0. (Float.min backoff (overall -. U.gettimeofday ()))
+         in
+         if backoff > 0. then U.sleepf backoff);
+      let connect_deadline =
+        Float.min overall (U.gettimeofday () +. connect_timeout)
+      in
+      match connect ~deadline:connect_deadline socket with
+      | Error e -> attempt (k + 1) (Some e)
+      | Ok fd ->
+          let got, err =
+            Fun.protect
+              ~finally:(fun () ->
+                try U.close fd with U.Unix_error _ -> ())
+              (fun () -> pump ~deadline:overall fd !outstanding)
+          in
+          answered := List.rev_append got !answered;
+          let got_ids =
+            List.fold_left
+              (fun acc resp -> Protocol.response_id resp :: acc)
+              [] got
+          in
+          outstanding :=
+            List.filter
+              (fun req -> not (List.mem (request_id req) got_ids))
+              !outstanding;
+          (match err with
+          | None -> attempt k None (* terminates: outstanding is empty *)
+          | Some e -> attempt (k + 1) (Some e))
+    end
+  in
+  attempt 1 None
+
+let dribble_probe ?(delay = 0.2) ?(deadline = 15.) ~socket () =
+  let limit = U.gettimeofday () +. deadline in
+  match connect ~deadline:(U.gettimeofday () +. 5.) socket with
+  | Error e -> Error e
+  | Ok fd ->
+      Fun.protect
+        ~finally:(fun () -> try U.close fd with U.Unix_error _ -> ())
+      @@ fun () ->
+      let payload =
+        Wire.frame
+          (Json.to_string (Protocol.request_to_json (Protocol.Stats { id = 1 })))
+      in
+      let buf = Bytes.create 256 in
+      let rec drip i =
+        if U.gettimeofday () >= limit then
+          Error "daemon never severed the dribbling connection"
+        else begin
+          (* Write one byte, then linger — the signature of a
+             slow-loris peer.  The frame guard byte is deliberately
+             never sent, so the frame can never complete; success is
+             the daemon hanging up on us. *)
+          let cap = String.length payload - 1 in
+          (if i < cap then
+             try ignore (U.write_substring fd payload i 1)
+             with U.Unix_error _ -> ());
+          match U.select [ fd ] [] [] delay with
+          | exception U.Unix_error (U.EINTR, _, _) -> drip i
+          | [], _, _ -> drip (min (i + 1) cap)
+          | _ -> (
+              match U.read fd buf 0 (Bytes.length buf) with
+              | 0 -> Ok () (* severed: the defence worked *)
+              | _ -> drip (min (i + 1) cap)
+              | exception U.Unix_error ((U.ECONNRESET | U.EPIPE), _, _) ->
+                  Ok ()
+              | exception U.Unix_error (U.EINTR, _, _) -> drip i)
+        end
+      in
+      drip 0

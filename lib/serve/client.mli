@@ -1,24 +1,82 @@
 (** The client side of the serve protocol — what [imsc request] runs.
 
-    {!roundtrip} pipelines every request before collecting responses,
-    with a duplex select loop (reads interleave with the remaining
-    writes), so a corpus larger than the socket buffers cannot deadlock
-    against a daemon that is already answering. *)
+    {!exchange} is the resilient entry point: it pipelines every
+    request, and when the transport fails mid-flight — daemon crash,
+    torn frame, corrupt stream, refused connection — it reconnects
+    with jittered exponential backoff and {e replays exactly the
+    unanswered requests}.  The replay is idempotent by construction:
+    requests are content-hash-keyed, only [Done] outcomes are cached,
+    and recomputation is deterministic, so a request answered twice
+    (reply lost, then replayed) yields byte-identical records and a
+    request never answered is simply computed on the new connection.
+    A mid-flight daemon restart is therefore invisible to the caller,
+    modulo latency.
+
+    {!roundtrip} is the one-shot primitive underneath (single
+    connection, no replay), kept for callers that want failures
+    surfaced rather than absorbed. *)
 
 val connect :
-  ?attempts:int -> ?delay:float -> string -> (Unix.file_descr, string) result
-(** Connect to the daemon's socket, retrying [attempts] times (default
-    50) every [delay] seconds (default 0.1) while the socket is missing
-    or refusing — the startup race of "launch daemon, immediately
-    request" resolves here rather than in every caller's sleep. *)
+  ?deadline:float -> ?delay:float -> string -> (Unix.file_descr, string) result
+(** Connect to the daemon's socket, retrying every [delay] seconds
+    (default 0.1) while the socket is missing or refusing, until
+    [deadline] (absolute; defaults to 5 s from now) — the startup race
+    of "launch daemon, immediately request" resolves here rather than
+    in every caller's sleep.  [Error] with the last failure once the
+    deadline passes. *)
 
 val roundtrip :
   ?timeout:float ->
   Unix.file_descr ->
   Protocol.request list ->
   (Protocol.response list, string) result
-(** Send every request, read exactly one response per request, and
+(** Send every request, read exactly one response per request id, and
     return them in {e arrival} order (correlate by id — cache hits
     overtake scheduling work).  [timeout] (default 600s) bounds the
-    whole exchange.  [Error] on timeout, EOF with responses
-    outstanding, or a corrupt stream. *)
+    whole exchange.  [Error] on timeout, EOF or a truncated frame with
+    responses outstanding, a corrupt stream, or an unsolicited
+    response id (the admission cap's connection-level [Overloaded]). *)
+
+(** Reconnect policy for {!exchange}. *)
+type retry
+
+val retry :
+  ?attempts:int ->
+  ?base_delay:float ->
+  ?max_delay:float ->
+  ?seed:int ->
+  unit ->
+  retry
+(** [attempts] (default 8) bounds connection establishments; between
+    attempts the delay doubles from [base_delay] (default 0.1 s) up to
+    [max_delay] (default 2 s), scaled by a uniform jitter in
+    [0.5, 1.5) drawn from a generator seeded by [seed] (default 0 —
+    deterministic in tests). *)
+
+val exchange :
+  ?connect_timeout:float ->
+  ?timeout:float ->
+  ?retry:retry ->
+  socket:string ->
+  Protocol.request list ->
+  (Protocol.response list, string) result
+(** Run the full resilient exchange: connect (each establishment
+    bounded by [connect_timeout], default 5 s), pipeline the
+    outstanding requests, settle answered ids, and on transport
+    failure back off and replay the rest, until everything is answered
+    ([Ok], responses in arrival order across connections), [timeout]
+    (default 600 s) expires, or the retry budget is spent ([Error],
+    with the last transport error folded into the message — a
+    structured failure, never a hang). *)
+
+val dribble_probe :
+  ?delay:float ->
+  ?deadline:float ->
+  socket:string ->
+  unit ->
+  (unit, string) result
+(** Test hook (the chaos gate's slow-loris attacker): connect, then
+    drip a request frame one byte per [delay] seconds, withholding the
+    final guard byte so the frame can never complete.  [Ok ()] iff the
+    daemon severs the connection before [deadline] (default 15 s) —
+    i.e. its read deadline actually defends the accept loop. *)

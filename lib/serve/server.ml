@@ -6,12 +6,18 @@ type config = {
   workers : int;
   queue : int;
   cache_entries : int;
+  cache_max_bytes : int option;
+  cache_policy : Cache.policy;
   cache_file : string option;
   deadline : float option;
+  conn_timeout : float option;
+  max_conns : int;
+  restarts : int;
   status_file : string option;
   status_interval : float;
   metrics_file : string option;
   inject_spin : (string * float) option;
+  chaos : Chaos.t option;
 }
 
 (* A connection's write side is shared between the main domain (cache
@@ -25,6 +31,9 @@ type conn = {
   cm : Mutex.t;
   mutable open_ : bool;  (* fd is open; owned by the main domain *)
   mutable writable : bool;  (* sends permitted *)
+  mutable partial_since : float option;
+      (* when the decoder first held an incomplete frame — the clock a
+         read deadline (slow-loris defence) runs against *)
 }
 
 type job = {
@@ -39,11 +48,58 @@ type job = {
   key : string;
 }
 
-let send conn resp =
+(* Under [cm].  Force the peer to notice a poisoned connection now: a
+   worker may not close the fd (the main domain owns that), but it can
+   shut the socket down, which surfaces as EOF in the client's read. *)
+let sever conn =
+  conn.writable <- false;
+  try U.shutdown conn.fd U.SHUTDOWN_ALL with U.Unix_error _ -> ()
+
+let send ?chaos ?timeout conn resp =
   Mutex.lock conn.cm;
   (if conn.open_ && conn.writable then
-     try Wire.write_frame conn.fd (Json.to_string (Protocol.response_to_json resp))
-     with U.Unix_error _ -> conn.writable <- false);
+     let payload = Json.to_string (Protocol.response_to_json resp) in
+     let fault =
+       match chaos with
+       | None -> Chaos.Pass
+       | Some c ->
+           Chaos.on_write c ~frame_len:(String.length (Wire.frame payload))
+     in
+     match fault with
+     | Chaos.Pass -> (
+         match timeout with
+         | None -> (
+             try Wire.write_frame conn.fd payload
+             with U.Unix_error _ -> conn.writable <- false)
+         | Some t -> (
+             match
+               Wire.write_frame_deadline conn.fd
+                 ~deadline:(U.gettimeofday () +. t)
+                 payload
+             with
+             | Ok () -> ()
+             | Error _ -> sever conn))
+     | Chaos.Torn k ->
+         let bytes = Wire.frame payload in
+         (try ignore (U.write_substring conn.fd bytes 0 k)
+          with U.Unix_error _ -> ());
+         sever conn
+     | Chaos.Garbage _ ->
+         (* Corrupt the frame guard: detectably wrong (the decoder
+            poisons the stream) without ever delivering a well-formed
+            frame holding wrong payload bytes. *)
+         let bytes = Bytes.of_string (Wire.frame payload) in
+         Bytes.set bytes (Bytes.length bytes - 1) 'X';
+         let len = Bytes.length bytes in
+         let rec push off =
+           if off < len then
+             match U.write conn.fd bytes off (len - off) with
+             | n -> push (off + n)
+             | exception U.Unix_error _ -> ()
+         in
+         push 0;
+         sever conn
+     | Chaos.Sever -> sever conn);
   Mutex.unlock conn.cm
 
 (* Main domain only. *)
@@ -98,7 +154,8 @@ let run config ~machine_of ~log =
       with Invalid_argument _ | Sys_error _ -> ())
     [ Sys.sigterm; Sys.sigint ];
   match
-    Cache.open_ ~capacity:config.cache_entries ?path:config.cache_file ()
+    Cache.open_ ~capacity:config.cache_entries ?max_bytes:config.cache_max_bytes
+      ~policy:config.cache_policy ?path:config.cache_file ()
   with
   | Error e -> Error e
   | Ok cache -> (
@@ -113,6 +170,9 @@ let run config ~machine_of ~log =
               (Option.value ~default:"?" config.cache_file)
               (if loaded.Cache.torn then " (torn tail truncated)" else "");
           let t0 = U.gettimeofday () in
+          let send conn resp =
+            send ?chaos:config.chaos ?timeout:config.conn_timeout conn resp
+          in
           let intake = Ims_exec.Intake.create ~capacity:config.queue in
 
           (* Tally + metrics.  Workers bump under [tally_m]; the main
@@ -127,11 +187,17 @@ let run config ~machine_of ~log =
           let m_overloaded = Metrics.counter metrics "serve.overloaded" in
           let m_errors = Metrics.counter metrics "serve.errors" in
           let m_scheduled = Metrics.counter metrics "serve.scheduled" in
+          let m_compactions = Metrics.counter metrics "serve.cache_compactions" in
           let g_depth = Metrics.gauge metrics "serve.queue_depth" in
           let g_capacity = Metrics.gauge metrics "serve.queue_capacity" in
           let g_entries = Metrics.gauge metrics "serve.cache_entries" in
+          let g_cache_bytes = Metrics.gauge metrics "serve.cache_bytes" in
+          let g_log_bytes = Metrics.gauge metrics "serve.cache_log_bytes" in
           let g_conns = Metrics.gauge metrics "serve.connections" in
+          let g_restarts = Metrics.gauge metrics "serve.restarts" in
+          let g_uptime = Metrics.gauge metrics "serve.uptime_s" in
           Metrics.set_int g_capacity (Ims_exec.Intake.capacity intake);
+          Metrics.set_int g_restarts config.restarts;
           let tally_m = Mutex.create () in
           let with_tally f =
             Mutex.lock tally_m;
@@ -163,15 +229,20 @@ let run config ~machine_of ~log =
               elapsed = U.gettimeofday () -. t0;
             }
           in
-          let synced = ref (0, 0, 0) in
+          let synced = ref (0, 0, 0, 0) in
           let sync_cache () =
             let s = Cache.stats cache in
-            let h, m, e = !synced in
+            let h, m, e, c = !synced in
             Metrics.incr ~by:(s.Cache.hits - h) m_hits;
             Metrics.incr ~by:(s.Cache.misses - m) m_misses;
             Metrics.incr ~by:(s.Cache.evictions - e) m_evictions;
-            synced := (s.Cache.hits, s.Cache.misses, s.Cache.evictions);
-            Metrics.set_int g_entries s.Cache.entries
+            Metrics.incr ~by:(s.Cache.compactions - c) m_compactions;
+            synced :=
+              (s.Cache.hits, s.Cache.misses, s.Cache.evictions,
+               s.Cache.compactions);
+            Metrics.set_int g_entries s.Cache.entries;
+            Metrics.set_int g_cache_bytes s.Cache.bytes;
+            Metrics.set_int g_log_bytes s.Cache.log_bytes
           in
 
           let machines = Hashtbl.create 8 in
@@ -248,6 +319,8 @@ let run config ~machine_of ~log =
             | Ok (Protocol.Stats { id }) ->
                 sync_cache ();
                 Metrics.set_int g_depth (Ims_exec.Intake.depth intake);
+                Metrics.set_int g_uptime
+                  (int_of_float (U.gettimeofday () -. t0));
                 let json = with_tally (fun () -> Metrics.to_json metrics) in
                 send conn (Protocol.Stats_reply { id; metrics = json })
             | Ok (Protocol.Shutdown { id }) ->
@@ -315,15 +388,42 @@ let run config ~machine_of ~log =
           let accept () =
             match U.accept ~cloexec:true lfd with
             | fd, _ ->
-                conns :=
-                  {
-                    fd;
-                    dec = Wire.decoder ();
-                    cm = Mutex.create ();
-                    open_ = true;
-                    writable = true;
-                  }
-                  :: !conns
+                let live =
+                  List.fold_left
+                    (fun n c -> if c.open_ then n + 1 else n)
+                    0 !conns
+                in
+                if config.max_conns > 0 && live >= config.max_conns then begin
+                  (* Admission cap: answer with a structured overloaded
+                     reply (bounded write) and drop the connection —
+                     never let accepted-but-unserved sockets pile up. *)
+                  with_tally (fun () -> Metrics.incr m_overloaded);
+                  (match
+                     Wire.write_frame_deadline fd
+                       ~deadline:(U.gettimeofday () +. 1.0)
+                       (Json.to_string
+                          (Protocol.response_to_json
+                             (Protocol.Overloaded
+                                {
+                                  id = 0;
+                                  depth = live;
+                                  capacity = config.max_conns;
+                                })))
+                   with
+                  | Ok () | Error _ -> ());
+                  try U.close fd with U.Unix_error _ -> ()
+                end
+                else
+                  conns :=
+                    {
+                      fd;
+                      dec = Wire.decoder ();
+                      cm = Mutex.create ();
+                      open_ = true;
+                      writable = true;
+                      partial_since = None;
+                    }
+                    :: !conns
             | exception
                 U.Unix_error
                   ((U.EAGAIN | U.EWOULDBLOCK | U.EINTR | U.ECONNABORTED), _, _)
@@ -333,7 +433,13 @@ let run config ~machine_of ~log =
           let buf = Bytes.create 65536 in
           let pump conn =
             match U.read conn.fd buf 0 (Bytes.length buf) with
-            | 0 -> close_conn conn
+            | 0 ->
+                if Wire.has_partial conn.dec then
+                  Log.warn log
+                    "client hung up mid-frame (%d byte(s) of a truncated \
+                     request dropped)"
+                    (Wire.buffered conn.dec);
+                close_conn conn
             | n ->
                 Wire.feed conn.dec (Bytes.sub_string buf 0 n);
                 let rec drain () =
@@ -353,7 +459,17 @@ let run config ~machine_of ~log =
                         Log.warn log "closing connection: %s" e;
                         close_conn conn
                 in
-                drain ()
+                drain ();
+                (* The read deadline runs only while a frame is
+                   incomplete — idle pipelined connections are fine, a
+                   peer dripping one frame forever is not. *)
+                if conn.open_ then
+                  conn.partial_since <-
+                    (if Wire.has_partial conn.dec then
+                       match conn.partial_since with
+                       | Some _ as t -> t
+                       | None -> Some (U.gettimeofday ())
+                     else None)
             | exception U.Unix_error ((U.ECONNRESET | U.EPIPE), _, _) ->
                 close_conn conn
             | exception U.Unix_error (U.EINTR, _, _) -> ()
@@ -366,13 +482,23 @@ let run config ~machine_of ~log =
                   (Status.writer ~interval:config.status_interval ~file
                      ~timer:U.gettimeofday ())
           in
-          Log.info log "serving on %s: %d worker(s), queue %d, cache %d%s"
+          Log.info log "serving on %s: %d worker(s), queue %d, cache %d %s%s%s%s"
             config.socket
             (Ims_exec.Exec.streaming_jobs workers)
             config.queue config.cache_entries
+            (Cache.policy_name config.cache_policy)
+            (match config.cache_max_bytes with
+            | Some b -> Printf.sprintf " (max %d bytes)" b
+            | None -> "")
             (match config.cache_file with
             | Some p -> " at " ^ p
-            | None -> " (memory only)");
+            | None -> " (memory only)")
+            (match config.chaos with
+            | Some _ -> " [CHAOS INJECTION ON]"
+            | None -> "");
+          if config.restarts > 0 then
+            Log.warn log "generation %d: restarted by the supervisor"
+              config.restarts;
 
           while not (Atomic.get stop) do
             let watch =
@@ -394,10 +520,27 @@ let run config ~machine_of ~log =
                       | Some conn -> pump conn
                       | None -> ())
                   ready);
+            (match config.conn_timeout with
+            | Some limit ->
+                let now = U.gettimeofday () in
+                List.iter
+                  (fun c ->
+                    if c.open_ then
+                      match c.partial_since with
+                      | Some t when now -. t > limit ->
+                          Log.warn log
+                            "closing slow connection (frame incomplete for \
+                             %.1fs)"
+                            (now -. t);
+                          close_conn c
+                      | _ -> ())
+                  !conns
+            | None -> ());
             conns := List.filter (fun c -> c.open_) !conns;
             sync_cache ();
             Metrics.set_int g_depth (Ims_exec.Intake.depth intake);
             Metrics.set_int g_conns (List.length !conns);
+            Metrics.set_int g_uptime (int_of_float (U.gettimeofday () -. t0));
             Option.iter (fun w -> Status.heartbeat w (snapshot ())) status_writer
           done;
 
@@ -425,4 +568,7 @@ let run config ~machine_of ~log =
           Log.info log "served %d request(s): %d cache hit(s), %d scheduled"
             !t_total s.Cache.hits
             (Metrics.counter_value m_scheduled);
+          (match config.chaos with
+          | Some c -> Log.info log "chaos: %d fault(s) injected" (Chaos.injected c)
+          | None -> ());
           Ok ())

@@ -29,10 +29,25 @@ type config = {
   workers : int;  (** Scheduling domains. *)
   queue : int;  (** Admission high-water mark. *)
   cache_entries : int;  (** In-memory cache capacity. *)
+  cache_max_bytes : int option;
+      (** Byte cap on the resident cache {e and} its compacted log. *)
+  cache_policy : Cache.policy;  (** [Fifo] or [Lru] eviction. *)
   cache_file : string option;  (** Persistent cache path. *)
   deadline : float option;
       (** Default per-request deadline (seconds), when the request
           itself carries none. *)
+  conn_timeout : float option;
+      (** Per-connection I/O deadline: a peer holding a frame
+          incomplete (slow-loris read) or refusing to accept a response
+          (blocked write) past this many seconds is severed. *)
+  max_conns : int;
+      (** Admission cap on simultaneous connections; excess accepts are
+          answered with a structured [Overloaded] reply and closed.
+          0 = unlimited. *)
+  restarts : int;
+      (** Supervisor generation (0 = first start / unsupervised);
+          surfaced as the [serve.restarts] gauge so health probes can
+          see crash history. *)
   status_file : string option;  (** Heartbeat snapshot path. *)
   status_interval : float;
   metrics_file : string option;  (** Final metrics snapshot path. *)
@@ -40,6 +55,9 @@ type config = {
       (** Test hook: requests with this name spin for this many seconds
           (cancellably) before scheduling — how the CLI tests hold the
           queue full and exercise backpressure and deadlines. *)
+  chaos : Chaos.t option;
+      (** Test hook: seeded socket-level fault injection on response
+          writes ({!Chaos}); [None] in production. *)
 }
 
 val run :

@@ -1,0 +1,124 @@
+open Ims_obs
+module U = Unix
+
+module Backoff = struct
+  type t = {
+    base : float;
+    cap : float;
+    healthy : float;
+    max_restarts : int;
+    mutable streak : int;
+  }
+
+  let create ?(base = 0.25) ?(cap = 8.0) ?(healthy = 30.0) ?(max_restarts = 10)
+      () =
+    {
+      base = Float.max 0.001 base;
+      cap = Float.max 0.001 cap;
+      healthy = Float.max 0. healthy;
+      max_restarts = max 0 max_restarts;
+      streak = 0;
+    }
+
+  type verdict = Restart of float | Give_up
+
+  let on_crash t ~uptime =
+    (* A child that stayed up past the healthy window earned a clean
+       slate: only consecutive fast crashes open the breaker. *)
+    if uptime >= t.healthy then t.streak <- 0;
+    t.streak <- t.streak + 1;
+    if t.streak > t.max_restarts then Give_up
+    else Restart (Float.min t.cap (t.base *. (2. ** float_of_int (t.streak - 1))))
+
+  let streak t = t.streak
+end
+
+let describe_status = function
+  | U.WEXITED code -> Printf.sprintf "exited with code %d" code
+  | U.WSIGNALED s -> Printf.sprintf "was killed by signal %d" s
+  | U.WSTOPPED s -> Printf.sprintf "was stopped by signal %d" s
+
+(* Sleep that a shutdown signal can cut short. *)
+let interruptible_sleep ~stopped delay =
+  let until = U.gettimeofday () +. delay in
+  let rec go () =
+    if not (stopped ()) then
+      let remaining = until -. U.gettimeofday () in
+      if remaining > 0. then begin
+        (try U.sleepf (Float.min remaining 0.05)
+         with U.Unix_error (U.EINTR, _, _) -> ());
+        go ()
+      end
+  in
+  go ()
+
+let run ?(backoff = Backoff.create ()) ?pidfile ~log ~child () =
+  let stop = ref false in
+  let child_pid = ref None in
+  let forward s =
+    stop := true;
+    match !child_pid with
+    | Some pid -> ( try U.kill pid s with U.Unix_error _ -> ())
+    | None -> ()
+  in
+  List.iter
+    (fun s ->
+      try Sys.set_signal s (Sys.Signal_handle forward)
+      with Invalid_argument _ | Sys_error _ -> ())
+    [ Sys.sigterm; Sys.sigint ];
+  let restarts = ref 0 in
+  let rec loop () =
+    if !stop then Ok ()
+    else
+      match U.fork () with
+      | 0 -> (
+          (* The daemon generation: run it, and never return into the
+             supervisor's loop — even on an exception. *)
+          try exit (child ~restarts:!restarts)
+          with e ->
+            Printf.eprintf "imsc serve: daemon died: %s\n%!"
+              (Printexc.to_string e);
+            exit 125)
+      | pid -> (
+          child_pid := Some pid;
+          (match pidfile with
+          | Some path -> Status.write_atomic ~path (string_of_int pid ^ "\n")
+          | None -> ());
+          let started = U.gettimeofday () in
+          let rec wait_child () =
+            match U.waitpid [] pid with
+            | _, status -> status
+            | exception U.Unix_error (U.EINTR, _, _) -> wait_child ()
+          in
+          let status = wait_child () in
+          child_pid := None;
+          let uptime = U.gettimeofday () -. started in
+          match status with
+          | U.WEXITED 0 ->
+              Log.info log "daemon exited cleanly after %.1fs; supervisor done"
+                uptime;
+              Ok ()
+          | _ when !stop -> Ok ()
+          | status -> (
+              match Backoff.on_crash backoff ~uptime with
+              | Backoff.Give_up ->
+                  Error
+                    (Printf.sprintf
+                       "circuit breaker open: daemon %s — %d consecutive \
+                        crash(es), giving up"
+                       (describe_status status) (Backoff.streak backoff))
+              | Backoff.Restart delay ->
+                  incr restarts;
+                  Log.warn log
+                    "daemon %s after %.1fs; restart %d in %.2fs (crash streak \
+                     %d)"
+                    (describe_status status) uptime !restarts delay
+                    (Backoff.streak backoff);
+                  interruptible_sleep ~stopped:(fun () -> !stop) delay;
+                  loop ()))
+  in
+  let result = loop () in
+  (match pidfile with
+  | Some path -> ( try Sys.remove path with Sys_error _ -> ())
+  | None -> ());
+  result

@@ -1,0 +1,64 @@
+(** Process supervision for [imsc serve --supervise]: fork the daemon,
+    restart it on crash with capped exponential backoff, and open a
+    circuit breaker on a crash loop.
+
+    The state machine:
+
+    {v
+               fork                    crash (signal / nonzero exit)
+      Idle ──────────▶ Running ──────────────────────────────────────┐
+        ▲                │ exit 0, or a crash after SIGTERM/SIGINT   │
+        │                ▼                                           ▼
+        │              Done                                   Backing-off
+        │                                  streak ≤ max_restarts │ │ streak > max_restarts
+        └────────────────────────────────────────────────────────┘ ▼
+                 sleep min(cap, base·2^(streak−1))            Breaker-open
+                                                              (exit nonzero)
+    v}
+
+    A child that stays up for the healthy window resets the crash
+    streak, so a daemon that crashes once a day restarts forever, while
+    one that dies at boot is given up on after [max_restarts]
+    consecutive failures.  Each generation re-opens the persistent
+    cache, so restarts come back warm; in-flight requests are the
+    {!Client.exchange} replay contract's problem, not ours. *)
+
+(** The pure restart policy, unit-testable without forking. *)
+module Backoff : sig
+  type t
+
+  val create :
+    ?base:float ->
+    ?cap:float ->
+    ?healthy:float ->
+    ?max_restarts:int ->
+    unit ->
+    t
+  (** [base] (default 0.25 s) is the first restart delay, doubling per
+      consecutive crash up to [cap] (default 8 s).  A child that lived
+      at least [healthy] seconds (default 30) resets the streak.
+      After [max_restarts] (default 10) consecutive crashes the breaker
+      opens. *)
+
+  type verdict = Restart of float  (** Delay before the next fork. *) | Give_up
+
+  val on_crash : t -> uptime:float -> verdict
+  val streak : t -> int
+end
+
+val run :
+  ?backoff:Backoff.t ->
+  ?pidfile:string ->
+  log:Ims_obs.Log.t ->
+  child:(restarts:int -> int) ->
+  unit ->
+  (unit, string) result
+(** Supervise [child] (forked; its return value is the generation's
+    exit code; [~restarts] tells it how many restarts preceded it, for
+    the health gauges).  Returns [Ok ()] when a generation exits 0 (a
+    graceful [shutdown] request) or when SIGTERM/SIGINT arrives — the
+    signal is forwarded to the child and its death is then not counted
+    as a crash.  Returns [Error _] when the circuit breaker opens.
+    [pidfile] is atomically rewritten with the {e current child's} pid
+    at every fork (and removed on exit), so tests and ops can target
+    the daemon generation precisely — e.g. [kill -9 $(cat pidfile)]. *)

@@ -15,32 +15,99 @@ let write_frame fd payload =
   in
   push 0
 
-type decoder = { mutable pending : string }
+let write_frame_deadline fd ~deadline payload =
+  let frame = Bytes.of_string (frame payload) in
+  let len = Bytes.length frame in
+  let rec push off =
+    if off >= len then Ok ()
+    else
+      let remaining = deadline -. Unix.gettimeofday () in
+      if remaining <= 0. then Error "write deadline exceeded"
+      else
+        match Unix.select [] [ fd ] [] remaining with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> push off
+        | _, [], _ -> Error "write deadline exceeded"
+        | _, _, _ -> (
+            match Unix.write fd frame off (len - off) with
+            | n -> push (off + n)
+            | exception
+                Unix.Unix_error
+                  ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+                push off
+            | exception Unix.Unix_error (e, _, _) ->
+                Error (Unix.error_message e))
+  in
+  push 0
 
-let decoder () = { pending = "" }
-let feed d s = if s <> "" then d.pending <- d.pending ^ s
+(* The decoder holds incoming bytes in one growable buffer with a
+   consumed offset: [data.[start .. start+len)] is live.  [feed] appends
+   (sliding the live region down, or doubling, when it runs out of
+   room), [next] advances [start] — both amortized O(bytes), where the
+   old [pending ^ s] concatenation was O(bytes²) for a large frame
+   arriving in small reads. *)
+type decoder = {
+  mutable data : Bytes.t;
+  mutable start : int;
+  mutable len : int;
+}
+
+let decoder () = { data = Bytes.create 4096; start = 0; len = 0 }
+let has_partial d = d.len > 0
+let buffered d = d.len
+
+let feed d s =
+  let n = String.length s in
+  if n > 0 then begin
+    let cap = Bytes.length d.data in
+    if d.start + d.len + n > cap then
+      if d.len + n <= cap then begin
+        Bytes.blit d.data d.start d.data 0 d.len;
+        d.start <- 0
+      end
+      else begin
+        let cap' = max (d.len + n) (2 * cap) in
+        let data' = Bytes.create cap' in
+        Bytes.blit d.data d.start data' 0 d.len;
+        d.data <- data';
+        d.start <- 0
+      end;
+    Bytes.blit_string s 0 d.data (d.start + d.len) n;
+    d.len <- d.len + n
+  end
+
+(* Position of the first '\n' within the first [limit] live bytes,
+   relative to [start] — the scan is bounded by [max_header], never by
+   how much payload is buffered. *)
+let find_newline d limit =
+  let stop = d.start + min d.len limit in
+  let rec go i =
+    if i >= stop then None
+    else if Bytes.get d.data i = '\n' then Some (i - d.start)
+    else go (i + 1)
+  in
+  go d.start
 
 let next d =
-  match String.index_opt d.pending '\n' with
+  match find_newline d (max_header + 1) with
   | None ->
-      if String.length d.pending > max_header then
-        Error "frame header is not a length"
+      if d.len > max_header then Error "frame header is not a length"
       else Ok None
   | Some i -> (
-      let header = String.sub d.pending 0 i in
+      let header = Bytes.sub_string d.data d.start i in
       match int_of_string_opt header with
       | None -> Error (Printf.sprintf "frame header %S is not a length" header)
       | Some len when len < 0 || len > max_payload ->
           Error (Printf.sprintf "frame length %d out of range" len)
       | Some len ->
           let total = i + 1 + len + 1 in
-          if String.length d.pending < total then Ok None
-          else if d.pending.[total - 1] <> '\n' then
+          if d.len < total then Ok None
+          else if Bytes.get d.data (d.start + total - 1) <> '\n' then
             Error "frame guard byte missing (length disagreement)"
           else begin
-            let payload = String.sub d.pending (i + 1) len in
-            d.pending <-
-              String.sub d.pending total (String.length d.pending - total);
+            let payload = Bytes.sub_string d.data (d.start + i + 1) len in
+            d.start <- d.start + total;
+            d.len <- d.len - total;
+            if d.len = 0 then d.start <- 0;
             Ok (Some payload)
           end)
 
@@ -52,7 +119,15 @@ let read_frame fd d =
     | Ok (Some p) -> Ok (Some p)
     | Ok None -> (
         match Unix.read fd buf 0 (Bytes.length buf) with
-        | 0 -> Ok None
+        | 0 ->
+            (* EOF inside a frame is a tear, not a clean close: the
+               peer died (or injected a fault) mid-write, and silently
+               returning [Ok None] would drop the partial frame. *)
+            if has_partial d then
+              Error
+                (Printf.sprintf "truncated frame: EOF with %d byte(s) pending"
+                   (buffered d))
+            else Ok None
         | n ->
             feed d (Bytes.sub_string buf 0 n);
             go ()

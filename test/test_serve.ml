@@ -138,6 +138,126 @@ let test_wire_rejects_corruption () =
 
 (* --- protocol ---------------------------------------------------------------- *)
 
+let test_wire_truncated_eof () =
+  (* EOF with a partial frame buffered must be an explicit error — the
+     resilient client replays on it; silently dropping the tear would
+     lose a response. *)
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let frame = Serve.Wire.frame "torn payload" in
+  ignore
+    (Unix.write_substring a frame 0 (String.length frame - 3));
+  Unix.close a;
+  let d = Serve.Wire.decoder () in
+  (match Serve.Wire.read_frame b d with
+  | Error e ->
+      Alcotest.(check bool)
+        "names the tear" true
+        (String.length e >= 9 && String.sub e 0 9 = "truncated")
+  | Ok None -> Alcotest.fail "EOF mid-frame must not look like a clean close"
+  | Ok (Some _) -> Alcotest.fail "the frame was incomplete");
+  Unix.close b;
+  (* A clean close between frames is still Ok None. *)
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let d = Serve.Wire.decoder () in
+  Serve.Wire.write_frame a "whole";
+  Unix.close a;
+  (match Serve.Wire.read_frame b d with
+  | Ok (Some p) -> Alcotest.(check string) "whole frame" "whole" p
+  | _ -> Alcotest.fail "complete frame expected");
+  (match Serve.Wire.read_frame b d with
+  | Ok None -> ()
+  | Ok (Some _) -> Alcotest.fail "stream was drained"
+  | Error e -> Alcotest.fail ("clean EOF misreported: " ^ e));
+  Unix.close b
+
+let test_wire_large_frame () =
+  (* A max_payload-sized frame arriving in mid-sized chunks must decode
+     (and do so in amortized linear time — this test is also the
+     regression guard for the quadratic string-concat feed). *)
+  let payload =
+    String.init Serve.Wire.max_payload (fun i -> Char.chr (33 + (i mod 94)))
+  in
+  let frame = Serve.Wire.frame payload in
+  let d = Serve.Wire.decoder () in
+  let chunk = 65536 in
+  let n = String.length frame in
+  let i = ref 0 in
+  let got = ref None in
+  while !i < n do
+    let k = min chunk (n - !i) in
+    Serve.Wire.feed d (String.sub frame !i k);
+    i := !i + k;
+    match Serve.Wire.next d with
+    | Ok (Some p) -> got := Some p
+    | Ok None -> ()
+    | Error e -> Alcotest.fail e
+  done;
+  (match !got with
+  | Some p -> Alcotest.(check bool) "payload intact" true (p = payload)
+  | None -> Alcotest.fail "large frame never completed");
+  (* One byte past the cap: rejected from the header alone, before any
+     allocation of the payload. *)
+  let d = Serve.Wire.decoder () in
+  Serve.Wire.feed d (Printf.sprintf "%d\n" (Serve.Wire.max_payload + 1));
+  match Serve.Wire.next d with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "oversized length header must poison the stream"
+
+let prop_wire_decoder_total =
+  QCheck.Test.make ~count:400
+    ~name:"serve wire: decoder is total on arbitrary bytes"
+    QCheck.(small_list (string_of_size Gen.small_nat))
+    (fun chunks ->
+      let d = Serve.Wire.decoder () in
+      let alive = ref true in
+      List.iter
+        (fun chunk ->
+          if !alive then begin
+            Serve.Wire.feed d chunk;
+            (* Termination bound: each complete frame consumes >= 3
+               bytes, so draining can't loop more than bytes-fed
+               times. *)
+            let rec drain budget =
+              if budget < 0 then
+                Alcotest.fail "decoder failed to terminate"
+              else
+                match Serve.Wire.next d with
+                | Ok (Some _) -> drain (budget - 1)
+                | Ok None -> ()
+                | Error _ -> alive := false
+            in
+            drain (String.length chunk + 8)
+          end)
+        chunks;
+      true)
+
+let prop_wire_chunked_roundtrip =
+  QCheck.Test.make ~count:300
+    ~name:"serve wire: clean streams roundtrip under any chunking"
+    QCheck.(pair (small_list (string_of_size Gen.small_nat)) small_nat)
+    (fun (payloads, seed) ->
+      let stream = String.concat "" (List.map Serve.Wire.frame payloads) in
+      let rng = Random.State.make [| seed |] in
+      let d = Serve.Wire.decoder () in
+      let got = ref [] in
+      let i = ref 0 in
+      let n = String.length stream in
+      while !i < n do
+        let k = min (1 + Random.State.int rng 7) (n - !i) in
+        Serve.Wire.feed d (String.sub stream !i k);
+        i := !i + k;
+        let rec drain () =
+          match Serve.Wire.next d with
+          | Ok (Some p) ->
+              got := p :: !got;
+              drain ()
+          | Ok None -> ()
+          | Error e -> Alcotest.fail ("clean stream poisoned: " ^ e)
+        in
+        drain ()
+      done;
+      (not (Serve.Wire.has_partial d)) && List.rev !got = payloads)
+
 let test_protocol_roundtrip () =
   let reqs =
     [
@@ -375,6 +495,259 @@ let test_cache_concurrent_inserts () =
         (Serve.Cache.stats c).Serve.Cache.entries;
       Serve.Cache.close c
 
+(* --- bounded cache: LRU, byte caps, compaction ------------------------------- *)
+
+(* The byte-accounting units, derived behaviourally so these tests
+   track the encoding instead of hardcoding it: one entry's encoded
+   log-line size, and the header line's. *)
+let entry_bytes key record =
+  match Serve.Cache.open_ () with
+  | Error e -> Alcotest.fail e
+  | Ok c ->
+      Serve.Cache.add c ~key record;
+      let b = (Serve.Cache.stats c).Serve.Cache.bytes in
+      Serve.Cache.close c;
+      b
+
+let header_bytes () =
+  let path = tmp_file ".cache" in
+  Sys.remove path;
+  match Serve.Cache.open_ ~path () with
+  | Error e -> Alcotest.fail e
+  | Ok c ->
+      let b = (Serve.Cache.stats c).Serve.Cache.log_bytes in
+      Serve.Cache.close c;
+      b
+
+let test_cache_lru_bump () =
+  match Serve.Cache.open_ ~capacity:2 ~policy:Serve.Cache.Lru () with
+  | Error e -> Alcotest.fail e
+  | Ok c ->
+      Serve.Cache.add c ~key:"a" "1";
+      Serve.Cache.add c ~key:"b" "2";
+      (* Touch [a]: under LRU that makes [b] the eviction victim —
+         under FIFO (test above) the same sequence evicts [a]. *)
+      ignore (Serve.Cache.find c ~key:"a");
+      Serve.Cache.add c ~key:"c" "3";
+      Alcotest.(check (option string))
+        "bumped entry survives" (Some "1")
+        (Serve.Cache.find c ~key:"a");
+      Alcotest.(check (option string))
+        "unused entry evicted" None
+        (Serve.Cache.find c ~key:"b");
+      Serve.Cache.close c
+
+let test_cache_byte_cap () =
+  let eb = entry_bytes "a" "1" in
+  let hb = header_bytes () in
+  (* Room for exactly two same-sized entries under the cap. *)
+  match Serve.Cache.open_ ~capacity:100 ~max_bytes:(hb + (2 * eb)) () with
+  | Error e -> Alcotest.fail e
+  | Ok c ->
+      Serve.Cache.add c ~key:"a" "1";
+      Serve.Cache.add c ~key:"b" "2";
+      Serve.Cache.add c ~key:"c" "3";
+      let s = Serve.Cache.stats c in
+      Alcotest.(check int) "byte cap holds two" 2 s.Serve.Cache.entries;
+      Alcotest.(check bool)
+        "live bytes under cap" true
+        (s.Serve.Cache.bytes + hb <= hb + (2 * eb));
+      Alcotest.(check (option string))
+        "cold end evicted" None
+        (Serve.Cache.find c ~key:"a");
+      (* An entry alone bigger than the cap can never fit: refused,
+         without evicting the residents to make room that wouldn't
+         suffice anyway. *)
+      Serve.Cache.add c ~key:"huge" (String.make (hb + (2 * eb)) 'x');
+      Alcotest.(check (option string))
+        "oversized refused" None
+        (Serve.Cache.find c ~key:"huge");
+      Alcotest.(check int) "residents intact" 2
+        (Serve.Cache.stats c).Serve.Cache.entries;
+      Serve.Cache.close c
+
+let test_cache_compaction_equivalence () =
+  let path = tmp_file ".cache" in
+  Sys.remove path;
+  (match Serve.Cache.open_ ~capacity:2 ~path () with
+  | Error e -> Alcotest.fail e
+  | Ok c ->
+      Serve.Cache.add c ~key:"a" "1";
+      Serve.Cache.add c ~key:"b" "2";
+      Serve.Cache.add c ~key:"c" "3" (* evicts a; its log line is garbage *);
+      let before = (Serve.Cache.stats c).Serve.Cache.log_bytes in
+      Alcotest.(check bool) "compaction reclaims" true (Serve.Cache.compact c);
+      let s = Serve.Cache.stats c in
+      Alcotest.(check bool)
+        "log shrank" true
+        (s.Serve.Cache.log_bytes < before);
+      Alcotest.(check int)
+        "log = header + live" s.Serve.Cache.log_bytes
+        (header_bytes () + s.Serve.Cache.bytes);
+      Alcotest.(check bool) "again is a no-op" false (Serve.Cache.compact c);
+      Serve.Cache.close c);
+  (* The compacted file must restart warm with identical behaviour:
+     same residents, same misses, and the same next eviction victim. *)
+  match Serve.Cache.open_ ~capacity:2 ~path () with
+  | Error e -> Alcotest.fail e
+  | Ok c ->
+      let s = Serve.Cache.stats c in
+      Alcotest.(check int) "only live entries replayed" 2 s.Serve.Cache.loaded;
+      Alcotest.(check bool) "no torn tail" false s.Serve.Cache.torn;
+      Alcotest.(check (option string))
+        "b hits" (Some "2")
+        (Serve.Cache.find c ~key:"b");
+      Alcotest.(check (option string))
+        "c hits" (Some "3")
+        (Serve.Cache.find c ~key:"c");
+      Alcotest.(check (option string))
+        "a stays evicted" None
+        (Serve.Cache.find c ~key:"a");
+      (* Eviction order survived the rewrite: b is still the cold end. *)
+      Serve.Cache.add c ~key:"d" "4";
+      Alcotest.(check (option string))
+        "pre-compaction order preserved" None
+        (Serve.Cache.find c ~key:"b");
+      Alcotest.(check (option string))
+        "newer entry kept" (Some "3")
+        (Serve.Cache.find c ~key:"c");
+      Serve.Cache.close c
+
+let test_cache_online_compaction_bounds_log () =
+  let eb = entry_bytes "k0" "v0" in
+  let hb = header_bytes () in
+  let cap = hb + (2 * eb) in
+  let path = tmp_file ".cache" in
+  Sys.remove path;
+  (match Serve.Cache.open_ ~capacity:100 ~max_bytes:cap ~path () with
+  | Error e -> Alcotest.fail e
+  | Ok c ->
+      for i = 0 to 9 do
+        Serve.Cache.add c
+          ~key:(Printf.sprintf "k%d" i)
+          (Printf.sprintf "v%d" i);
+        (* The disk cap is enforced online: after every insert the log
+           has been compacted back under it. *)
+        let s = Serve.Cache.stats c in
+        Alcotest.(check bool)
+          (Printf.sprintf "log bounded after insert %d" i)
+          true
+          (s.Serve.Cache.log_bytes <= cap)
+      done;
+      let s = Serve.Cache.stats c in
+      Alcotest.(check bool)
+        "compactions happened" true
+        (s.Serve.Cache.compactions > 0);
+      Alcotest.(check int) "two residents" 2 s.Serve.Cache.entries;
+      Serve.Cache.close c);
+  Alcotest.(check bool)
+    "file itself under the cap" true
+    ((Unix.stat path).Unix.st_size <= cap);
+  (* And the bounded file restarts warm. *)
+  match Serve.Cache.open_ ~capacity:100 ~max_bytes:cap ~path () with
+  | Error e -> Alcotest.fail e
+  | Ok c ->
+      Alcotest.(check int) "both residents replayed" 2
+        (Serve.Cache.stats c).Serve.Cache.loaded;
+      Alcotest.(check (option string))
+        "newest survives the restart" (Some "v9")
+        (Serve.Cache.find c ~key:"k9");
+      Serve.Cache.close c
+
+(* --- chaos ------------------------------------------------------------------- *)
+
+let test_chaos_spec_parsing () =
+  (match Serve.Chaos.of_spec "seed=42,torn=0.15,garbage=0.1,sever=0.05" with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  (match Serve.Chaos.of_spec "seed=1" with
+  | Ok t ->
+      (* All probabilities default to 0: every draw passes. *)
+      for _ = 1 to 100 do
+        match Serve.Chaos.on_write t ~frame_len:64 with
+        | Serve.Chaos.Pass -> ()
+        | _ -> Alcotest.fail "zero-probability spec must never inject"
+      done;
+      Alcotest.(check int) "nothing injected" 0 (Serve.Chaos.injected t)
+  | Error e -> Alcotest.fail e);
+  List.iter
+    (fun bad ->
+      match Serve.Chaos.of_spec bad with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail (Printf.sprintf "spec %S must be rejected" bad))
+    [ "torn=1.5"; "torn=0.7,sever=0.7"; "wat"; "seed=x"; "frob=0.1" ]
+
+let test_chaos_deterministic_and_bounded () =
+  let spec = "seed=7,torn=0.3,garbage=0.3,sever=0.3" in
+  let draw () =
+    match Serve.Chaos.of_spec spec with
+    | Error e -> Alcotest.fail e
+    | Ok t ->
+        List.init 200 (fun i ->
+            let fault = Serve.Chaos.on_write t ~frame_len:(10 + i) in
+            (match fault with
+            | Serve.Chaos.Torn k ->
+                if k < 1 || k >= 10 + i then
+                  Alcotest.fail "torn length out of frame bounds"
+            | Serve.Chaos.Garbage off ->
+                if off < 0 || off >= 10 + i then
+                  Alcotest.fail "garbage offset out of frame bounds"
+            | Serve.Chaos.Pass | Serve.Chaos.Sever -> ());
+            fault)
+  in
+  Alcotest.(check bool)
+    "same seed, same fault sequence" true
+    (draw () = draw ())
+
+(* --- supervisor backoff ------------------------------------------------------- *)
+
+let test_backoff_doubles_to_cap () =
+  let b =
+    Serve.Supervisor.Backoff.create ~base:0.25 ~cap:1.0 ~healthy:30.
+      ~max_restarts:10 ()
+  in
+  let delay () =
+    match Serve.Supervisor.Backoff.on_crash b ~uptime:0.1 with
+    | Serve.Supervisor.Backoff.Restart d -> d
+    | Serve.Supervisor.Backoff.Give_up -> Alcotest.fail "breaker opened early"
+  in
+  Alcotest.(check (float 1e-9)) "first" 0.25 (delay ());
+  Alcotest.(check (float 1e-9)) "doubled" 0.5 (delay ());
+  Alcotest.(check (float 1e-9)) "doubled again" 1.0 (delay ());
+  Alcotest.(check (float 1e-9)) "capped" 1.0 (delay ())
+
+let test_backoff_healthy_resets_streak () =
+  let b =
+    Serve.Supervisor.Backoff.create ~base:0.25 ~cap:8.0 ~healthy:30.
+      ~max_restarts:3 ()
+  in
+  ignore (Serve.Supervisor.Backoff.on_crash b ~uptime:0.1);
+  ignore (Serve.Supervisor.Backoff.on_crash b ~uptime:0.1);
+  Alcotest.(check int) "streak built" 2 (Serve.Supervisor.Backoff.streak b);
+  (* A generation that stayed up past the healthy window forgives the
+     history: the next crash is treated as the first. *)
+  (match Serve.Supervisor.Backoff.on_crash b ~uptime:31. with
+  | Serve.Supervisor.Backoff.Restart d ->
+      Alcotest.(check (float 1e-9)) "back to base" 0.25 d
+  | Serve.Supervisor.Backoff.Give_up -> Alcotest.fail "healthy uptime must reset");
+  Alcotest.(check int) "streak reset" 1 (Serve.Supervisor.Backoff.streak b)
+
+let test_backoff_circuit_breaker () =
+  let b =
+    Serve.Supervisor.Backoff.create ~base:0.01 ~cap:0.02 ~healthy:30.
+      ~max_restarts:3 ()
+  in
+  for i = 1 to 3 do
+    match Serve.Supervisor.Backoff.on_crash b ~uptime:0.0 with
+    | Serve.Supervisor.Backoff.Restart _ -> ()
+    | Serve.Supervisor.Backoff.Give_up ->
+        Alcotest.fail (Printf.sprintf "breaker opened at crash %d" i)
+  done;
+  match Serve.Supervisor.Backoff.on_crash b ~uptime:0.0 with
+  | Serve.Supervisor.Backoff.Give_up -> ()
+  | Serve.Supervisor.Backoff.Restart _ ->
+      Alcotest.fail "crash loop must open the breaker"
+
 let tests =
   ( "serve",
     [
@@ -395,6 +768,12 @@ let tests =
         test_wire_incremental;
       Alcotest.test_case "wire: corruption poisons the stream" `Quick
         test_wire_rejects_corruption;
+      Alcotest.test_case "wire: EOF mid-frame is a truncation error" `Quick
+        test_wire_truncated_eof;
+      Alcotest.test_case "wire: max_payload frame decodes, +1 rejected" `Quick
+        test_wire_large_frame;
+      QCheck_alcotest.to_alcotest prop_wire_decoder_total;
+      QCheck_alcotest.to_alcotest prop_wire_chunked_roundtrip;
       Alcotest.test_case "protocol: request/response roundtrip" `Quick
         test_protocol_roundtrip;
       Alcotest.test_case "protocol: schedule defaults" `Quick
@@ -412,4 +791,22 @@ let tests =
         test_cache_refuses_foreign_files;
       Alcotest.test_case "cache: concurrent inserts" `Quick
         test_cache_concurrent_inserts;
+      Alcotest.test_case "cache: LRU hit refreshes the entry" `Quick
+        test_cache_lru_bump;
+      Alcotest.test_case "cache: byte cap evicts and refuses oversize" `Quick
+        test_cache_byte_cap;
+      Alcotest.test_case "cache: compaction preserves behaviour" `Quick
+        test_cache_compaction_equivalence;
+      Alcotest.test_case "cache: online compaction bounds the log" `Quick
+        test_cache_online_compaction_bounds_log;
+      Alcotest.test_case "chaos: spec parsing and zero-prob pass" `Quick
+        test_chaos_spec_parsing;
+      Alcotest.test_case "chaos: seeded draws are deterministic" `Quick
+        test_chaos_deterministic_and_bounded;
+      Alcotest.test_case "supervisor: backoff doubles to the cap" `Quick
+        test_backoff_doubles_to_cap;
+      Alcotest.test_case "supervisor: healthy uptime resets the streak" `Quick
+        test_backoff_healthy_resets_streak;
+      Alcotest.test_case "supervisor: crash loop opens the breaker" `Quick
+        test_backoff_circuit_breaker;
     ] )
