@@ -55,6 +55,20 @@ let max_delta_ii_arg =
   in
   Arg.(value & opt int 1000 & info [ "max-delta-ii" ] ~docv:"D" ~doc)
 
+let closure_jobs_arg =
+  let doc =
+    "Domains for the MinDist transitive closure on large graphs (1 = \
+     serial; results are value-identical either way)."
+  in
+  Arg.(value & opt int 1 & info [ "closure-jobs" ] ~docv:"N" ~doc)
+
+let closure_threshold_arg =
+  let doc =
+    "Node count at which the closure switches to the blocked parallel \
+     kernel (only with --closure-jobs > 1)."
+  in
+  Arg.(value & opt int 64 & info [ "closure-threshold" ] ~docv:"M" ~doc)
+
 let resolve_loop machine name =
   if List.mem name Lfk.names then Lfk.build machine name
   else if List.mem name Kernels.names then Kernels.build machine name
@@ -407,9 +421,12 @@ let observe_back_end tr metrics s =
         (Ims_pipeline.Codegen.code_size Ims_pipeline.Codegen.Rotating s))
 
 let cmd_schedule =
-  let run model name budget max_delta_ii scheduler unroll interleave speculate
-      compact gantt trace_file trace_format metrics_file explain profile_file =
+  let run model name budget max_delta_ii closure_jobs closure_threshold
+      scheduler unroll interleave speculate compact gantt trace_file
+      trace_format metrics_file explain profile_file =
     wrap_code (fun () ->
+        Ims_mii.Mindist.set_parallel ~jobs:closure_jobs
+          ~threshold:closure_threshold;
         let observing =
           trace_file <> None || metrics_file <> None || explain
         in
@@ -532,6 +549,7 @@ let cmd_schedule =
   Cmd.v (Cmd.info "schedule" ~doc:"Iteratively modulo schedule a loop")
     Term.(
       const run $ machine_arg $ loop_arg $ budget_arg $ max_delta_ii_arg
+      $ closure_jobs_arg $ closure_threshold_arg
       $ scheduler_arg $ unroll_arg $ interleave_arg $ speculate_arg
       $ compact_arg $ gantt_arg $ trace_file_arg $ trace_format_arg
       $ metrics_file_arg $ explain_arg $ profile_file_arg)
@@ -1831,9 +1849,12 @@ let cmd_perf =
     let run files =
       wrap (fun () ->
           let files = snapshot_order files in
+          let counters_of j =
+            Option.value ~default:(Json.Obj []) (get "counters" j)
+          in
           let row file =
             let j = read_json file in
-            let cobj = Option.value ~default:(Json.Obj []) (get "counters" j) in
+            let cobj = counters_of j in
             let hist = jlist (get "ii_histogram" j) in
             let loops, ii_sum =
               List.fold_left
@@ -1876,7 +1897,35 @@ let cmd_perf =
                    "snapshot"; "loops"; "mean II"; "mindist"; "findslot";
                    "sched"; "sched_final"; "measure s"; "commit";
                  ]
-               (List.map row files)))
+               (List.map row files));
+          (* The trajectory exists to go down.  Any per-counter regression
+             between adjacent snapshots gets called out under the table;
+             the hard gate stays in the bench's --baseline compare, so
+             this is a flag, not a failure. *)
+          let snaps =
+            List.map (fun f -> (Filename.basename f, counters_of (read_json f)))
+              files
+          in
+          let rec flag = function
+            | (prev_name, prev) :: ((next_name, next) :: _ as rest) ->
+                (match next with
+                | Json.Obj kvs ->
+                    List.iter
+                      (fun (k, v) ->
+                        match (num (Some v), num (get k prev)) with
+                        | Some after, Some before when after > before ->
+                            Printf.printf
+                              "counter regression: %s %s -> %s: %.0f -> %.0f \
+                               (+%.1f%%)\n"
+                              k prev_name next_name before after
+                              (100.0 *. (after -. before) /. Float.max 1.0 before)
+                        | _ -> ())
+                      kvs
+                | _ -> ());
+                flag rest
+            | _ -> ()
+          in
+          flag snaps)
     in
     Cmd.v
       (Cmd.info "report"

@@ -193,7 +193,7 @@ let iterative_schedule ?counters ?(trace = Trace.null) ?(priority = Height_r)
       prev_time = Array.make n 0;
       never_scheduled = Array.make n true;
       alt = Array.make n 0;
-      ctabs = Prep.compile prep.p_alternatives ~ii;
+      ctabs = Prep.compile ~caps:(Prep.caps machine) prep.p_alternatives ~ii;
       by_rank;
       rank_of;
       ready;
@@ -230,6 +230,10 @@ let iterative_schedule ?counters ?(trace = Trace.null) ?(priority = Height_r)
         step ();
         Cancel.poll cancel
   done;
+  (match counters with
+  | Some c ->
+      c.Counters.mrt_bitprobe <- c.Counters.mrt_bitprobe + Mrt.bitprobes st.mrt
+  | None -> ());
   if Ready.is_empty st.ready then begin
     let entries =
       Array.init n (fun i -> { Schedule.time = st.time.(i); alt = st.alt.(i) })

@@ -23,8 +23,13 @@ let schedule ?(cancel = Ims_obs.Cancel.null) ddg =
   let horizon = horizon ddg in
   let mrt = Mrt.linear ddg.Ddg.machine ~horizon in
   (* Compiled once per (opcode, horizon) — [place] used to rebuild the
-     alternatives array from the opcode repertoire on every call. *)
-  let ctabs = Prep.compile (Prep.alternatives ddg) ~ii:(max 1 horizon) in
+     alternatives array from the opcode repertoire on every call.
+     Deliberately capless: bitboard compilation is O(horizon) per
+     opcode, and the acyclic scheduler probes each operation a handful
+     of times — the count walk is cheaper than building the planes. *)
+  let ctabs =
+    Prep.compile (Prep.alternatives ddg) ~ii:(max 1 horizon)
+  in
   let times = Array.make n (-1) in
   let alts = Array.make n 0 in
   let indegree = Array.make n 0 in

@@ -18,7 +18,10 @@ let alternatives ddg =
           Hashtbl.add cache name arr;
           arr)
 
-let compile alternatives ~ii =
+let caps machine =
+  Array.map (fun (r : Resource.t) -> r.count) machine.Machine.resources
+
+let compile ?caps alternatives ~ii =
   let memo = ref [] in
   Array.map
     (fun alts ->
@@ -27,7 +30,8 @@ let compile alternatives ~ii =
       | None ->
           let c =
             Array.map
-              (fun (a : Opcode.alternative) -> Mrt.compile ~ii a.Opcode.table)
+              (fun (a : Opcode.alternative) ->
+                Mrt.compile ~ii ?caps a.Opcode.table)
               alts
           in
           memo := (alts, c) :: !memo;

@@ -14,6 +14,15 @@ val alternatives : Ddg.t -> Opcode.alternative array array
 (** Per-operation alternative arrays, one {e shared} physical array per
     distinct opcode name. *)
 
-val compile : Opcode.alternative array array -> ii:int -> Mrt.ctable array array
+val caps : Machine.t -> int array
+(** The machine's per-resource capacity vector, for {!compile}'s
+    [?caps] (which enables the {!Mrt} bitboard probe fast path). *)
+
+val compile :
+  ?caps:int array ->
+  Opcode.alternative array array ->
+  ii:int ->
+  Mrt.ctable array array
 (** Compiled reservation tables for one candidate II, parallel to the
-    input; physically shared alternative arrays compile once. *)
+    input; physically shared alternative arrays compile once.  Pass
+    [~caps] (see {!caps}) to compile with the bitboard fast path. *)

@@ -9,12 +9,14 @@ open Ims_mii
    reduce to Huff's static Estart/Lstart. *)
 
 (* Graph-dependent artifacts reused across the candidate-II attempts:
-   the alternatives (and the scratch their per-II compiled form feeds
-   on), the static producer/consumer bias, and the MinDist buffers. *)
+   the alternatives, the static producer/consumer bias, and the
+   incremental MinDist solver (created on the first attempt, with that
+   caller's counters; every later candidate II pays only a
+   pivot-restricted re-closure). *)
 type prep = {
   p_alternatives : Opcode.alternative array array;
   p_sink_late : bool array;
-  p_scratch : Mindist.scratch;
+  mutable p_solver : Mindist.solver option;
 }
 
 (* Producers sink late (their output lifetime starts later); consumers
@@ -35,8 +37,16 @@ let prepare ddg =
   {
     p_alternatives = Prep.alternatives ddg;
     p_sink_late = sink_late ddg;
-    p_scratch = Mindist.scratch ();
+    p_solver = None;
   }
+
+let solver_of ?counters prep ddg =
+  match prep.p_solver with
+  | Some s -> s
+  | None ->
+      let s = Mindist.solver_full ?counters ddg in
+      prep.p_solver <- Some s;
+      s
 
 type state = {
   ddg : Ddg.t;
@@ -153,7 +163,7 @@ let iterative_schedule ?counters ?(cancel = Ims_obs.Cancel.null) ?prep ddg ~ii
   let n = Ddg.n_total ddg in
   let machine = ddg.Ddg.machine in
   let prep = match prep with Some p -> p | None -> prepare ddg in
-  let md = Mindist.full ?counters ~scratch:prep.p_scratch ddg ~ii in
+  let md = Mindist.solve ?counters (solver_of ?counters prep ddg) ~ii in
   let stop = Ddg.stop ddg in
   let critical_path = max 0 (Mindist.get md Ddg.start stop) in
   let slack_priority =
@@ -188,7 +198,7 @@ let iterative_schedule ?counters ?(cancel = Ims_obs.Cancel.null) ?prep ddg ~ii
       prev_time = Array.make n 0;
       never_scheduled = Array.make n true;
       alt = Array.make n 0;
-      ctabs = Prep.compile prep.p_alternatives ~ii;
+      ctabs = Prep.compile ~caps:(Prep.caps machine) prep.p_alternatives ~ii;
       by_rank;
       rank_of;
       ready;
@@ -255,6 +265,10 @@ let iterative_schedule ?counters ?(cancel = Ims_obs.Cancel.null) ?prep ddg ~ii
         step ();
         Ims_obs.Cancel.poll cancel
   done;
+  (match counters with
+  | Some c ->
+      c.Counters.mrt_bitprobe <- c.Counters.mrt_bitprobe + Mrt.bitprobes st.mrt
+  | None -> ());
   if Ready.is_empty st.ready then
     Some
       (Schedule.make ddg ~ii

@@ -258,6 +258,10 @@ let try_schedule ?counters ?(cancel = Ims_obs.Cancel.null) ddg ~ii ~order ~md
         false
   in
   let ok = List.for_all place order in
+  (match counters with
+  | Some c ->
+      c.Counters.mrt_bitprobe <- c.Counters.mrt_bitprobe + Mrt.bitprobes mrt
+  | None -> ());
   if not ok then None
   else begin
     (* STOP last: its time is the schedule length. *)
@@ -275,7 +279,8 @@ let modulo_schedule ?(budget_ratio = Ims.default_budget_ratio)
   let counters = match counters with Some c -> c | None -> Counters.create () in
   let mii = Mii.compute ~counters ddg in
   let alternatives = Prep.alternatives ddg in
-  let scratch = Mindist.scratch () in
+  let caps = Prep.caps ddg.Ddg.machine in
+  let solver = Mindist.solver_full ~counters ddg in
   let rec attempt ii tried =
     if ii > mii.Mii.mii + max_delta_ii then
       {
@@ -291,10 +296,11 @@ let modulo_schedule ?(budget_ratio = Ims.default_budget_ratio)
       let before = counters.Counters.sched_steps in
       (* One MinDist per attempt, shared between the ordering phase and
          the placement bounds (the ordering's three derived metrics used
-         to recompute it, uncounted, on every candidate II). *)
-      let md = Mindist.full ~counters ~scratch ddg ~ii in
+         to recompute it, uncounted, on every candidate II); the solver
+         makes each attempt a pivot-restricted re-closure. *)
+      let md = Mindist.solve ~counters solver ~ii in
       let order = ordering_md ddg ~md in
-      let ctabs = Prep.compile alternatives ~ii in
+      let ctabs = Prep.compile ~caps alternatives ~ii in
       match try_schedule ~counters ?cancel ddg ~ii ~order ~md ~ctabs with
       | Some schedule ->
           let steps_final = counters.Counters.sched_steps - before in

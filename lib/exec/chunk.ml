@@ -1,14 +1,4 @@
-type policy =
-  | Fixed of int
-  | Guided of { min_chunk : int; divisor : int }
-
-let default = Guided { min_chunk = 1; divisor = 2 }
-
-let size policy ~workers ~remaining =
-  if remaining <= 0 then 0
-  else
-    match policy with
-    | Fixed n -> min remaining (max 1 n)
-    | Guided { min_chunk; divisor } ->
-        let ideal = remaining / max 1 (divisor * workers) in
-        min remaining (max (max 1 min_chunk) ideal)
+(* Re-export: the chunk-size policies live in [Ims_par] so that
+   libraries below the batch engine (the MinDist blocked closure) can
+   share the pool substrate.  [include] preserves the constructors. *)
+include Ims_par.Chunk

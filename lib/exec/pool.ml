@@ -1,20 +1,2 @@
-let parallel_for ~workers ~queue body =
-  let worker () =
-    let rec loop () =
-      match Work_queue.take queue with
-      | None -> ()
-      | Some (lo, hi) ->
-          for i = lo to hi - 1 do
-            body i
-          done;
-          loop ()
-    in
-    loop ()
-  in
-  if workers <= 1 then worker ()
-  else begin
-    let spawned = Array.init (workers - 1) (fun _ -> Domain.spawn worker) in
-    (* The calling domain is the last worker; join even if it raises so
-       no domain outlives the barrier. *)
-    Fun.protect ~finally:(fun () -> Array.iter Domain.join spawned) worker
-  end
+(* Re-export of [Ims_par.Pool]; see chunk.ml. *)
+include Ims_par.Pool

@@ -1,31 +1,2 @@
-type t = {
-  length : int;
-  workers : int;
-  policy : Chunk.policy;
-  next : int Atomic.t;
-  chunks : int Atomic.t;
-}
-
-let create ~policy ~workers ~length =
-  {
-    length;
-    workers = max 1 workers;
-    policy;
-    next = Atomic.make 0;
-    chunks = Atomic.make 0;
-  }
-
-let rec take t =
-  let lo = Atomic.get t.next in
-  if lo >= t.length then None
-  else
-    let n = Chunk.size t.policy ~workers:t.workers ~remaining:(t.length - lo) in
-    let hi = min t.length (lo + n) in
-    if Atomic.compare_and_set t.next lo hi then begin
-      Atomic.incr t.chunks;
-      Some (lo, hi)
-    end
-    else take t
-
-let chunks_taken t = Atomic.get t.chunks
-let length t = t.length
+(* Re-export of [Ims_par.Work_queue]; see chunk.ml. *)
+include Ims_par.Work_queue

@@ -11,41 +11,89 @@
    [(at mod ii, resource)] collapse done once instead of per probe:
    two usages land in the same modulo cell iff their [at]s agree mod
    [ii], independently of the issue time, so the collapse is a property
-   of the (table, ii) pair alone. *)
+   of the (table, ii) pair alone.
 
-type ctable = { c_ii : int; packed : int array }
+   On top of the count matrix sit two bit planes ([occ]): plane [p] has
+   the bit for cell [(slot, r)] set iff the cell's count is at least
+   [p + 1].  For a usage of multiplicity [m] on a resource of capacity
+   [c], "count + m <= c" is exactly "plane [c - m] bit clear", so when
+   [c - m <= 1] — every resource of the machines we model — the probe
+   for one usage is a single AND.  Compilation against the machine's
+   capacity vector precomputes, for each issue slot [s = time mod ii],
+   the merged per-word masks over all of the table's usages, so a whole
+   probe is a handful of AND/load pairs.  Usages with [c - m >= 2] (a
+   capacity-3+ resource probed below its brim) fall back to the count
+   walk, and a usage with [m > c] can never fit at any time.  Compiling
+   without capacities yields a ctable that probes purely by count walk,
+   byte-identical to the historical behaviour. *)
+
+let bits_per_word = 63
+let words_per_row ii = (ii + bits_per_word - 1) / bits_per_word
+
+(* Number of bit planes carried by [occ]: plane p tracks count >= p+1.
+   Two planes cover probes on resources of capacity <= 2 at any
+   multiplicity, and capacity > 2 at multiplicity >= c - 1. *)
+let planes = 2
+
+type ctable = {
+  c_ii : int;
+  packed : int array;
+      (* all (slot_offset, resource, mult) triples, stride 3; the
+         reserve/release/conflict walk *)
+  c_nres : int;  (* 0 = compiled without capacities: no bitboard data *)
+  never_fits : bool;  (* some usage has mult > cap: no time ever fits *)
+  bb_off : int array;  (* length ii+1; per-issue-slot extent in bb_* *)
+  bb_word : int array;  (* merged word indices into Mrt.occ *)
+  bb_mask : int array;  (* masks, one per bb_word entry *)
+  slow : int array;  (* triples the bitboard cannot decide, stride 3 *)
+}
+
+(* Memo for the uncompiled front: tables are built once per machine and
+   shared by physical identity, so hash structurally but compare with
+   [==] — a rebuilt-but-equal table just occupies a second bucket slot. *)
+module Tbl_memo = Hashtbl.Make (struct
+  type t = Reservation.t
+
+  let equal = ( == )
+  let hash = Hashtbl.hash
+end)
 
 type t = {
   ii : int;
   nres : int;
+  wpr : int;  (* words per (plane, resource) row of [occ] *)
   caps : int array;
   counts : int array;  (* counts.(slot * nres + r) = occupancy of the cell *)
+  occ : int array;  (* planes * nres * wpr bit words, see header comment *)
   cells : int list array;  (* occupying ops of the cell, for eviction *)
-  mutable memo : (Reservation.t * ctable) list;
-      (* physical-equality cache backing the uncompiled API below; tables
-         are built once per machine and shared, so this stays tiny *)
+  mutable bitprobes : int;  (* fits_c probes answered via the bit planes *)
+  memo : ctable Tbl_memo.t;
+      (* physical-equality cache backing the uncompiled API below *)
 }
 
 let create machine ~ii =
   if ii < 1 then invalid_arg "Mrt.create: ii must be >= 1";
   let nres = Machine.num_resources machine in
+  let wpr = words_per_row ii in
   {
     ii;
     nres;
+    wpr;
     caps = Array.map (fun (r : Resource.t) -> r.count) machine.Machine.resources;
     counts = Array.make (ii * nres) 0;
+    occ = Array.make (planes * nres * wpr) 0;
     cells = Array.make (ii * nres) [];
-    memo = [];
+    bitprobes = 0;
+    memo = Tbl_memo.create 8;
   }
 
 let linear machine ~horizon = create machine ~ii:(max 1 horizon)
 let ii t = t.ii
+let bitprobes t = t.bitprobes
 
 (* --- compilation --------------------------------------------------------- *)
 
-let compile ~ii (table : Reservation.t) =
-  if ii < 1 then invalid_arg "Mrt.compile: ii must be >= 1";
-  let triples = Reservation.collapse table ~modulus:ii in
+let pack_triples triples =
   let packed = Array.make (3 * List.length triples) 0 in
   List.iteri
     (fun i (slot, resource, mult) ->
@@ -53,19 +101,103 @@ let compile ~ii (table : Reservation.t) =
       packed.((3 * i) + 1) <- resource;
       packed.((3 * i) + 2) <- mult)
     triples;
-  { c_ii = ii; packed }
+  packed
+
+let compile ~ii ?caps (table : Reservation.t) =
+  if ii < 1 then invalid_arg "Mrt.compile: ii must be >= 1";
+  let triples = Reservation.collapse table ~modulus:ii in
+  let packed = pack_triples triples in
+  match caps with
+  | None ->
+      {
+        c_ii = ii;
+        packed;
+        c_nres = 0;
+        never_fits = false;
+        bb_off = [||];
+        bb_word = [||];
+        bb_mask = [||];
+        slow = packed;
+      }
+  | Some caps ->
+      let nres = Array.length caps in
+      let wpr = words_per_row ii in
+      let never_fits =
+        List.exists (fun (_, r, m) -> m > caps.(r)) triples
+      in
+      let fast, slow =
+        List.partition (fun (_, r, m) -> caps.(r) - m < planes) triples
+      in
+      (* Merge the fast usages into per-word masks for every issue slot:
+         at issue time [time], the usage (off, r, m) probes plane
+         [caps r - m] of cell ((time + off) mod ii, r), and the slot
+         dependence is only through time mod ii.  Flat arrays and a
+         linear dedup scan over the (few) entries of the current slot —
+         this runs per (opcode, II) in every candidate-II attempt, and
+         an assoc-list version of it once turned the whole bench into
+         minor-GC rendezvous thrash under multiple domains. *)
+      let nfast = List.length fast in
+      (* Per-usage precomputation: base word (plane, resource row) and
+         the cell offset; [Reservation.collapse] returns offsets already
+         reduced mod ii, so the inner loop can subtract instead of mod. *)
+      let u_off = Array.make (max 1 nfast) 0 in
+      let u_base = Array.make (max 1 nfast) 0 in
+      List.iteri
+        (fun j (off, r, m) ->
+          u_off.(j) <- off;
+          u_base.(j) <- (((caps.(r) - m) * nres) + r) * wpr)
+        fast;
+      let cap_entries = max 1 (ii * nfast) in
+      let bb_word = Array.make cap_entries 0 in
+      let bb_mask = Array.make cap_entries 0 in
+      let bb_off = Array.make (ii + 1) 0 in
+      let k = ref 0 in
+      for s = 0 to ii - 1 do
+        bb_off.(s) <- !k;
+        for j = 0 to nfast - 1 do
+          let cell =
+            let c = s + u_off.(j) in
+            if c >= ii then c - ii else c
+          in
+          let word = u_base.(j) + (cell / bits_per_word) in
+          let bit = 1 lsl (cell mod bits_per_word) in
+          let rec merge i =
+            if i >= !k then begin
+              bb_word.(!k) <- word;
+              bb_mask.(!k) <- bit;
+              incr k
+            end
+            else if bb_word.(i) = word then bb_mask.(i) <- bb_mask.(i) lor bit
+            else merge (i + 1)
+          in
+          merge bb_off.(s)
+        done
+      done;
+      bb_off.(ii) <- !k;
+      {
+        c_ii = ii;
+        packed;
+        c_nres = nres;
+        never_fits;
+        bb_off;
+        bb_word = Array.sub bb_word 0 (max 1 !k);
+        bb_mask = Array.sub bb_mask 0 (max 1 !k);
+        slow = pack_triples slow;
+      }
 
 let compiled t table =
-  match List.assq_opt table t.memo with
+  match Tbl_memo.find_opt t.memo table with
   | Some c -> c
   | None ->
-      let c = compile ~ii:t.ii table in
-      t.memo <- (table, c) :: t.memo;
+      let c = compile ~ii:t.ii ~caps:t.caps table in
+      Tbl_memo.replace t.memo table c;
       c
 
 let check_compiled t c =
   if c.c_ii <> t.ii then
-    invalid_arg "Mrt: compiled table belongs to a different ii"
+    invalid_arg "Mrt: compiled table belongs to a different ii";
+  if c.c_nres <> 0 && c.c_nres <> t.nres then
+    invalid_arg "Mrt: compiled table belongs to a different machine"
 
 (* --- the admission probe (allocation-free) ------------------------------- *)
 
@@ -81,11 +213,25 @@ let rec fits_from p len counts caps nres ii time i =
   counts.(idx) + p.(i + 2) <= caps.(r)
   && fits_from p len counts caps nres ii time (i + 3)
 
+let rec bb_clear occ bw bm j j1 =
+  j >= j1 || (occ.(bw.(j)) land bm.(j) = 0 && bb_clear occ bw bm (j + 1) j1)
+
 let fits_c t c ~time =
   if time < 0 then invalid_arg "Mrt: negative time";
   check_compiled t c;
-  let p = c.packed in
-  fits_from p (Array.length p) t.counts t.caps t.nres t.ii time 0
+  if c.c_nres = 0 then
+    let p = c.packed in
+    fits_from p (Array.length p) t.counts t.caps t.nres t.ii time 0
+  else begin
+    t.bitprobes <- t.bitprobes + 1;
+    (not c.never_fits)
+    && (let s = time mod t.ii in
+        bb_clear t.occ c.bb_word c.bb_mask c.bb_off.(s) c.bb_off.(s + 1))
+    &&
+    let p = c.slow in
+    let len = Array.length p in
+    len = 0 || fits_from p len t.counts t.caps t.nres t.ii time 0
+  end
 
 let conflicting_ops_c t ctabs ~time =
   if time < 0 then invalid_arg "Mrt: negative time";
@@ -105,18 +251,34 @@ let conflicting_ops_c t ctabs ~time =
     ctabs;
   List.sort_uniq compare !ops
 
+(* Re-derive the two plane bits of cell (slot, r) from its count.
+   Called after every count change; the bit planes are a pure function
+   of the count matrix. *)
+let sync_bits t ~slot ~r =
+  let cnt = t.counts.((slot * t.nres) + r) in
+  let w0 = (r * t.wpr) + (slot / bits_per_word) in
+  let w1 = (t.nres * t.wpr) + w0 in
+  let bit = 1 lsl (slot mod bits_per_word) in
+  if cnt >= 1 then t.occ.(w0) <- t.occ.(w0) lor bit
+  else t.occ.(w0) <- t.occ.(w0) land lnot bit;
+  if cnt >= 2 then t.occ.(w1) <- t.occ.(w1) lor bit
+  else t.occ.(w1) <- t.occ.(w1) land lnot bit
+
 let reserve_c t ~op c ~time =
   if not (fits_c t c ~time) then
     invalid_arg "Mrt.reserve: reservation does not fit";
   let p = c.packed in
   let i = ref 0 in
   while !i < Array.length p do
-    let idx = (((time + p.(!i)) mod t.ii) * t.nres) + p.(!i + 1) in
+    let slot = (time + p.(!i)) mod t.ii in
+    let r = p.(!i + 1) in
+    let idx = (slot * t.nres) + r in
     let mult = p.(!i + 2) in
     t.counts.(idx) <- t.counts.(idx) + mult;
     for _ = 1 to mult do
       t.cells.(idx) <- op :: t.cells.(idx)
     done;
+    sync_bits t ~slot ~r;
     i := !i + 3
   done
 
@@ -134,12 +296,15 @@ let release_c t ~op c ~time =
   let p = c.packed in
   let i = ref 0 in
   while !i < Array.length p do
-    let idx = (((time + p.(!i)) mod t.ii) * t.nres) + p.(!i + 1) in
+    let slot = (time + p.(!i)) mod t.ii in
+    let r = p.(!i + 1) in
+    let idx = (slot * t.nres) + r in
     let mult = p.(!i + 2) in
     for _ = 1 to mult do
       t.cells.(idx) <- remove_once op t.cells.(idx)
     done;
     t.counts.(idx) <- t.counts.(idx) - mult;
+    sync_bits t ~slot ~r;
     i := !i + 3
   done
 

@@ -7,14 +7,20 @@
     them; a cell may hold up to the resource's multiplicity.
 
     Internally the table is split into an occupancy-{e count} matrix
-    (one flat int array, all the admission probe ever reads) and the
-    occupant op-list matrix (consulted only for displacement and
-    printing).  Reservation tables are {e precompiled} once per
-    (table, ii) pair into a flat [(slot_offset, resource, mult)] form so
-    that {!fits_c} — the innermost operation of FindTimeSlot — performs
-    zero heap allocation per probe.  The [Reservation.t]-taking
-    functions remain for convenience; they memoize the compilation per
-    table (by physical equality) inside the MRT.
+    (one flat int array), the occupant op-list matrix (consulted only
+    for displacement and printing), and two occupancy {e bit planes}:
+    plane [p] has the bit of cell [(slot, r)] set iff the cell holds at
+    least [p + 1] occupants.  Reservation tables are {e precompiled}
+    once per (table, ii) pair into a flat [(slot_offset, resource,
+    mult)] form; compiling additionally against the machine's capacity
+    vector ([?caps]) lowers every usage with [cap - mult <= 1] to
+    per-issue-slot merged (word, mask) pairs over the bit planes, so
+    {!fits_c} — the innermost operation of FindTimeSlot — is a handful
+    of AND probes, zero heap allocation, falling back to the count walk
+    only for usages probing a capacity-3+ resource below its brim.
+    The [Reservation.t]-taking functions remain for convenience; they
+    memoize a caps-compiled form per table (by physical equality)
+    inside the MRT.
 
     The same structure doubles as the linear schedule reservation table of
     acyclic list scheduling: build it with {!linear} and a horizon larger
@@ -40,10 +46,22 @@ val ii : t -> int
 type ctable
 (** A reservation table lowered to a flat [(slot_offset, resource,
     multiplicity)] int array, with the modulo collapse of duplicate
-    [(at mod ii, resource)] cells already performed. *)
+    [(at mod ii, resource)] cells already performed — plus, when
+    compiled with [~caps], the per-issue-slot bitboard probe plan. *)
 
-val compile : ii:int -> Reservation.t -> ctable
-(** @raise Invalid_argument if [ii < 1]. *)
+val compile : ii:int -> ?caps:int array -> Reservation.t -> ctable
+(** [compile ~ii ?caps table].  Without [caps] the compiled form probes
+    purely by count walk (byte-identical to the historical behaviour,
+    and valid on any MRT of the same [ii]).  With [caps] — the
+    machine's per-resource capacity vector, as stored by {!create} —
+    the probe additionally gets the bitboard fast path, and the ctable
+    is only valid on MRTs with that many resources.
+    @raise Invalid_argument if [ii < 1]. *)
+
+val bitprobes : t -> int
+(** Number of {!fits_c} probes this MRT answered through the bit
+    planes (i.e. with a caps-compiled ctable) since creation.  Feeds
+    the [mrt_bitprobe] scheduler counter. *)
 
 val fits_c : t -> ctable -> time:int -> bool
 (** Allocation-free admission probe: true iff reserving the compiled

@@ -19,9 +19,16 @@ type t = {
   mutable mindist_inner : int;
       (** Innermost (k,i,j) iterations of ComputeMinDist. *)
   mutable mindist_calls : int;
+  mutable mindist_inc : int;
+      (** Pivot-row relaxations of the incremental cross-II MinDist
+          solver ({!Mindist.solve}) — the per-candidate-II work that
+          replaces a from-scratch [mindist_inner] recomputation. *)
   mutable heightr_inner : int;  (** Relaxation steps of HeightR. *)
   mutable estart_inner : int;  (** Predecessors examined by Estart. *)
   mutable findslot_inner : int;  (** Time slots examined by FindTimeSlot. *)
+  mutable mrt_bitprobe : int;
+      (** MRT admission probes answered through the bitboard planes
+          rather than the per-cell count walk. *)
   mutable sched_steps : int;
       (** Operation scheduling steps, over all candidate IIs. *)
   mutable sched_steps_final : int;

@@ -20,8 +20,12 @@ let compute_fast ?counters ?(trace = Trace.null) ddg =
   Trace.with_span trace "mii.recmii" (fun () ->
       Recmii.mii_from ?counters ddg ~resmii)
 
-let schedule_length_lower_bound ddg ~ii ~acyclic_length =
-  let md = Mindist.full ddg ~ii in
+let schedule_length_lower_bound ?solver ddg ~ii ~acyclic_length =
+  let md =
+    match solver with
+    | Some s -> Mindist.solve s ~ii
+    | None -> Mindist.full ddg ~ii
+  in
   max (Mindist.get md Ddg.start (Ddg.stop ddg)) acyclic_length
 
 let pp ppf t =

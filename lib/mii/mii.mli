@@ -23,9 +23,12 @@ val compute_fast :
     search at ResMII so that vectorizable loops never pay for a second
     MinDist pass.  Equals [(compute ddg).mii]. *)
 
-val schedule_length_lower_bound : Ddg.t -> ii:int -> acyclic_length:int -> int
+val schedule_length_lower_bound :
+  ?solver:Mindist.solver -> Ddg.t -> ii:int -> acyclic_length:int -> int
 (** The paper's lower bound on the schedule length of one iteration for a
     given II: the larger of MinDist[START, STOP] and the schedule length
-    achieved by acyclic list scheduling (section 4.2). *)
+    achieved by acyclic list scheduling (section 4.2).  Pass a
+    whole-graph [solver] ({!Mindist.solver_full}) to answer several IIs
+    over the same graph without re-running the full closure. *)
 
 val pp : Format.formatter -> t -> unit

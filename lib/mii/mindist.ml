@@ -36,23 +36,19 @@ let index_buffer scratch ~n =
       else Array.fill s.s_index 0 n (-1);
       s.s_index
 
-let compute ?counters ?scratch ddg ~nodes ~ii =
-  let m = Array.length nodes in
-  let n = Ddg.n_total ddg in
-  let index = index_buffer scratch ~n in
-  Array.iteri (fun row id -> index.(id) <- row) nodes;
-  let dist = dist_buffer scratch ~cells:(m * m) in
-  Array.iteri
-    (fun row id ->
-      List.iter
-        (fun (d : Dep.t) ->
-          let col = index.(d.dst) in
-          if col >= 0 then begin
-            let w = d.delay - (ii * d.distance) in
-            if w > dist.((row * m) + col) then dist.((row * m) + col) <- w
-          end)
-        ddg.Ddg.succs.(id))
-    nodes;
+(* --- the max-plus closure core ------------------------------------------- *)
+
+(* Parallel-closure knobs.  Defaults keep every closure on the serial
+   path, so nothing changes — values or counters — unless a driver
+   opts in ([bench --closure-jobs], [imsc schedule --closure-jobs]). *)
+let par_jobs = ref 1
+let par_threshold = ref 64
+
+let set_parallel ~jobs ~threshold =
+  par_jobs := max 1 jobs;
+  par_threshold := max 1 threshold
+
+let closure_serial dist ~m =
   let inner = ref 0 in
   for k = 0 to m - 1 do
     let kbase = k * m in
@@ -70,15 +66,261 @@ let compute ?counters ?scratch ddg ~nodes ~ii =
       end
     done
   done;
-  (match counters with
+  !inner
+
+(* Blocked (tiled) Floyd-Warshall, parallel across independent tiles.
+
+   For each pivot block K, in order: (1) close the diagonal tile (K,K)
+   serially; (2) relax the row panel (K,.) and column panel (.,K) —
+   every panel tile depends only on itself and the diagonal tile, so
+   they all run in parallel; (3) relax the remainder tiles (I,J),
+   I,J <> K, each depending only on itself and the two finished panels
+   — all parallel.  Tile work and the phase order are fixed, so both
+   the resulting matrix and the per-tile relaxation counts are
+   independent of the worker count; per-tile counts land in a slot
+   owned by the tile and are summed in index order after the joins.
+
+   Values match the serial closure exactly at any feasible II (the
+   closure is the unique max over walks, and every intermediate value
+   either algorithm writes is a genuine walk weight bounded by it).
+   At an infeasible II the finite values may differ — in-place
+   Floyd-Warshall is relaxation-order-dependent once a positive
+   circuit exists — but the verdict cannot: every value is a walk
+   weight (no false positive diagonal), and both compute at least the
+   order-free textbook DP, which puts the circuit's weight on the
+   diagonal.  Callers only ever read matrices computed at feasible IIs
+   (the schedulers' candidates sit at or above RecMII) and verdicts
+   below.  The relaxation *count* does differ from the serial loop's,
+   which is why the parallel path is strictly opt-in. *)
+let block = 32
+
+let closure_blocked dist ~m ~jobs =
+  let nb = (m + block - 1) / block in
+  let tile_inner = Array.make (nb * nb) 0 in
+  let relax ~tk ~ti ~tj =
+    let k0 = tk * block and i0 = ti * block and j0 = tj * block in
+    let k1 = min m (k0 + block)
+    and i1 = min m (i0 + block)
+    and j1 = min m (j0 + block) in
+    let cnt = ref 0 in
+    for k = k0 to k1 - 1 do
+      let kbase = k * m in
+      for i = i0 to i1 - 1 do
+        let ibase = i * m in
+        let dik = dist.(ibase + k) in
+        if dik > neg_inf then begin
+          cnt := !cnt + (j1 - j0);
+          for j = j0 to j1 - 1 do
+            let dkj = dist.(kbase + j) in
+            if dkj > neg_inf && dik + dkj > dist.(ibase + j) then
+              dist.(ibase + j) <- dik + dkj
+          done
+        end
+      done
+    done;
+    tile_inner.((ti * nb) + tj) <- tile_inner.((ti * nb) + tj) + !cnt
+  in
+  let run_parallel tasks =
+    let tasks = Array.of_list tasks in
+    let len = Array.length tasks in
+    let workers = min jobs len in
+    if workers <= 1 then Array.iter (fun f -> f ()) tasks
+    else
+      let queue =
+        Ims_par.Work_queue.create ~policy:Ims_par.Chunk.default ~workers
+          ~length:len
+      in
+      Ims_par.Pool.parallel_for ~workers ~queue (fun i -> tasks.(i) ())
+  in
+  for tk = 0 to nb - 1 do
+    relax ~tk ~ti:tk ~tj:tk;
+    let panels = ref [] in
+    for tb = 0 to nb - 1 do
+      if tb <> tk then begin
+        panels := (fun () -> relax ~tk ~ti:tk ~tj:tb) :: !panels;
+        panels := (fun () -> relax ~tk ~ti:tb ~tj:tk) :: !panels
+      end
+    done;
+    run_parallel !panels;
+    let rest = ref [] in
+    for ti = 0 to nb - 1 do
+      for tj = 0 to nb - 1 do
+        if ti <> tk && tj <> tk then
+          rest := (fun () -> relax ~tk ~ti ~tj) :: !rest
+      done
+    done;
+    run_parallel !rest
+  done;
+  Array.fold_left ( + ) 0 tile_inner
+
+(* In-place max-plus closure of the [m * m] matrix; returns the number
+   of innermost relaxation iterations for the [mindist] counter. *)
+let closure dist ~m =
+  if m >= !par_threshold && !par_jobs > 1 then
+    closure_blocked dist ~m ~jobs:!par_jobs
+  else closure_serial dist ~m
+
+let bump_closure_counters counters inner =
+  match counters with
   | Some c ->
-      c.Counters.mindist_inner <- c.Counters.mindist_inner + !inner;
+      c.Counters.mindist_inner <- c.Counters.mindist_inner + inner;
       c.Counters.mindist_calls <- c.Counters.mindist_calls + 1
-  | None -> ());
+  | None -> ()
+
+let compute ?counters ?scratch ddg ~nodes ~ii =
+  let m = Array.length nodes in
+  let n = Ddg.n_total ddg in
+  let index = index_buffer scratch ~n in
+  Array.iteri (fun row id -> index.(id) <- row) nodes;
+  let dist = dist_buffer scratch ~cells:(m * m) in
+  Array.iteri
+    (fun row id ->
+      List.iter
+        (fun (d : Dep.t) ->
+          let col = index.(d.dst) in
+          if col >= 0 then begin
+            let w = d.delay - (ii * d.distance) in
+            if w > dist.((row * m) + col) then dist.((row * m) + col) <- w
+          end)
+        ddg.Ddg.succs.(id))
+    nodes;
+  let inner = closure dist ~m in
+  bump_closure_counters counters inner;
   { ii; nodes; index; m; dist }
 
 let full ?counters ?scratch ddg ~ii =
   compute ?counters ?scratch ddg ~nodes:(Array.init (Ddg.n_total ddg) Fun.id) ~ii
+
+(* --- the incremental cross-II solver ------------------------------------- *)
+
+(* MinDist factors across candidate IIs.  Only back edges (distance >
+   0) carry an II-dependent weight [delay - ii * distance]; the forward
+   sub-graph (distance-0 edges) is II-invariant.  So: close the forward
+   matrix F once, and per candidate II overlay the back edges and
+   re-close with Floyd-Warshall pivots restricted to S = the endpoints
+   of back edges.
+
+   Why that is exact at a feasible II: any walk from i to j decomposes
+   into forward segments alternating with back edges, so every interior
+   junction is a back-edge endpoint in S; the seeded matrix max(F, B)
+   already covers the segments, and FW over pivots S composes them.
+   Why the verdict is exact below feasibility: a positive circuit must
+   traverse a back edge (the forward sub-graph is acyclic), so its head
+   b is in S and dist[b][b] receives the circuit's weight; conversely
+   every value produced is a genuine walk weight, so a feasible II can
+   never show a positive diagonal.  No monotonicity of the II sequence
+   is assumed — RecMII's doubling bracket then binary search down, and
+   the schedulers' II+1 escalation, use the same solver.
+
+   The per-solve cost is |S| * m^2 instead of m^3; for loops whose
+   recurrences touch a few operations, |S| << m.  Solver construction
+   pays one m^3 closure, counted as one [mindist] call like any other;
+   each [solve] counts its pivot-row relaxations in [mindist_inc]. *)
+
+type back_edges = int array
+(* stride 4: row, col, delay, distance — all (in-subgraph) distance>0
+   edges, overlaid per solve at weight delay - ii*distance *)
+
+type solver = {
+  sv_nodes : int array;
+  sv_index : int array;
+  sv_m : int;
+  sv_fwd : int array;  (* closed forward matrix, immutable after build *)
+  sv_back : back_edges;
+  sv_pivots : int array;  (* distinct back-edge endpoint rows, ascending *)
+  sv_dist : int array;  (* work buffer; every solve's [t] borrows it *)
+}
+
+let solver ?counters ddg ~nodes =
+  let m = Array.length nodes in
+  let n = Ddg.n_total ddg in
+  let index = Array.make n (-1) in
+  Array.iteri (fun row id -> index.(id) <- row) nodes;
+  let fwd = Array.make (m * m) neg_inf in
+  let back = ref [] in
+  let nback = ref 0 in
+  Array.iteri
+    (fun row id ->
+      List.iter
+        (fun (d : Dep.t) ->
+          let col = index.(d.dst) in
+          if col >= 0 then
+            if d.distance = 0 then begin
+              if d.delay > fwd.((row * m) + col) then
+                fwd.((row * m) + col) <- d.delay
+            end
+            else begin
+              back := (row, col, d.delay, d.distance) :: !back;
+              incr nback
+            end)
+        ddg.Ddg.succs.(id))
+    nodes;
+  let inner = closure fwd ~m in
+  bump_closure_counters counters inner;
+  let sv_back = Array.make (4 * !nback) 0 in
+  let is_pivot = Array.make (max 1 m) false in
+  List.iteri
+    (fun i (row, col, delay, distance) ->
+      let base = 4 * (!nback - 1 - i) in
+      sv_back.(base) <- row;
+      sv_back.(base + 1) <- col;
+      sv_back.(base + 2) <- delay;
+      sv_back.(base + 3) <- distance;
+      is_pivot.(row) <- true;
+      is_pivot.(col) <- true)
+    !back;
+  let pivots = ref [] in
+  for r = m - 1 downto 0 do
+    if is_pivot.(r) then pivots := r :: !pivots
+  done;
+  {
+    sv_nodes = nodes;
+    sv_index = index;
+    sv_m = m;
+    sv_fwd = fwd;
+    sv_back;
+    sv_pivots = Array.of_list !pivots;
+    sv_dist = Array.make (max 1 (m * m)) neg_inf;
+  }
+
+let solve ?counters s ~ii =
+  let m = s.sv_m in
+  let dist = s.sv_dist in
+  Array.blit s.sv_fwd 0 dist 0 (m * m);
+  let b = s.sv_back in
+  let e = ref 0 in
+  while !e < Array.length b do
+    let idx = (b.(!e) * m) + b.(!e + 1) in
+    let w = b.(!e + 2) - (ii * b.(!e + 3)) in
+    if w > dist.(idx) then dist.(idx) <- w;
+    e := !e + 4
+  done;
+  let inc = ref 0 in
+  Array.iter
+    (fun k ->
+      let kbase = k * m in
+      for i = 0 to m - 1 do
+        let ibase = i * m in
+        let dik = dist.(ibase + k) in
+        if dik > neg_inf then begin
+          incr inc;
+          for j = 0 to m - 1 do
+            let dkj = dist.(kbase + j) in
+            if dkj > neg_inf && dik + dkj > dist.(ibase + j) then
+              dist.(ibase + j) <- dik + dkj
+          done
+        end
+      done)
+    s.sv_pivots;
+  (match counters with
+  | Some c -> c.Counters.mindist_inc <- c.Counters.mindist_inc + !inc
+  | None -> ());
+  { ii; nodes = s.sv_nodes; index = s.sv_index; m; dist }
+
+let solver_full ?counters ddg =
+  solver ?counters ddg ~nodes:(Array.init (Ddg.n_total ddg) Fun.id)
+
+(* --- queries -------------------------------------------------------------- *)
 
 let get t i j =
   let ri = t.index.(i) and rj = t.index.(j) in

@@ -42,6 +42,45 @@ val compute :
 val full : ?counters:Counters.t -> ?scratch:scratch -> Ddg.t -> ii:int -> t
 (** MinDist over the whole graph including START and STOP. *)
 
+(** {2 The incremental cross-II solver}
+
+    MinDist factors across candidate IIs: only back edges (distance >
+    0) carry an II-dependent weight, so the solver closes the
+    distance-0 forward sub-graph once — one O(m³) pass — and each
+    {!solve} overlays the back edges at [delay - ii * distance] and
+    re-closes with Floyd-Warshall pivots restricted to the back-edge
+    endpoints: O(|endpoints| · m²) per candidate II.  Exact at every
+    feasible II and verdict-exact ({!feasible}) below, for {e any}
+    order of candidate IIs — RecMII's doubling/binary search and the
+    schedulers' II+1 escalation both ride on one solver. *)
+
+type solver
+(** The II-invariant half of MinDist over a fixed node set: the closed
+    forward matrix, the back-edge list, and the pivot set. *)
+
+val solver : ?counters:Counters.t -> Ddg.t -> nodes:int array -> solver
+(** Builds the solver; the forward closure is counted like one
+    {!compute} call ([mindist] / [mindist_calls]). *)
+
+val solver_full : ?counters:Counters.t -> Ddg.t -> solver
+(** {!solver} over the whole graph including START and STOP. *)
+
+val solve : ?counters:Counters.t -> solver -> ii:int -> t
+(** The MinDist matrix at one candidate II.  Pivot-row relaxations are
+    counted in [mindist_inc].  The result borrows the solver's work
+    buffer: it is invalidated by the next [solve] on the same solver. *)
+
+val set_parallel : jobs:int -> threshold:int -> unit
+(** Configure the parallel blocked closure: matrices of side >=
+    [threshold] are closed by tiled Floyd-Warshall on [jobs] domains
+    (diagonal tile, then panels in parallel, then remainder tiles in
+    parallel, per pivot block).  Defaults ([jobs = 1]) keep every
+    closure serial.  Matrix values are identical to the serial closure
+    at feasible IIs and verdict-identical below; the [mindist]
+    relaxation count differs from the serial loop's, which is why the
+    parallel path is opt-in.  Global, not domain-safe: set it once at
+    startup, before scheduling. *)
+
 val get : t -> int -> int -> int
 (** [get t i j] by operation ids; {!neg_inf} when unconnected.
     @raise Invalid_argument if an id is not covered. *)

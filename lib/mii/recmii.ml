@@ -29,17 +29,20 @@ let scc_feasible ?counters ?scratch ddg nodes ~ii =
   Mindist.feasible_ii ?counters ?scratch ddg ~nodes ~ii
 
 (* Smallest feasible II for one SCC, at least [start]: doubling to bracket,
-   then binary search (section 2.2).  The scratch lets every probe of the
-   search reuse one MinDist matrix allocation. *)
-let first_feasible ?counters ?scratch ddg nodes ~start ~cap =
-  if scc_feasible ?counters ?scratch ddg nodes ~ii:start then start
+   then binary search (section 2.2).  One incremental solver serves every
+   probe of the search — each candidate II costs one pivot-restricted
+   re-closure instead of a from-scratch Floyd-Warshall. *)
+let first_feasible ?counters ddg nodes ~start ~cap =
+  let solver = Mindist.solver ?counters ddg ~nodes in
+  let probe ii = Mindist.feasible (Mindist.solve ?counters solver ~ii) in
+  if probe start then start
   else begin
     let bad = ref start and inc = ref 1 in
     while
       let candidate = !bad + !inc in
       if candidate > cap then
         invalid_arg "Recmii: zero-distance dependence circuit";
-      if scc_feasible ?counters ?scratch ddg nodes ~ii:candidate then false
+      if probe candidate then false
       else begin
         bad := candidate;
         inc := !inc * 2;
@@ -52,8 +55,7 @@ let first_feasible ?counters ?scratch ddg nodes ~start ~cap =
     (* Invariant: !bad infeasible, !good feasible. *)
     while !good - !bad > 1 do
       let mid = (!bad + !good) / 2 in
-      if scc_feasible ?counters ?scratch ddg nodes ~ii:mid then good := mid
-      else bad := mid
+      if probe mid then good := mid else bad := mid
     done;
     !good
   end
@@ -61,11 +63,10 @@ let first_feasible ?counters ?scratch ddg nodes ~start ~cap =
 let fold_sccs ?counters ddg ~start =
   let sccs = scc_of ?counters ddg in
   let cap = ii_cap ddg in
-  let scratch = Mindist.scratch () in
   Array.fold_left
     (fun acc members ->
       let nodes = Array.of_list members in
-      first_feasible ?counters ~scratch ddg nodes ~start:acc ~cap)
+      first_feasible ?counters ddg nodes ~start:acc ~cap)
     start sccs
 
 let by_mindist ?counters ddg = fold_sccs ?counters ddg ~start:1

@@ -1,0 +1,14 @@
+type policy =
+  | Fixed of int
+  | Guided of { min_chunk : int; divisor : int }
+
+let default = Guided { min_chunk = 1; divisor = 2 }
+
+let size policy ~workers ~remaining =
+  if remaining <= 0 then 0
+  else
+    match policy with
+    | Fixed n -> min remaining (max 1 n)
+    | Guided { min_chunk; divisor } ->
+        let ideal = remaining / max 1 (divisor * workers) in
+        min remaining (max (max 1 min_chunk) ideal)

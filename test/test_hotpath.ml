@@ -2,15 +2,16 @@
 
    Four layers of defence, from micro to macro:
 
-   - a property test driving the count-matrix MRT and the original
-     list-and-Hashtbl implementation ({!Mrt_ref}) with the same random
-     command sequences, requiring every observable to agree;
+   - a property test driving the count-matrix MRT — through both the
+     capless (count walk) and the caps-compiled (bitboard) probe — and
+     the original list-and-Hashtbl implementation ({!Mrt_ref}) with the
+     same random command sequences, requiring every observable to agree;
    - a [Gc.allocated_bytes] assertion that the compiled admission probe
-     [Mrt.fits_c] allocates nothing;
+     [Mrt.fits_c] allocates nothing, on both probe paths;
    - a counter-regression gate pinning the inner-loop work
-     (estart / findslot / mindist) of every Livermore kernel, so an
-     accidental algorithmic regression fails [dune runtest] rather than
-     only showing up in the benchmarks;
+     (estart / findslot / mindist / mindist_inc / mrt_bitprobe) of every
+     Livermore kernel, so an accidental algorithmic regression fails
+     [dune runtest] rather than only showing up in the benchmarks;
    - golden decision traces: the exact place / evict / force sequence of
      two Livermore kernels and one forced-placement-heavy synthetic
      loop, byte-for-byte. *)
@@ -24,11 +25,13 @@ open Ims_workloads
 let random_machine st =
   let nres = 1 + Random.State.int st 3 in
   let b = Machine.builder "oracle" in
+  (* Capacity 3 resources force the bitboard compile onto its count-walk
+     fallback for low-multiplicity usages (cap - mult >= 2). *)
   for i = 0 to nres - 1 do
     ignore
       (Machine.add_resource b
          (Printf.sprintf "r%d" i)
-         ~count:(1 + Random.State.int st 2))
+         ~count:(1 + Random.State.int st 3))
   done;
   (Machine.finish b, nres)
 
@@ -50,6 +53,14 @@ let oracle_session seed =
     Array.init (3 + Random.State.int st 4) (fun _ -> random_table st nres)
   in
   let ctabs = Array.map (Mrt.compile ~ii) pool in
+  (* The same tables compiled against the capacity vector: probes go
+     through the bitboard planes instead of the count walk. *)
+  let caps =
+    Array.init nres (fun i ->
+        (Machine.resource_by_name machine (Printf.sprintf "r%d" i))
+          .Resource.count)
+  in
+  let ctabs_bb = Array.map (Mrt.compile ~ii ~caps) pool in
   let t = Mrt.create machine ~ii in
   let r = Mrt_ref.create machine ~ii in
   let holdings = ref [] in
@@ -65,6 +76,9 @@ let oracle_session seed =
         if Mrt.fits_c t ctabs.(k) ~time <> expect then
           fail "seed %d step %d: fits_c disagrees (table %d, time %d)" seed
             step k time;
+        if Mrt.fits_c t ctabs_bb.(k) ~time <> expect then
+          fail "seed %d step %d: bitboard fits_c disagrees (table %d, time %d)"
+            seed step k time;
         if Mrt.fits t pool.(k) ~time <> expect then
           fail "seed %d step %d: memoized fits disagrees (table %d, time %d)"
             seed step k time
@@ -75,7 +89,9 @@ let oracle_session seed =
           let op = !next_op in
           incr next_op;
           Mrt_ref.reserve r ~op pool.(k) ~time;
-          Mrt.reserve_c t ~op ctabs.(k) ~time;
+          (* Either compiled form maintains the same cells and planes. *)
+          let c = if Random.State.bool st then ctabs.(k) else ctabs_bb.(k) in
+          Mrt.reserve_c t ~op c ~time;
           holdings := (op, k, time) :: !holdings
         end
     | 4 -> (
@@ -86,7 +102,8 @@ let oracle_session seed =
             let ((op, k, time) as h) = List.nth hs i in
             holdings := List.filter (( != ) h) hs;
             Mrt_ref.release r ~op pool.(k) ~time;
-            Mrt.release_c t ~op ctabs.(k) ~time)
+            let c = if Random.State.bool st then ctabs.(k) else ctabs_bb.(k) in
+            Mrt.release_c t ~op c ~time)
     | _ ->
         let time = Random.State.int st 24 in
         let expect =
@@ -133,81 +150,92 @@ let test_fits_c_allocation_free () =
   let ii = 4 in
   let t = Mrt.create machine ~ii in
   let table = Reservation.make [ (0, 0); (1, 2); (0, 3); (1, 5) ] in
-  let c = Mrt.compile ~ii table in
-  Mrt.reserve_c t ~op:0 c ~time:0;
-  let probes = 100_000 in
-  (* Warm-up, so any lazy one-time allocation is off the books. *)
-  for i = 0 to 99 do
-    ignore (Sys.opaque_identity (Mrt.fits_c t c ~time:(i land 7)))
-  done;
-  let overhead =
-    let a = Gc.allocated_bytes () in
-    let b = Gc.allocated_bytes () in
-    b -. a
+  let measure what c =
+    Mrt.reserve_c t ~op:0 c ~time:0;
+    let probes = 100_000 in
+    (* Warm-up, so any lazy one-time allocation is off the books. *)
+    for i = 0 to 99 do
+      ignore (Sys.opaque_identity (Mrt.fits_c t c ~time:(i land 7)))
+    done;
+    let overhead =
+      let a = Gc.allocated_bytes () in
+      let b = Gc.allocated_bytes () in
+      b -. a
+    in
+    let before = Gc.allocated_bytes () in
+    for i = 0 to probes - 1 do
+      ignore (Sys.opaque_identity (Mrt.fits_c t c ~time:(i land 7)))
+    done;
+    let after = Gc.allocated_bytes () in
+    let per_probe = (after -. before -. overhead) /. float_of_int probes in
+    if per_probe > 0.01 then
+      Alcotest.failf "Mrt.fits_c (%s) allocates %.3f bytes per probe" what
+        per_probe;
+    Mrt.release_c t ~op:0 c ~time:0
   in
-  let before = Gc.allocated_bytes () in
-  for i = 0 to probes - 1 do
-    ignore (Sys.opaque_identity (Mrt.fits_c t c ~time:(i land 7)))
-  done;
-  let after = Gc.allocated_bytes () in
-  let per_probe = (after -. before -. overhead) /. float_of_int probes in
-  if per_probe > 0.01 then
-    Alcotest.failf "Mrt.fits_c allocates %.3f bytes per probe" per_probe
+  measure "count walk" (Mrt.compile ~ii table);
+  measure "bitboard" (Mrt.compile ~ii ~caps:[| 2; 1 |] table)
 
 (* --- counter-regression gate -------------------------------------------- *)
 
 (* Inner-loop work of the full IMS run (MII computation included) on
    every Livermore kernel, pinned at the values the rewrite achieves on
-   the Cydra 5 model: (estart_inner, findslot_inner, mindist_inner).
+   the Cydra 5 model:
+   (estart_inner, findslot_inner, mindist_inner, mindist_inc,
+    mrt_bitprobe).
    These are exact-determinism ceilings — the scheduler is deterministic,
-   so exceeding one means an algorithmic regression, not noise. *)
+   so exceeding one means an algorithmic regression, not noise.  The
+   mindist ceiling now covers only the one forward closure per solver;
+   the per-candidate-II work moved to the much smaller mindist_inc. *)
 let lfk_ceilings =
   [
-    ("lfk01", (51, 23, 5));
-    ("lfk02", (42, 20, 5));
-    ("lfk03", (29, 12, 7));
-    ("lfk04", (29, 12, 7));
-    ("lfk05", (36, 14, 52));
-    ("lfk06", (37, 14, 444));
-    ("lfk07", (126, 85, 11));
-    ("lfk08", (168, 141, 13));
-    ("lfk09", (142, 105, 12));
-    ("lfk10", (158, 158, 19));
-    ("lfk11", (26, 11, 7));
-    ("lfk12", (32, 14, 4));
-    ("lfk13", (97, 45, 6));
-    ("lfk14a", (62, 25, 5));
-    ("lfk14b", (64, 34, 4));
-    ("lfk15", (79, 35, 4));
-    ("lfk17", (54, 19, 1444));
-    ("lfk18a", (86, 50, 9));
-    ("lfk18b", (103, 67, 11));
-    ("lfk18c", (61, 32, 7));
-    ("lfk19a", (36, 14, 52));
-    ("lfk19b", (36, 14, 52));
-    ("lfk20", (60, 29, 485));
-    ("lfk21", (36, 15, 8));
-    ("lfk22", (60, 34, 6));
-    ("lfk23", (110, 54, 3465));
-    ("lfk24", (44, 15, 682));
+    ("lfk01", (51, 23, 0, 5, 40));
+    ("lfk02", (42, 20, 0, 5, 34));
+    ("lfk03", (29, 12, 0, 7, 22));
+    ("lfk04", (29, 12, 0, 7, 22));
+    ("lfk05", (36, 14, 2, 28, 26));
+    ("lfk06", (37, 14, 24, 94, 26));
+    ("lfk07", (126, 85, 0, 11, 125));
+    ("lfk08", (168, 141, 0, 13, 193));
+    ("lfk09", (142, 105, 0, 12, 150));
+    ("lfk10", (158, 158, 0, 19, 206));
+    ("lfk11", (26, 11, 0, 7, 20));
+    ("lfk12", (32, 14, 0, 4, 25));
+    ("lfk13", (97, 45, 0, 6, 74));
+    ("lfk14a", (62, 25, 0, 5, 44));
+    ("lfk14b", (64, 34, 0, 4, 54));
+    ("lfk15", (79, 35, 0, 4, 61));
+    ("lfk17", (54, 19, 66, 134, 36));
+    ("lfk18a", (86, 50, 0, 9, 77));
+    ("lfk18b", (103, 67, 0, 11, 99));
+    ("lfk18c", (61, 32, 0, 7, 52));
+    ("lfk19a", (36, 14, 2, 28, 26));
+    ("lfk19b", (36, 14, 2, 28, 26));
+    ("lfk20", (60, 29, 24, 65, 49));
+    ("lfk21", (36, 15, 0, 8, 27));
+    ("lfk22", (60, 34, 0, 6, 53));
+    ("lfk23", (110, 54, 224, 117, 89));
+    ("lfk24", (44, 15, 30, 90, 29));
   ]
 
 let test_counter_ceilings () =
   let machine = Machine.cydra5 () in
   List.iter
-    (fun (name, (estart, findslot, mindist)) ->
+    (fun (name, (estart, findslot, mindist, mindist_inc, bitprobe)) ->
       let ddg = Lfk.build machine name in
       let counters = Ims_mii.Counters.create () in
       let out = Ims.modulo_schedule ~counters ddg in
       Alcotest.(check bool) (name ^ " schedules") true (out.Ims.schedule <> None);
       let gate what ceiling actual =
         if actual > ceiling then
-          Alcotest.failf "%s: %s_inner regressed: %d > ceiling %d" name what
+          Alcotest.failf "%s: %s regressed: %d > ceiling %d" name what
             actual ceiling
       in
       gate "estart" estart counters.Ims_mii.Counters.estart_inner;
       gate "findslot" findslot counters.Ims_mii.Counters.findslot_inner;
-      gate "mindist" mindist counters.Ims_mii.Counters.mindist_inner)
+      gate "mindist" mindist counters.Ims_mii.Counters.mindist_inner;
+      gate "mindist_inc" mindist_inc counters.Ims_mii.Counters.mindist_inc;
+      gate "mrt_bitprobe" bitprobe counters.Ims_mii.Counters.mrt_bitprobe)
     lfk_ceilings
 
 (* --- golden decision traces --------------------------------------------- *)
@@ -298,6 +326,19 @@ let test_golden_trace_forced () =
       "place op=6 t=4 alt=0 e=4"; "place op=10 t=27 alt=0 e=27";
     ]
 
+(* The same three golden sequences with the blocked parallel closure
+   forced on (threshold far below these loops' node counts): the tiled
+   Floyd-Warshall may only change wall clock, never a distance, so the
+   decision traces must not move by a byte. *)
+let test_golden_traces_parallel_closure () =
+  Ims_mii.Mindist.set_parallel ~jobs:2 ~threshold:4;
+  Fun.protect
+    ~finally:(fun () -> Ims_mii.Mindist.set_parallel ~jobs:1 ~threshold:64)
+    (fun () ->
+      test_golden_trace_lfk20 ();
+      test_golden_trace_lfk23 ();
+      test_golden_trace_forced ())
+
 (* --- indexed ready set --------------------------------------------------- *)
 
 (* The tournament tree against the obvious list implementation: after any
@@ -352,5 +393,7 @@ let tests =
       Alcotest.test_case "golden trace: lfk23" `Quick test_golden_trace_lfk23;
       Alcotest.test_case "golden trace: forced placement (syn:22)" `Quick
         test_golden_trace_forced;
+      Alcotest.test_case "golden traces under parallel closure" `Quick
+        test_golden_traces_parallel_closure;
       QCheck_alcotest.to_alcotest prop_ready_tree;
     ] )

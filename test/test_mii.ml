@@ -216,6 +216,39 @@ let prop_mii_fast_consistent =
       let m = Mii.compute ddg in
       Mii.compute_fast ddg = m.Mii.mii && m.Mii.mii = max m.Mii.resmii m.Mii.recmii)
 
+(* Property: the incremental cross-II solver matches the from-scratch
+   closure on random loops, cell for cell at every feasible II (from
+   RecMII up) and verdict for verdict below it.  This is the contract
+   the schedulers rely on when they share one solver across an II
+   search. *)
+let prop_solver_equals_compute =
+  QCheck.Test.make ~count:100 ~name:"mindist: solver = compute across IIs"
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let rng = Random.State.make [| seed; 23 |] in
+      let ddg = Ims_workloads.Synthetic.generate machine rng in
+      let solver = Mindist.solver_full ddg in
+      let recmii = Recmii.by_mindist ddg in
+      let n = Ddg.n_total ddg in
+      let ok = ref true in
+      for ii = max 1 (recmii - 2) to recmii + 8 do
+        let inc = Mindist.solve solver ~ii in
+        (* [inc] borrows the solver's scratch, so read it fully before
+           the next solve. *)
+        if ii >= recmii then begin
+          let full = Mindist.full ddg ~ii in
+          if not (Mindist.feasible inc) then ok := false;
+          for i = 0 to n - 1 do
+            for j = 0 to n - 1 do
+              if Mindist.get inc i j <> Mindist.get full i j then ok := false
+            done
+          done
+        end
+        else if Mindist.feasible inc <> Mindist.feasible (Mindist.full ddg ~ii)
+        then ok := false
+      done;
+      !ok)
+
 
 
 (* --- Rational bounds and the unroll decision --------------------------------- *)
@@ -320,5 +353,6 @@ let tests =
         test_schedule_length_lower_bound;
       QCheck_alcotest.to_alcotest prop_recmii_methods_agree;
       QCheck_alcotest.to_alcotest prop_mii_fast_consistent;
+      QCheck_alcotest.to_alcotest prop_solver_equals_compute;
     ]
     @ mii_extension_tests )

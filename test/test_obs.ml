@@ -209,28 +209,33 @@ let distinct_counters () =
   c.Counters.resmii_steps <- 2;
   c.Counters.mindist_inner <- 3;
   c.Counters.mindist_calls <- 4;
-  c.Counters.heightr_inner <- 5;
-  c.Counters.estart_inner <- 6;
-  c.Counters.findslot_inner <- 7;
-  c.Counters.sched_steps <- 8;
-  c.Counters.sched_steps_final <- 9;
+  c.Counters.mindist_inc <- 5;
+  c.Counters.heightr_inner <- 6;
+  c.Counters.estart_inner <- 7;
+  c.Counters.findslot_inner <- 8;
+  c.Counters.mrt_bitprobe <- 9;
+  c.Counters.sched_steps <- 10;
+  c.Counters.sched_steps_final <- 11;
   c
 
 let test_counters_to_assoc_vs_pp () =
   let c = distinct_counters () in
   let rendered = Format.asprintf "%a" Counters.pp c in
-  (* The historical format, pinned byte for byte. *)
+  (* The canonical format, pinned byte for byte. *)
   Alcotest.(check string) "pp format unchanged"
-    "scc=1 resmii=2 mindist=3(x4) heightr=5 estart=6 findslot=7 sched=8(final 9)"
+    "scc=1 resmii=2 mindist=3(x4,inc 5) heightr=6 estart=7 findslot=8 \
+     bitprobe=9 sched=10(final 11)"
     rendered;
   let assoc = Counters.to_assoc c in
-  Alcotest.(check int) "nine fields" 9 (List.length assoc);
+  Alcotest.(check int) "eleven fields" 11 (List.length assoc);
   (* Every to_assoc value is visible in the pp output under its name. *)
   List.iter
     (fun (name, v) ->
       let witness =
         match name with
-        | "mindist_calls" -> Printf.sprintf "(x%d)" v
+        | "mindist_calls" -> Printf.sprintf "(x%d," v
+        | "mindist_inc" -> Printf.sprintf "inc %d)" v
+        | "mrt_bitprobe" -> Printf.sprintf "bitprobe=%d" v
         | "sched_final" -> Printf.sprintf "(final %d)" v
         | _ -> Printf.sprintf "%s=%d" name v
       in
@@ -249,7 +254,7 @@ let test_counters_reset_and_record () =
   Counters.record m c;
   Alcotest.(check int) "adapter: scc" 1
     (Metrics.counter_value (Metrics.counter m "counters.scc"));
-  Alcotest.(check int) "adapter: sched_final" 9
+  Alcotest.(check int) "adapter: sched_final" 11
     (Metrics.counter_value (Metrics.counter m "counters.sched_final"));
   (* record accumulates on a second call. *)
   Counters.record m c;

@@ -285,8 +285,8 @@ let test_counters_field_table () =
   Alcotest.(check (list string))
     "the canonical key list, in declaration order"
     [
-      "scc"; "resmii"; "mindist"; "mindist_calls"; "heightr"; "estart";
-      "findslot"; "sched"; "sched_final";
+      "scc"; "resmii"; "mindist"; "mindist_calls"; "mindist_inc"; "heightr";
+      "estart"; "findslot"; "mrt_bitprobe"; "sched"; "sched_final";
     ]
     Ims_mii.Counters.names;
   let c =
