@@ -50,6 +50,9 @@ type opts = {
   time_tolerance : float option;
   status_file : string option;
   status_interval : float;
+  fleet_loops : int;  (* 0 = skip the fleet throughput phase *)
+  fleet_workers : int;
+  imsc : string option;  (* the imsc binary the fleet phase spawns *)
 }
 
 let opts =
@@ -60,7 +63,8 @@ let opts =
        [--closure-jobs N] [--closure-threshold M] [--metrics FILE] \
        [--bench-json FILE] [--journal FILE] [--resume FILE] [--profile \
        FILE] [--baseline BENCH.json] [--tolerance F] [--time-tolerance F] \
-       [--status-file FILE] [--status-interval SEC]";
+       [--status-file FILE] [--status-interval SEC] [--fleet-loops N] \
+       [--fleet-workers N] [--imsc PATH]";
     exit 2
   in
   let quick = ref false in
@@ -77,6 +81,9 @@ let opts =
   let time_tolerance = ref None in
   let status_file = ref None in
   let status_interval = ref 1.0 in
+  let fleet_loops = ref 0 in
+  let fleet_workers = ref 4 in
+  let imsc = ref None in
   let argc = Array.length Sys.argv in
   let value flag i =
     if i + 1 >= argc then usage_exit (flag ^ " needs a value")
@@ -152,6 +159,27 @@ let opts =
       | "--status-interval" ->
           status_interval := float_value "--status-interval" i;
           scan (i + 2)
+      | "--fleet-loops" ->
+          let v = value "--fleet-loops" i in
+          (match int_of_string_opt v with
+          | Some n when n >= 0 -> fleet_loops := n
+          | _ ->
+              usage_exit
+                (Printf.sprintf
+                   "--fleet-loops expects a non-negative integer, got %S" v));
+          scan (i + 2)
+      | "--fleet-workers" ->
+          let v = value "--fleet-workers" i in
+          (match int_of_string_opt v with
+          | Some n when n >= 1 -> fleet_workers := n
+          | _ ->
+              usage_exit
+                (Printf.sprintf
+                   "--fleet-workers expects a positive integer, got %S" v));
+          scan (i + 2)
+      | "--imsc" ->
+          imsc := Some (value "--imsc" i);
+          scan (i + 2)
       | other -> usage_exit (Printf.sprintf "unknown argument %S" other)
   in
   scan 1;
@@ -172,6 +200,9 @@ let opts =
     time_tolerance = !time_tolerance;
     status_file = !status_file;
     status_interval = !status_interval;
+    fleet_loops = !fleet_loops;
+    fleet_workers = !fleet_workers;
+    imsc = !imsc;
   }
 
 let quick = opts.quick
@@ -434,11 +465,11 @@ let measure_records ?profile ?progress cases =
                 (Hashtbl.length completed) n));
       let writer =
         match (opts.resume, opts.journal) with
-        | Some path, _ -> J.reopen ~path
+        | Some path, _ -> J.reopen ~path ()
         | None, Some path ->
             J.create ~path
               { J.version = J.format_version; tool = "bench-measure"; hash;
-                jobs = n }
+                jobs = n; parts = [] }
         | None, None -> assert false
       in
       let indexed = List.mapi (fun i c -> (i, c)) cases in
@@ -526,6 +557,11 @@ let write_file file contents =
    achieved-II histogram, and provenance meta — the trajectory point a
    perf regression is judged against (see BENCH_4.json at the repo
    root). *)
+(* Filled by the fleet throughput phase (--fleet-loops > 0): loops,
+   workers, wall seconds, corpus bytes.  loops_per_s is the headline
+   fleet-scale metric BENCH_6 gates on. *)
+let fleet_stats : (int * int * float * int) option ref = ref None
+
 let bench_snapshot_json records =
   let open Ims_obs in
   let phases =
@@ -548,7 +584,7 @@ let bench_snapshot_json records =
            Json.Obj [ ("ii", Json.Int ii); ("loops", Json.Int count) ])
   in
   Json.Obj
-    [
+    ([
       ("suite_count", Json.Int (List.length records));
       ("quick", Json.Bool quick);
       ("jobs", Json.Int jobs);
@@ -558,6 +594,24 @@ let bench_snapshot_json records =
           (List.map (fun (k, v) -> (k, Json.Int v)) (Counters.to_assoc totals))
       );
       ("ii_histogram", Json.List ii_histogram);
+    ]
+    @ (match !fleet_stats with
+      | None -> []
+      | Some (loops, workers, seconds, corpus_bytes) ->
+          [
+            ( "fleet",
+              Json.Obj
+                [
+                  ("loops", Json.Int loops);
+                  ("workers", Json.Int workers);
+                  ("seconds", Json.Float seconds);
+                  ( "loops_per_s",
+                    Json.Float (float_of_int loops /. Float.max seconds 1e-9)
+                  );
+                  ("corpus_bytes", Json.Int corpus_bytes);
+                ] );
+          ])
+    @ [
       ( "meta",
         Json.Obj
           [
@@ -566,7 +620,7 @@ let bench_snapshot_json records =
             ("jobs", Json.Int jobs);
             ("suite_hash", Json.String (Lazy.force measure_manifest_hash));
           ] );
-    ]
+    ])
 
 let dump_bench_json file snapshot =
   write_file file (Ims_obs.Json.to_string snapshot);
@@ -597,6 +651,126 @@ let check_baseline file snapshot =
             (fun r -> Log.error log "regression vs %s — %s" file (Baseline.describe r))
             regressions;
           exit 1)
+
+(* The fleet-scale throughput phase (--fleet-loops N): stream a seeded
+   corpus to disk with the same writer `imsc corpus gen` uses, run
+   `imsc fleet` over it as real worker subprocesses, and record loops
+   scheduled per second.  No process — bench included — ever holds more
+   than one shard's loops in memory, which is what lets the same phase
+   measure a 1,000,000-loop corpus (BENCH_6's headline).  Stdout keeps
+   only deterministic counts; wall clock goes to stderr and to the
+   snapshot's "fleet" section, where the baseline gate compares it. *)
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Unix.rmdir path
+  | _ -> Sys.remove path
+  | exception Unix.Unix_error _ -> ()
+
+let fleet_phase () =
+  if opts.fleet_loops > 0 then begin
+    let imsc =
+      match opts.imsc with
+      | Some p -> p
+      | None ->
+          (* bench runs as _build/default/bench/main.exe; the sibling
+             CLI is _build/default/bin/imsc.exe. *)
+          Filename.concat
+            (Filename.dirname (Filename.dirname Sys.executable_name))
+            (Filename.concat "bin" "imsc.exe")
+    in
+    section "FLEET — sharded multi-process scheduling throughput";
+    if not (Sys.file_exists imsc) then
+      Ims_obs.Log.warn log
+        "fleet phase skipped: no imsc binary at %s (pass --imsc PATH)" imsc
+    else begin
+      let loops = opts.fleet_loops and workers = opts.fleet_workers in
+      let dir =
+        Filename.concat
+          (Filename.get_temp_dir_name ())
+          (Printf.sprintf "imsc-bench-fleet-%d" (Unix.getpid ()))
+      in
+      rm_rf dir;
+      Unix.mkdir dir 0o700;
+      Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+      let corpus = Filename.concat dir "corpus.ilb" in
+      let report = Filename.concat dir "merged.jsonl" in
+      let rundir = Filename.concat dir "run" in
+      let written =
+        timed "fleet corpus gen" (fun () ->
+            Corpus.generate machine ~seed:1994 ~count:loops ~path:corpus)
+      in
+      let corpus_bytes = (Unix.stat corpus).Unix.st_size in
+      let t0 = Unix.gettimeofday () in
+      let pid =
+        Unix.create_process imsc
+          [|
+            imsc;
+            "fleet";
+            "--corpus";
+            corpus;
+            "--workers";
+            string_of_int workers;
+            "--jobs";
+            "1";
+            (* Group journal fsyncs: at a million records, per-append
+               fsync would measure the disk, not the scheduler.
+               Completed writes still survive kill -9 either way. *)
+            "--journal-sync";
+            "64";
+            "--dir";
+            rundir;
+            "--report";
+            report;
+          |]
+          Unix.stdin Unix.stdout Unix.stderr
+      in
+      let _, status = Unix.waitpid [] pid in
+      let dt = Unix.gettimeofday () -. t0 in
+      phase_log := ("fleet run", dt) :: !phase_log;
+      (match status with
+      (* Exit 2 is the batch protocol's "degraded": every loop got a
+         (possibly fallback) schedule and the merged report is
+         complete.  At a million seeded loops a handful of degraded
+         records is expected; only exit 1 (casualties / config error)
+         fails the phase. *)
+      | Unix.WEXITED (0 | 2) -> ()
+      | Unix.WEXITED c ->
+          failwith (Printf.sprintf "bench: fleet phase failed (exit %d)" c)
+      | Unix.WSIGNALED s | Unix.WSTOPPED s ->
+          failwith (Printf.sprintf "bench: fleet phase killed (signal %d)" s));
+      let report_lines =
+        let ic = open_in_bin report in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () ->
+            let n = ref 0 in
+            (try
+               while true do
+                 ignore (input_line ic);
+                 incr n
+               done
+             with End_of_file -> ());
+            !n)
+      in
+      if report_lines <> loops then
+        failwith
+          (Printf.sprintf
+             "bench: fleet merged report holds %d line(s), expected %d"
+             report_lines loops);
+      Printf.printf
+        "fleet: %d loop(s) scheduled across %d worker process(es); merged \
+         report complete (%d lines)\n"
+        written workers report_lines;
+      Ims_obs.Log.info log
+        "fleet: %.0f loops/s (%d loops, %d workers, %.1fs wall, %d corpus \
+         bytes)"
+        (float_of_int loops /. Float.max dt 1e-9)
+        loops workers dt corpus_bytes;
+      fleet_stats := Some (loops, workers, dt, corpus_bytes)
+    end
+  end
 
 (* The production scheme of sections 2.2/3: MII via the ResMII-seeded
    search (no exact RecMII), then iterative scheduling — used for the
@@ -1683,6 +1857,7 @@ let main () =
   extension_register_pressure ();
   extension_kernel_family ();
   if not quick then bechamel ();
+  fleet_phase ();
   (match (opts.profile_file, profile) with
   | Some file, Some p ->
       (* The bench's own phase wall clock joins the per-job spans, so

@@ -107,6 +107,9 @@ let wrap_code f =
   | Machine_parse.Parse_error (line, msg) ->
       Log.error log "machine description, line %d: %s" line msg;
       1
+  | Loop_bin.Corrupt { offset; reason } ->
+      Log.error log "corrupt loop record at byte %d: %s" offset reason;
+      1
 
 let wrap f =
   wrap_code (fun () ->
@@ -664,13 +667,67 @@ let expand_loop_inputs ~tag paths =
   if inputs = [] then failwith (tag ^ ": no loop dumps found");
   inputs
 
+(* One schedulable loop, wherever it came from: a textual dump file or
+   a record of a binary corpus.  [load] defers the parse/decode to the
+   worker that schedules it; [origin] names the culprit for quarantine
+   and casualty messages. *)
+type batch_input = {
+  in_name : string;
+  origin : string;
+  load : unit -> Ddg.t;
+}
+
+(* "I/N" (1-based I): this process schedules the residue class
+   [g mod N = I - 1] of the global input indices. *)
+let parse_shard_spec tag = function
+  | None -> None
+  | Some s -> (
+      let bad () =
+        failwith
+          (Printf.sprintf
+             "%s: --shard expects I/N with 1 <= I <= N, got %S" tag s)
+      in
+      match String.index_opt s '/' with
+      | None -> bad ()
+      | Some cut -> (
+          let a = String.sub s 0 cut in
+          let b = String.sub s (cut + 1) (String.length s - cut - 1) in
+          match (int_of_string_opt a, int_of_string_opt b) with
+          | Some i, Some n when n >= 1 && i >= 1 && i <= n -> Some (i, n)
+          | _ -> bad ()))
+
 let cmd_batch =
   let paths_arg =
     let doc =
       "Loop dumps (the textual format of 'imsc export') or directories \
-       of them."
+       of them.  Mutually exclusive with --corpus."
     in
-    Arg.(non_empty & pos_all string [] & info [] ~docv:"PATH" ~doc)
+    Arg.(value & pos_all string [] & info [] ~docv:"PATH" ~doc)
+  in
+  let corpus_arg =
+    let doc =
+      "Schedule the loops of a binary corpus file (the 'imsc corpus \
+       gen' format) instead of textual dumps; records are streamed and \
+       only this process's shard is held in memory."
+    in
+    Arg.(value & opt (some string) None & info [ "corpus" ] ~docv:"FILE" ~doc)
+  in
+  let shard_arg =
+    let doc =
+      "Schedule only the residue class I/N of the global input indices \
+       (1-based I: shard 2/4 takes indices 1, 5, 9, ...).  The shard \
+       spec is part of the journal manifest, so a resume refuses a \
+       journal written for a different shard."
+    in
+    Arg.(value & opt (some string) None & info [ "shard" ] ~docv:"I/N" ~doc)
+  in
+  let journal_sync_arg =
+    let doc =
+      "Fsync the journal every $(docv) appends instead of every append \
+       (default 1).  Completed writes survive SIGKILL regardless; this \
+       only trades power-loss durability for throughput on huge runs."
+    in
+    Arg.(value & opt int 1 & info [ "journal-sync" ] ~docv:"N" ~doc)
   in
   let jobs_arg =
     let doc =
@@ -784,9 +841,10 @@ let cmd_batch =
     let doc = "Seconds between status heartbeats." in
     Arg.(value & opt float 1.0 & info [ "status-interval" ] ~docv:"S" ~doc)
   in
-  let run model paths jobs budget max_delta_ii timeout deadline retries backoff
-      escalate report journal resume quarantine max_failures inject_spin
-      inject_flaky profile_file status_file status_interval =
+  let run model paths corpus shard_spec jobs budget max_delta_ii timeout
+      deadline retries backoff escalate report journal journal_sync resume
+      quarantine max_failures inject_spin inject_flaky profile_file
+      status_file status_interval =
     wrap_code (fun () ->
         let machine = machine_of model in
         let parse_inject flag = function
@@ -807,27 +865,109 @@ let cmd_batch =
         in
         let inject_spin = parse_inject "inject-spin" inject_spin in
         let inject_flaky = parse_inject "inject-flaky" inject_flaky in
-        let inputs = expand_loop_inputs ~tag:"batch" paths in
+        let shard = parse_shard_spec "batch" shard_spec in
+        let shard_str =
+          match shard with
+          | None -> "1/1"
+          | Some (i, nsh) -> Printf.sprintf "%d/%d" i nsh
+        in
+        let in_shard g =
+          match shard with None -> true | Some (i, nsh) -> g mod nsh = i - 1
+        in
+        (* Inputs carry their global corpus index; this process keeps
+           (and schedules, journals, reports) only its residue class.
+           The corpus hash covers the *whole* corpus either way, so
+           every shard of one run shares the corpus ingredient and
+           differs only in the shard ingredient. *)
+        let inputs, corpus_hash =
+          match corpus with
+          | Some cpath ->
+              if paths <> [] then
+                failwith
+                  "batch: --corpus and PATH arguments are mutually \
+                   exclusive";
+              let acc = ref [] in
+              let _total =
+                Loop_bin.iter cpath (fun r ->
+                    if in_shard r.Loop_bin.index then
+                      acc :=
+                        ( r.Loop_bin.index,
+                          {
+                            in_name = r.Loop_bin.name;
+                            origin =
+                              Printf.sprintf "%s#%d" cpath
+                                r.Loop_bin.index;
+                            load =
+                              (fun () ->
+                                snd (Loop_bin.decode_record machine r));
+                          } )
+                        :: !acc)
+              in
+              (List.rev !acc, Digest.to_hex (Digest.file cpath))
+          | None ->
+              let files = expand_loop_inputs ~tag:"batch" paths in
+              let all =
+                List.mapi
+                  (fun g (name, path) ->
+                    ( g,
+                      {
+                        in_name = name;
+                        origin = path;
+                        load =
+                          (fun () -> Loop_parse.parse_file machine path);
+                      } ))
+                  files
+              in
+              ( List.filter (fun (g, _) -> in_shard g) all,
+                Ims_exec.Journal.manifest_hash
+                  (List.concat_map
+                     (fun (name, path) -> [ name; read_file_bytes path ])
+                     files) )
+        in
         let n = List.length inputs in
-        (* The manifest hash pins everything a journaled result depends
-           on: machine model, scheduling and resilience flags, and the
-           corpus bytes themselves.  Resume refuses on any mismatch. *)
-        let manifest_hash =
-          Ims_exec.Journal.manifest_hash
-            (Format.asprintf "%a" Machine.pp machine
-            :: string_of_float budget :: string_of_int max_delta_ii
-            :: (match timeout with None -> "-" | Some t -> string_of_float t)
-            :: (match deadline with None -> "-" | Some d -> string_of_float d)
-            :: string_of_int retries :: string_of_float escalate
-            :: List.concat_map
-                 (fun (name, path) -> [ name; read_file_bytes path ])
-                 inputs)
+        (* The manifest pins everything a journaled result depends on,
+           one named ingredient at a time, so a refused resume can say
+           *which* of machine / flags / corpus / shard diverged. *)
+        let manifest_parts =
+          [
+            ( "machine",
+              Ims_exec.Journal.manifest_hash
+                [ Format.asprintf "%a" Machine.pp machine ] );
+            ( "flags",
+              Ims_exec.Journal.manifest_hash
+                [
+                  string_of_float budget;
+                  string_of_int max_delta_ii;
+                  (match timeout with
+                  | None -> "-"
+                  | Some t -> string_of_float t);
+                  (match deadline with
+                  | None -> "-"
+                  | Some d -> string_of_float d);
+                  string_of_int retries;
+                  string_of_float escalate;
+                ] );
+            ("corpus", corpus_hash);
+            ("shard", shard_str);
+          ]
+        in
+        let manifest_hash = Ims_exec.Journal.hash_of_parts manifest_parts in
+        let current_manifest =
+          {
+            Ims_exec.Journal.version = Ims_exec.Journal.format_version;
+            tool = "imsc-batch";
+            hash = manifest_hash;
+            jobs = n;
+            parts = manifest_parts;
+          }
         in
         if resume <> None && journal <> None then
           failwith
             "batch: --journal and --resume are mutually exclusive (resume \
              appends to the resumed journal)";
         let completed : (int, Json.t) Hashtbl.t = Hashtbl.create 97 in
+        let my_indices : (int, unit) Hashtbl.t = Hashtbl.create 97 in
+        List.iter (fun (g, _) -> Hashtbl.replace my_indices g ()) inputs;
         (match resume with
         | None -> ()
         | Some path -> (
@@ -848,63 +988,58 @@ let cmd_batch =
                 then
                   failwith
                     (Printf.sprintf
-                       "batch: manifest mismatch: journal %s was written \
-                        with a different machine, flags, or corpus — \
-                        refusing to reuse its results (journal hash %s, \
-                        this run %s)"
-                       path
-                       r.Ims_exec.Journal.manifest.Ims_exec.Journal.hash
-                       manifest_hash);
+                       "batch: %s: journal %s was written with a \
+                        different configuration — refusing to reuse its \
+                        results"
+                       (Ims_exec.Journal.explain_mismatch
+                          ~journal:r.Ims_exec.Journal.manifest
+                          ~current:current_manifest)
+                       path);
                 if r.Ims_exec.Journal.torn then
                   Log.warn batch_log "ignoring torn final record in %s" path;
                 List.iter
                   (fun (i, line) ->
-                    if i >= 0 && i < n then Hashtbl.replace completed i line)
+                    if Hashtbl.mem my_indices i then
+                      Hashtbl.replace completed i line)
                   r.Ims_exec.Journal.entries;
                 Log.info batch_log
                   "resuming — %d of %d job(s) already journaled"
                   (Hashtbl.length completed) n));
         let writer =
           match (resume, journal) with
-          | Some path, _ -> Some (Ims_exec.Journal.reopen ~path)
+          | Some path, _ ->
+              Some (Ims_exec.Journal.reopen ~sync_every:journal_sync ~path ())
           | None, Some path ->
               Some
-                (Ims_exec.Journal.create ~path
-                   {
-                     Ims_exec.Journal.version = Ims_exec.Journal.format_version;
-                     tool = "imsc-batch";
-                     hash = manifest_hash;
-                     jobs = n;
-                   })
+                (Ims_exec.Journal.create ~sync_every:journal_sync ~path
+                   current_manifest)
           | None, None -> None
         in
         let pending =
-          List.filteri
-            (fun i _ -> not (Hashtbl.mem completed i))
-            (List.mapi (fun i input -> (i, input)) inputs)
+          List.filter (fun (g, _) -> not (Hashtbl.mem completed g)) inputs
         in
-        let schedule_one (shard : Ims_exec.Shard.t) (_, (name, path)) =
-          (* A parse error propagates and becomes this loop's Failed
-             outcome (with file and line via the registered printer); a
-             scheduling casualty degrades to the list schedule; a fired
-             deadline escapes as Cancel.Cancelled and becomes the
-             Cancelled outcome. *)
+        let schedule_one (shard : Ims_exec.Shard.t) (_, input) =
+          (* A parse/decode error propagates and becomes this loop's
+             Failed outcome (with file/offset via the registered
+             printers); a scheduling casualty degrades to the list
+             schedule; a fired deadline escapes as Cancel.Cancelled and
+             becomes the Cancelled outcome. *)
           (match inject_flaky with
           | Some (fname, k)
-            when fname = name
+            when fname = input.in_name
                  && float_of_int shard.Ims_exec.Shard.attempt <= k ->
               failwith
                 (Printf.sprintf "transient injected fault (attempt %d)"
                    shard.Ims_exec.Shard.attempt)
           | _ -> ());
           (match inject_spin with
-          | Some (sname, secs) when sname = name ->
+          | Some (sname, secs) when sname = input.in_name ->
               let stop = Unix.gettimeofday () +. secs in
               while Unix.gettimeofday () < stop do
                 Cancel.poll shard.Ims_exec.Shard.cancel
               done
           | _ -> ());
-          let ddg = Loop_parse.parse_file machine path in
+          let ddg = input.load () in
           let h =
             Ims_check.Fallback.modulo_schedule_or_fallback
               ~budget_ratio:budget ~max_delta_ii
@@ -925,13 +1060,11 @@ let cmd_batch =
            acyclic fallback schedule when the loop at least parses — the
            run still ships a correct, checked schedule for a loop whose
            pipelining was cancelled. *)
-        let render (name, path) outcome =
+        let render input outcome =
           let extra =
-            Ims_serve.Render.casualty_extra
-              ~reparse:(fun () -> Loop_parse.parse_file machine path)
-              outcome
+            Ims_serve.Render.casualty_extra ~reparse:input.load outcome
           in
-          Ims_exec.Report.line ~name ~extra
+          Ims_exec.Report.line ~name:input.in_name ~extra
             ~fields:Ims_serve.Render.done_fields outcome
         in
         let retry =
@@ -1061,11 +1194,11 @@ let cmd_batch =
             Hashtbl.replace fresh idx (render input outcome))
           pending outcomes;
         let lines =
-          List.mapi
-            (fun i _ ->
-              match Hashtbl.find_opt fresh i with
+          List.map
+            (fun (g, _) ->
+              match Hashtbl.find_opt fresh g with
               | Some line -> line
-              | None -> Hashtbl.find completed i)
+              | None -> Hashtbl.find completed g)
             inputs
         in
         (match report with
@@ -1097,6 +1230,9 @@ let cmd_batch =
             (fun ((_, _), line) -> status_of line <> "ok")
             (List.combine inputs lines)
         in
+        let casualty_lines =
+          List.map (fun ((_, input), line) -> (input, line)) casualty_lines
+        in
         let degraded =
           List.length
             (List.filter
@@ -1112,15 +1248,15 @@ let cmd_batch =
         Format.eprintf "merged counters: %a@." Ims_mii.Counters.pp
           merged.Ims_exec.Shard.counters;
         List.iter
-          (fun ((name, _), line) ->
-            Printf.eprintf "  %s: %s\n" name (describe_line line))
+          (fun (input, line) ->
+            Printf.eprintf "  %s: %s\n" input.in_name (describe_line line))
           casualty_lines;
         (match quarantine with
         | None -> ()
         | Some file ->
             let oc = open_out file in
             List.iter
-              (fun ((_, path), _) -> output_string oc (path ^ "\n"))
+              (fun (input, _) -> output_string oc (input.origin ^ "\n"))
               casualty_lines;
             close_out oc;
             if casualty_lines <> [] then
@@ -1143,11 +1279,369 @@ let cmd_batch =
          "Schedule every loop in the given dumps in parallel and emit a \
           per-loop JSONL report")
     Term.(
-      const run $ machine_arg $ paths_arg $ jobs_arg $ budget_arg
-      $ max_delta_ii_arg $ timeout_arg $ deadline_arg $ retries_arg
-      $ backoff_arg $ escalate_arg $ report_arg $ journal_arg $ resume_arg
-      $ quarantine_arg $ max_failures_arg $ inject_spin_arg $ inject_flaky_arg
-      $ profile_file_arg $ status_file_arg $ status_interval_arg)
+      const run $ machine_arg $ paths_arg $ corpus_arg $ shard_arg $ jobs_arg
+      $ budget_arg $ max_delta_ii_arg $ timeout_arg $ deadline_arg
+      $ retries_arg $ backoff_arg $ escalate_arg $ report_arg $ journal_arg
+      $ journal_sync_arg $ resume_arg $ quarantine_arg $ max_failures_arg
+      $ inject_spin_arg $ inject_flaky_arg $ profile_file_arg
+      $ status_file_arg $ status_interval_arg)
+
+(* --- corpus --------------------------------------------------------------------- *)
+
+let corpus_log =
+  Log.create ~human:stderr ~timer:Unix.gettimeofday ~tag:"imsc corpus" ()
+
+let cmd_corpus =
+  let out_arg =
+    let doc = "Corpus file to write." in
+    Arg.(
+      required & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc)
+  in
+  let count_arg =
+    let doc = "Number of loops in the (global) corpus." in
+    Arg.(value & opt int 1000 & info [ "n"; "count" ] ~docv:"N" ~doc)
+  in
+  let seed_arg =
+    let doc =
+      "Generator seed.  Loop $(i)i$(b,) of a corpus is a pure function \
+       of (seed, i), so any prefix or shard regenerates byte-identically."
+    in
+    Arg.(value & opt int 1994 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let shard_arg =
+    let doc =
+      "Generate only the residue class I/N of the corpus (1-based I).  \
+       The written records are byte-identical to the same residue class \
+       of the full corpus."
+    in
+    Arg.(value & opt (some string) None & info [ "shard" ] ~docv:"I/N" ~doc)
+  in
+  let cmd_gen =
+    let run model out count seed shard_spec =
+      wrap (fun () ->
+          let machine = machine_of model in
+          let shard = parse_shard_spec "corpus gen" shard_spec in
+          let t0 = Unix.gettimeofday () in
+          let last = ref t0 in
+          let written =
+            Corpus.generate ?shard
+              ~progress:(fun ~index ~written ->
+                let now = Unix.gettimeofday () in
+                if now -. !last >= 5.0 then begin
+                  last := now;
+                  Log.info corpus_log
+                    "%d record(s) written (at global index %d, %.0f \
+                     loops/s)"
+                    written index
+                    (float_of_int written /. (now -. t0))
+                end)
+              machine ~seed ~count ~path:out
+          in
+          let dt = Unix.gettimeofday () -. t0 in
+          Log.info corpus_log
+            "wrote %d loop(s) to %s in %.1fs (%.0f loops/s, %d bytes)"
+            written out dt
+            (float_of_int written /. Float.max dt 1e-9)
+            (match (Unix.stat out).Unix.st_size with
+            | s -> s
+            | exception Unix.Unix_error _ -> 0))
+    in
+    Cmd.v
+      (Cmd.info "gen"
+         ~doc:
+           "Stream a seeded synthetic corpus to a binary loop file \
+            (never holds more than one loop in memory)")
+      Term.(
+        const run $ machine_arg $ out_arg $ count_arg $ seed_arg $ shard_arg)
+  in
+  let cmd_info =
+    let file_arg =
+      let doc = "Corpus file to inspect." in
+      Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+    in
+    let run file =
+      wrap (fun () ->
+          (* Streaming walk: every frame and CRC is validated, so this
+             doubles as an integrity check — a torn or bit-flipped
+             record fails with its byte offset. *)
+          let first = ref None and last = ref None in
+          let records =
+            Loop_bin.iter file (fun r ->
+                if !first = None then first := Some r.Loop_bin.name;
+                last := Some r.Loop_bin.name)
+          in
+          let bytes =
+            match (Unix.stat file).Unix.st_size with
+            | s -> s
+            | exception Unix.Unix_error _ -> 0
+          in
+          Printf.printf
+            "%s: format v%d, %d record(s), %d bytes%s\n" file
+            Loop_bin.format_version records bytes
+            (match (!first, !last) with
+            | Some a, Some b -> Printf.sprintf " (%s .. %s)" a b
+            | _ -> ""))
+    in
+    Cmd.v
+      (Cmd.info "info"
+         ~doc:
+           "Validate a binary corpus (header, framing, per-record CRC) \
+            and print its record count")
+      Term.(const run $ file_arg)
+  in
+  Cmd.group
+    (Cmd.info "corpus"
+       ~doc:"Generate and inspect binary loop corpora for fleet-scale runs")
+    [ cmd_gen; cmd_info ]
+
+(* --- fleet ---------------------------------------------------------------- *)
+
+let fleet_log =
+  Log.create ~human:stderr ~timer:Unix.gettimeofday ~tag:"imsc fleet" ()
+
+let cmd_fleet =
+  let corpus_arg =
+    let doc = "Binary corpus to schedule (the 'imsc corpus gen' format)." in
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "corpus" ] ~docv:"FILE" ~doc)
+  in
+  let workers_arg =
+    let doc =
+      "Worker processes.  The corpus is split into $(docv) residue-class \
+       shards; the merged report is byte-identical for any worker count."
+    in
+    Arg.(value & opt int 2 & info [ "w"; "workers" ] ~docv:"N" ~doc)
+  in
+  let dir_arg =
+    let doc =
+      "Run directory for per-shard journals, reports, status files and \
+       logs (created if missing)."
+    in
+    Arg.(
+      required & opt (some string) None & info [ "dir" ] ~docv:"DIR" ~doc)
+  in
+  let jobs_arg =
+    let doc = "Worker domains per shard process (default 1)." in
+    Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+  in
+  let timeout_arg =
+    let doc = "Soft per-loop wall-clock limit in seconds (per worker)." in
+    Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"S" ~doc)
+  in
+  let deadline_arg =
+    let doc = "Preemptive per-loop deadline in seconds (per worker)." in
+    Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"S" ~doc)
+  in
+  let retries_arg =
+    let doc = "Attempts per loop inside each worker (default 1)." in
+    Arg.(value & opt int 1 & info [ "retries" ] ~docv:"N" ~doc)
+  in
+  let journal_sync_arg =
+    let doc =
+      "Fsync each shard journal every $(docv) appends (default 1)."
+    in
+    Arg.(value & opt int 1 & info [ "journal-sync" ] ~docv:"N" ~doc)
+  in
+  let max_failures_arg =
+    let doc =
+      "Run-level fail-fast: terminate every worker once more than \
+       $(docv) casualties have accumulated across the whole fleet."
+    in
+    Arg.(value & opt (some int) None & info [ "max-failures" ] ~docv:"N" ~doc)
+  in
+  let max_restarts_arg =
+    let doc =
+      "Per-shard circuit breaker: give up after $(docv) consecutive \
+       crashes of one worker."
+    in
+    Arg.(value & opt int 10 & info [ "max-restarts" ] ~docv:"N" ~doc)
+  in
+  let report_arg =
+    let doc = "Write the merged JSONL report to $(docv) (default stdout)." in
+    Arg.(value & opt (some string) None & info [ "report" ] ~docv:"FILE" ~doc)
+  in
+  let resume_arg =
+    let doc =
+      "Resume a previous fleet run from the journals in --dir: shards \
+       whose journal survived pick up where they died instead of \
+       starting over."
+    in
+    Arg.(value & flag & info [ "resume" ] ~doc)
+  in
+  let status_file_arg =
+    let doc =
+      "Atomically rewrite $(docv) with the merged fleet status (summed \
+       shard counters plus per-shard pid/state/restarts) every \
+       --status-interval seconds; the final write carries \
+       \"running\":false."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "status-file" ] ~docv:"FILE" ~doc)
+  in
+  let status_interval_arg =
+    let doc = "Seconds between merged status heartbeats." in
+    Arg.(value & opt float 1.0 & info [ "status-interval" ] ~docv:"S" ~doc)
+  in
+  let run model corpus workers dir jobs budget max_delta_ii timeout deadline
+      retries journal_sync max_failures max_restarts report resume
+      status_file status_interval =
+    wrap_code (fun () ->
+        ignore (machine_of model);
+        if workers < 1 then failwith "fleet: --workers must be at least 1";
+        if not (Sys.file_exists corpus) then
+          failwith (Printf.sprintf "fleet: no such corpus: %s" corpus);
+        (match Sys.is_directory dir with
+        | true -> ()
+        | false -> failwith (Printf.sprintf "fleet: %s is not a directory" dir)
+        | exception Sys_error _ -> Unix.mkdir dir 0o755);
+        let specs =
+          List.init workers (fun k ->
+              let i = k + 1 in
+              let file ext = Filename.concat dir (Printf.sprintf "shard-%d.%s" i ext) in
+              let journal = file "journal"
+              and report = file "report.jsonl"
+              and status_file = file "status.json"
+              and log_file = file "log" in
+              let common =
+                [
+                  Sys.executable_name;
+                  "batch";
+                  "--machine";
+                  model;
+                  "--corpus";
+                  corpus;
+                  "--shard";
+                  Printf.sprintf "%d/%d" i workers;
+                  "--jobs";
+                  string_of_int jobs;
+                  "--budget-ratio";
+                  string_of_float budget;
+                  "--max-delta-ii";
+                  string_of_int max_delta_ii;
+                  "--retries";
+                  string_of_int retries;
+                  "--journal-sync";
+                  string_of_int journal_sync;
+                  "--report";
+                  report;
+                  "--status-file";
+                  status_file;
+                  "--status-interval";
+                  string_of_float status_interval;
+                ]
+                @ (match timeout with
+                  | None -> []
+                  | Some t -> [ "--timeout"; string_of_float t ])
+                @
+                match deadline with
+                | None -> []
+                | Some d -> [ "--deadline"; string_of_float d ]
+              in
+              {
+                Ims_fleet.Fleet.shard = i;
+                fresh_argv = Array.of_list (common @ [ "--journal"; journal ]);
+                resume_argv = Array.of_list (common @ [ "--resume"; journal ]);
+                journal;
+                report;
+                status_file;
+                log_file;
+              })
+        in
+        (* A fresh run must not inherit a previous run's artifacts: a
+           stale status file would pollute the aggregated counters and a
+           stale log would interleave two runs' diagnostics.  (Journals
+           and reports are truncated/replaced by the workers anyway.) *)
+        if not resume then
+          List.iter
+            (fun (s : Ims_fleet.Fleet.spec) ->
+              List.iter
+                (fun p -> if Sys.file_exists p then Sys.remove p)
+                [ s.journal; s.report; s.status_file; s.log_file ])
+            specs;
+        Log.info fleet_log
+          "%d worker(s) x %d domain(s) over %s (run dir %s)" workers jobs
+          corpus dir;
+        let outcome =
+          Ims_fleet.Fleet.run ?max_failures
+            ~backoff:(fun () ->
+              Ims_serve.Supervisor.Backoff.create ~max_restarts ())
+            ~resume ~log:fleet_log ~status_file ~status_interval
+            ~tty:(if Unix.isatty Unix.stderr then Some stderr else None)
+            ~prog:Sys.executable_name ~specs ()
+        in
+        match outcome.Ims_fleet.Fleet.reason with
+        | Ims_fleet.Fleet.Breaker shard ->
+            Log.error fleet_log
+              "shard %d crash-looped; see %s" shard
+              (Filename.concat dir (Printf.sprintf "shard-%d.log" shard));
+            1
+        | Ims_fleet.Fleet.Fail_fast n ->
+            Log.error fleet_log
+              "aborted after %d casualties across the fleet" n;
+            1
+        | Ims_fleet.Fleet.Interrupted ->
+            Log.warn fleet_log "interrupted before completion";
+            1
+        | Ims_fleet.Fleet.Completed -> (
+            let reports =
+              List.map (fun (s : Ims_fleet.Fleet.spec) -> s.report) specs
+            in
+            let merge emit =
+              Ims_fleet.Fleet.merge_reports ~reports ~emit
+            in
+            let result =
+              match report with
+              | Some file ->
+                  let tmp = file ^ ".tmp" in
+                  let oc = open_out_bin tmp in
+                  let r =
+                    Fun.protect
+                      ~finally:(fun () -> close_out_noerr oc)
+                      (fun () ->
+                        merge (fun line -> output_string oc (line ^ "\n")))
+                  in
+                  (match r with
+                  | Ok _ -> Sys.rename tmp file
+                  | Error _ -> if Sys.file_exists tmp then Sys.remove tmp);
+                  r
+              | None -> merge (fun line -> print_string (line ^ "\n"))
+            in
+            match result with
+            | Error e -> failwith (Printf.sprintf "fleet: merge: %s" e)
+            | Ok stats ->
+                Log.info fleet_log
+                  "merged %d line(s) from %d shard(s), %d restart(s) \
+                   survived"
+                  stats.Ims_fleet.Fleet.lines workers
+                  outcome.Ims_fleet.Fleet.restarts;
+                if stats.Ims_fleet.Fleet.merge_casualties > 0 then begin
+                  Log.error fleet_log "completed with %d casualt%s (see report)"
+                    stats.Ims_fleet.Fleet.merge_casualties
+                    (if stats.Ims_fleet.Fleet.merge_casualties = 1 then "y"
+                     else "ies");
+                  1
+                end
+                else if stats.Ims_fleet.Fleet.merge_degraded > 0 then begin
+                  Log.warn fleet_log
+                    "%d loop(s) degraded to the acyclic list schedule"
+                    stats.Ims_fleet.Fleet.merge_degraded;
+                  2
+                end
+                else 0))
+  in
+  Cmd.v
+    (Cmd.info "fleet"
+       ~doc:
+         "Run a sharded batch as supervised worker processes: restart \
+          crashed workers from their journals and merge the shard \
+          reports byte-identically to a single-process run")
+    Term.(
+      const run $ machine_arg $ corpus_arg $ workers_arg $ dir_arg $ jobs_arg
+      $ budget_arg $ max_delta_ii_arg $ timeout_arg $ deadline_arg
+      $ retries_arg $ journal_sync_arg $ max_failures_arg $ max_restarts_arg
+      $ report_arg $ resume_arg $ status_file_arg $ status_interval_arg)
 
 (* --- serve / request -------------------------------------------------------- *)
 
@@ -1878,6 +2372,14 @@ let cmd_perf =
                   if String.length c > 9 then String.sub c 0 9 else c
               | _ -> "-"
             in
+            (* Fleet-scale throughput (PR 10+): loops scheduled per
+               second by the multi-process fleet phase; "-" on
+               snapshots that predate it or skipped the phase. *)
+            let fleet_lps =
+              match get "fleet" j with
+              | Some f -> fnum (get "loops_per_s" f)
+              | None -> nan
+            in
             [
               Filename.basename file;
               fmt_f "%.0f" (fnum (get "suite_count" j));
@@ -1887,6 +2389,7 @@ let cmd_perf =
               fmt_f "%.0f" (fnum (get "sched" cobj));
               fmt_f "%.0f" (fnum (get "sched_final" cobj));
               fmt_f "%.2f" measure_s;
+              fmt_f "%.0f" fleet_lps;
               commit;
             ]
           in
@@ -1895,7 +2398,7 @@ let cmd_perf =
                ~headers:
                  [
                    "snapshot"; "loops"; "mean II"; "mindist"; "findslot";
-                   "sched"; "sched_final"; "measure s"; "commit";
+                   "sched"; "sched_final"; "measure s"; "fleet l/s"; "commit";
                  ]
                (List.map row files));
           (* The trajectory exists to go down.  Any per-counter regression
@@ -2085,5 +2588,6 @@ let () =
           [
             cmd_machine; cmd_list; cmd_show; cmd_export; cmd_report; cmd_dot;
             cmd_mii; cmd_schedule; cmd_codegen; cmd_simulate; cmd_suite;
-            cmd_batch; cmd_serve; cmd_request; cmd_cache; cmd_check; cmd_perf;
+            cmd_batch; cmd_corpus; cmd_fleet; cmd_serve; cmd_request;
+            cmd_cache; cmd_check; cmd_perf;
           ]))

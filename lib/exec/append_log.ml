@@ -1,24 +1,44 @@
 open Ims_obs
 
-type t = { fd : Unix.file_descr; mutable closed : bool }
+type t = {
+  fd : Unix.file_descr;
+  mutable closed : bool;
+  sync_every : int;
+  mutable unsynced : int;
+}
 
 (* One full line per write call, then fsync: a crash can tear at most
-   the line being written, and only at the end of the file. *)
-let write_line fd json =
+   the line being written, and only at the end of the file.
+
+   With [sync_every > 1] the fsync is amortised over that many appends.
+   A SIGKILL still loses nothing that [write] returned for — completed
+   writes survive process death in the page cache — so crash-resume
+   semantics are unchanged; only power-loss durability is traded, and
+   at most [sync_every - 1] records of it. *)
+let write_line t json =
   let line = Bytes.of_string (Json.to_string json ^ "\n") in
   let len = Bytes.length line in
   let rec push off =
-    if off < len then push (off + Unix.write fd line off (len - off))
+    if off < len then push (off + Unix.write t.fd line off (len - off))
   in
   push 0;
-  Unix.fsync fd
+  t.unsynced <- t.unsynced + 1;
+  if t.unsynced >= t.sync_every then begin
+    Unix.fsync t.fd;
+    t.unsynced <- 0
+  end
 
-let create ~path ~header =
+let mk ?(sync_every = 1) fd =
+  if sync_every < 1 then invalid_arg "Append_log: sync_every < 1";
+  { fd; closed = false; sync_every; unsynced = 0 }
+
+let create ?sync_every ~path ~header () =
   let fd =
     Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
   in
-  write_line fd header;
-  { fd; closed = false }
+  let t = mk ?sync_every fd in
+  write_line t header;
+  t
 
 let read_all path =
   let ic = open_in_bin path in
@@ -29,7 +49,7 @@ let read_all path =
 (* A torn trailing fragment (SIGKILL mid-append) must be cut before the
    next append, or the fragment and the new record would fuse into one
    corrupt line — poisoning the log for any later reader. *)
-let reopen ~path =
+let reopen ?sync_every ~path () =
   let fd = Unix.openfile path [ Unix.O_RDWR ] 0o644 in
   let size = (Unix.fstat fd).Unix.st_size in
   let keep =
@@ -45,9 +65,15 @@ let reopen ~path =
   in
   if keep < size then Unix.ftruncate fd keep;
   ignore (Unix.lseek fd keep Unix.SEEK_SET);
-  { fd; closed = false }
+  mk ?sync_every fd
 
-let append t json = write_line t.fd json
+let append t json = write_line t json
+
+let flush t =
+  if t.unsynced > 0 then begin
+    Unix.fsync t.fd;
+    t.unsynced <- 0
+  end
 
 (* Compaction: the whole replacement is staged in [path ^ ".rewrite"],
    fsync'd, then renamed over [path] — the same atomicity discipline as
@@ -75,7 +101,7 @@ let rewrite ~path ~header ~records =
     Unix.fsync fd;
     Unix.rename tmp path
   with
-  | () -> { fd; closed = false }
+  | () -> mk fd
   | exception e ->
       (try Unix.close fd with Unix.Unix_error _ -> ());
       (try Unix.unlink tmp with Unix.Unix_error _ -> ());
@@ -84,6 +110,7 @@ let rewrite ~path ~header ~records =
 let close t =
   if not t.closed then begin
     t.closed <- true;
+    (try flush t with Unix.Unix_error _ -> ());
     Unix.close t.fd
   end
 

@@ -1,29 +1,54 @@
 open Ims_obs
 
-type manifest = { version : int; tool : string; hash : string; jobs : int }
+type manifest = {
+  version : int;
+  tool : string;
+  hash : string;
+  jobs : int;
+  parts : (string * string) list;
+}
 
-let format_version = 1
+(* Version 2 added [parts]: the overall hash's named ingredients
+   (machine / flags / corpus / shard), recorded so a resume refusal can
+   say *which* one diverged instead of printing two opaque digests.
+   Version 1 journals (no "parts" field) still parse, with an empty
+   list. *)
+let format_version = 2
 let manifest_hash = Content_hash.of_parts
+
+let hash_of_parts parts =
+  manifest_hash (List.concat_map (fun (k, v) -> [ k; v ]) parts)
 
 let manifest_json m =
   Json.Obj
-    [
-      ("kind", Json.String "manifest");
-      ("version", Json.Int m.version);
-      ("tool", Json.String m.tool);
-      ("hash", Json.String m.hash);
-      ("jobs", Json.Int m.jobs);
-    ]
+    ([
+       ("kind", Json.String "manifest");
+       ("version", Json.Int m.version);
+       ("tool", Json.String m.tool);
+       ("hash", Json.String m.hash);
+       ("jobs", Json.Int m.jobs);
+     ]
+    @
+    match m.parts with
+    | [] -> []
+    | parts ->
+        [
+          ( "parts",
+            Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) parts)
+          );
+        ])
 
 (* The fsync'd append / torn-tail-truncation machinery is shared with
    the serve daemon's schedule cache (Append_log); the journal adds the
    manifest and the per-job record schema on top. *)
 type writer = Append_log.t
 
-let create ~path m =
-  Append_log.create ~path ~header:(manifest_json { m with version = format_version })
+let create ?sync_every ~path m =
+  Append_log.create ?sync_every ~path
+    ~header:(manifest_json { m with version = format_version })
+    ()
 
-let reopen ~path = Append_log.reopen ~path
+let reopen ?sync_every ~path () = Append_log.reopen ?sync_every ~path ()
 
 let append w ~index payload =
   Append_log.append w
@@ -51,6 +76,15 @@ let int_field obj k =
 let str_field obj k =
   match field obj k with Some (Json.String s) -> Some s | _ -> None
 
+let parts_field obj =
+  match field obj "parts" with
+  | Some (Json.Obj kvs) ->
+      List.filter_map
+        (fun (k, v) ->
+          match v with Json.String s -> Some (k, s) | _ -> None)
+        kvs
+  | _ -> []
+
 let parse_manifest line =
   match Json.of_string line with
   | Error e -> Error ("malformed manifest line: " ^ e)
@@ -68,7 +102,7 @@ let parse_manifest line =
               (Printf.sprintf "journal format version %d is newer than this \
                                build understands (%d)"
                  version format_version)
-          else Ok { version; tool; hash; jobs }
+          else Ok { version; tool; hash; jobs; parts = parts_field obj }
       | _ -> Error "first line is not a journal manifest")
 
 let parse_record line =
@@ -78,6 +112,30 @@ let parse_record line =
       match (str_field obj "kind", int_field obj "index", field obj "line") with
       | Some "job", Some index, Some payload -> Some (index, payload)
       | _ -> None)
+
+(* Name the diverged ingredients, not just the digests.  Components are
+   compared by name across both manifests; one side missing a name
+   (e.g. a version-1 journal with no parts at all) still reports it. *)
+let explain_mismatch ~journal ~current =
+  let names =
+    List.map fst journal.parts
+    @ List.filter
+        (fun k -> not (List.mem_assoc k journal.parts))
+        (List.map fst current.parts)
+  in
+  let diverged =
+    List.filter
+      (fun k ->
+        List.assoc_opt k journal.parts <> List.assoc_opt k current.parts)
+      names
+  in
+  let what =
+    match diverged with
+    | [] -> "manifest mismatch"
+    | ks -> Printf.sprintf "manifest mismatch: %s diverged" (String.concat ", " ks)
+  in
+  Printf.sprintf "%s (journal hash %s, this run %s)" what journal.hash
+    current.hash
 
 let read ~path =
   match

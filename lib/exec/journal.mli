@@ -9,7 +9,9 @@
     machine model, the scheduling flags, and the corpus bytes
     ({!manifest_hash}).  Resume refuses a journal whose hash differs —
     journaled records are only byte-reusable against the identical
-    inputs and configuration.
+    inputs and configuration.  Since format version 2 the manifest also
+    records the named per-component hashes ([parts]) so the refusal can
+    say which ingredient diverged ({!explain_mismatch}).
 
     Record lines are [{"kind":"job","index":I,"line":J}] where [J] is
     the job's finished report line, stored verbatim; resume replays [J]
@@ -27,6 +29,10 @@ type manifest = {
   tool : string;  (** e.g. ["imsc-batch"] — guards cross-tool reuse. *)
   hash : string;  (** {!manifest_hash} of machine+flags+corpus. *)
   jobs : int;  (** Total jobs in the run (not: completed). *)
+  parts : (string * string) list;
+      (** Named ingredient digests (e.g. ["machine"], ["flags"],
+          ["corpus"], ["shard"]) behind [hash]; empty on version-1
+          journals. *)
 }
 
 val format_version : int
@@ -37,20 +43,32 @@ val manifest_hash : string list -> string
     {!Content_hash.of_parts} — the same definition keys the serve
     daemon's schedule cache. *)
 
+val hash_of_parts : (string * string) list -> string
+(** The overall manifest hash derived from named component digests
+    (names and values both bound, order-sensitive). *)
+
+val explain_mismatch : journal:manifest -> current:manifest -> string
+(** A refusal message naming each component whose digest diverged
+    ("manifest mismatch: corpus diverged (…)"); falls back to the bare
+    digests when no named component differs (e.g. a version-1
+    journal). *)
+
 type writer
 
-val create : path:string -> manifest -> writer
-(** Truncate/create [path] and write the manifest line (fsync'd). *)
+val create : ?sync_every:int -> path:string -> manifest -> writer
+(** Truncate/create [path] and write the manifest line (fsync'd).
+    [sync_every] (default 1) groups fsyncs per {!Append_log}. *)
 
-val reopen : path:string -> writer
+val reopen : ?sync_every:int -> path:string -> unit -> writer
 (** Open an existing journal for appending (resume); the caller has
     already validated it with {!read}.  A torn trailing fragment is
     truncated away first, so the next append starts on its own line
     and a later resume sees a well-formed file. *)
 
 val append : writer -> index:int -> Ims_obs.Json.t -> unit
-(** Append one job record and fsync.  Serialize calls yourself — the
-    engine's [on_result] hook already runs under a mutex. *)
+(** Append one job record (fsync'd per [sync_every]).  Serialize calls
+    yourself — the engine's [on_result] hook already runs under a
+    mutex. *)
 
 val close : writer -> unit
 

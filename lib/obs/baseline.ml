@@ -108,6 +108,26 @@ let compare_snapshots ?(tolerance = 0.10) ?(time_tolerance = 3.0) ~baseline
         | Some cur ->
             flag ("phase." ^ name ^ ".seconds") ~base ~cur
               ~limit:(base *. (1.0 +. time_tolerance)))
-      (phase_seconds baseline)
+      (phase_seconds baseline);
+    (* Fleet throughput (loops scheduled per second) is wall clock, so
+       it takes the loose tolerance — and inverted: lower is worse.  It
+       is only comparable when the run shape matches (same corpus size
+       and worker count); a --quick smoke snapshot must not gate a
+       million-loop run, or vice versa. *)
+    (match (field "fleet" baseline, field "fleet" current) with
+    | Some bf, Some cf
+      when number (field "loops" bf) = number (field "loops" cf)
+           && number (field "workers" bf) = number (field "workers" cf) -> (
+        match
+          (number (field "loops_per_s" bf), number (field "loops_per_s" cf))
+        with
+        | Some base, Some cur ->
+            let limit = base /. (1.0 +. time_tolerance) in
+            if cur < limit then
+              regressions :=
+                { metric = "fleet.loops_per_s"; baseline = base; current = cur; limit }
+                :: !regressions
+        | _ -> ())
+    | _ -> ())
   end;
   List.rev !regressions

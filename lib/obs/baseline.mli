@@ -11,7 +11,12 @@
       (default 10%);
     - {e phase seconds} are wall clock on whatever machine ran the
       bench, so they are gated by the loose [time_tolerance] (default
-      300%) — set it from CI to whatever the runner noise demands.
+      300%) — set it from CI to whatever the runner noise demands;
+    - the {e fleet throughput} ([fleet.loops_per_s], loops scheduled
+      per second by the multi-process fleet phase) is also wall clock
+      and takes [time_tolerance], inverted (lower is worse) — and only
+      when the fleet run shape (corpus size, worker count) matches the
+      baseline's.
 
     A [suite_count] mismatch (or a different total loop count in the
     histogram) makes the numbers incomparable and is itself reported as

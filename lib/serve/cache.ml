@@ -218,7 +218,7 @@ let open_ ?(capacity = 4096) ?max_bytes ?(policy = Fifo) ?path () =
         | exception Unix.Unix_error (Unix.ENOENT, _, _) -> 0
       in
       if size = 0 then
-        match Append_log.create ~path ~header:header_json with
+        match Append_log.create ~path ~header:header_json () with
         | log ->
             let t = fresh () in
             t.log <- Some log;
@@ -250,7 +250,7 @@ let open_ ?(capacity = 4096) ?max_bytes ?(policy = Fifo) ?path () =
                     | None -> ())
                   records;
                 t.evictions <- 0 (* replay evictions don't count *);
-                (match Append_log.reopen ~path with
+                (match Append_log.reopen ~path () with
                 | log ->
                     t.log <- Some log;
                     t.log_bytes <-

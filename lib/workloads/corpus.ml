@@ -1,0 +1,45 @@
+(* Streaming corpus generation.
+
+   Loop [i] of a corpus is a pure function of [(seed, i)]: it is built
+   from its own [Random.State] keyed by that pair, exactly like
+   Synthetic.batch, so any prefix, suffix or residue class of a corpus
+   can be (re)generated independently of every other record.  That
+   per-index keying is what makes shard generation reproducible: the
+   bytes written for shard [i/N] do not depend on which other shards
+   are generated, or whether the full corpus ever was.
+
+   Generation is streaming — one loop is materialised, encoded and
+   written at a time — so a million-loop corpus never lives in memory. *)
+
+let loop_name i = Printf.sprintf "syn%07d" (i + 1)
+
+let build machine ~seed i =
+  let rng = Random.State.make [| seed; i + 1 |] in
+  (loop_name i, Synthetic.generate machine rng)
+
+let in_shard ~shard g =
+  match shard with None -> true | Some (i, n) -> g mod n = i - 1
+
+let check_shard = function
+  | Some (i, n) when n < 1 || i < 1 || i > n ->
+      invalid_arg (Printf.sprintf "Corpus: bad shard %d/%d" i n)
+  | _ -> ()
+
+let generate ?shard ?progress machine ~seed ~count ~path =
+  check_shard shard;
+  let w = Loop_bin.create_writer path in
+  Fun.protect
+    ~finally:(fun () -> Loop_bin.close_writer w)
+    (fun () ->
+      let written = ref 0 in
+      for g = 0 to count - 1 do
+        if in_shard ~shard g then begin
+          let name, ddg = build machine ~seed g in
+          Loop_bin.write w ~name ddg;
+          incr written;
+          match progress with
+          | Some f -> f ~index:g ~written:!written
+          | None -> ()
+        end
+      done;
+      !written)

@@ -285,7 +285,7 @@ let temp_path name =
     (Printf.sprintf "ims_test_%s_%d" name (Unix.getpid ()))
 
 let manifest hash jobs =
-  { Journal.version = Journal.format_version; tool = "test"; hash; jobs }
+  { Journal.version = Journal.format_version; tool = "test"; hash; jobs; parts = [] }
 
 let test_journal_roundtrip () =
   let path = temp_path "journal" in
@@ -302,7 +302,7 @@ let test_journal_roundtrip () =
       Alcotest.(check (list int)) "indices in file order" [ 0; 2 ]
         (List.map fst r.Journal.entries));
   (* Reopen and append: last-wins duplicate for index 0. *)
-  let w = Journal.reopen ~path in
+  let w = Journal.reopen ~path () in
   Journal.append w ~index:0 (Json.Obj [ ("ii", Json.Int 5) ]);
   Journal.close w;
   (match Journal.read ~path with
@@ -330,7 +330,7 @@ let test_journal_tolerates_torn_tail () =
         (List.map fst r.Journal.entries));
   (* Reopen must truncate the fragment, or the next append would fuse
      with it into one corrupt line and poison a second resume. *)
-  let w = Journal.reopen ~path in
+  let w = Journal.reopen ~path () in
   Journal.append w ~index:1 (Json.Obj [ ("ok", Json.Bool true) ]);
   Journal.close w;
   (match Journal.read ~path with
